@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Inject the latest benchmark tables into EXPERIMENTS.md.
+
+Replaces each ``<!-- RESULTS:NAME -->`` marker's following placeholder
+paragraph with the corresponding files from ``benchmarks/results/``.
+Run after ``pytest benchmarks/ --benchmark-only``::
+
+    python benchmarks/collect_results.py
+"""
+
+import os
+import re
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+RESULTS = os.path.join(HERE, "results")
+EXPERIMENTS = os.path.join(HERE, "..", "EXPERIMENTS.md")
+
+SECTIONS = {
+    "FIG3": ["fig3_cifar_googlenet", "fig3_cifar_resnet18", "fig3_cifar_vgg16bn",
+             "fig3_imagenet_densenet121", "fig3_imagenet_resnet50"],
+    "TABLE1": ["table1_transfer"],
+    "FIG4": ["fig4_synthesis"],
+    "TABLE2": ["table2_googlenet", "table2_resnet18", "table2_vgg16bn"],
+    "ABLATION": ["ablation_scoring"],
+}
+
+
+def load_block(names):
+    chunks = []
+    for name in names:
+        path = os.path.join(RESULTS, f"{name}.txt")
+        if os.path.exists(path):
+            with open(path) as handle:
+                chunks.append(handle.read().rstrip())
+        else:
+            chunks.append(f"({name}: not yet generated)")
+    return "```\n" + "\n\n".join(chunks) + "\n```"
+
+
+def main():
+    with open(EXPERIMENTS) as handle:
+        text = handle.read()
+    for key, names in SECTIONS.items():
+        marker = f"<!-- RESULTS:{key} -->"
+        if marker not in text:
+            print(f"marker {marker} missing, skipped", file=sys.stderr)
+            continue
+        block = marker + "\n" + load_block(names)
+        # replace marker plus everything up to the next blank-line-delimited
+        # paragraph (the placeholder sentence or a previous injection)
+        pattern = re.escape(marker) + r"\n(?:```.*?```|\*[^\n]*\*)"
+        if re.search(pattern, text, flags=re.DOTALL):
+            text = re.sub(pattern, block, text, flags=re.DOTALL)
+        else:
+            text = text.replace(marker, block)
+    with open(EXPERIMENTS, "w") as handle:
+        handle.write(text)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark reproduces one table or figure of the paper.  The heavy
+inputs -- trained classifiers and synthesized programs -- are cached on
+disk by the :class:`~repro.eval.experiments.ExperimentContext`, so the
+first run trains/synthesizes and later runs measure attack behaviour
+against identical artifacts.
+
+Select the scale with ``REPRO_BENCH_PROFILE`` (``quick`` default,
+``full`` for paper-scale thresholds); results are also written to
+``benchmarks/results/``.
+"""
+
+import os
+
+import pytest
+
+from repro.eval.experiments import ExperimentContext, active_profile
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def context():
+    return ExperimentContext(active_profile())
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    """Persist a formatted table and echo it to stdout."""
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,77 @@
+"""Ablation: failure-penalized vs. paper-literal candidate scoring.
+
+DESIGN.md documents one deliberate deviation from Algorithm 2: when
+candidate evaluation runs under a per-image budget, scoring by the
+successes-only average (the paper's formula) lets a candidate "improve"
+by pushing an expensive borderline success past the budget.  This
+benchmark synthesizes under both scoring rules on a toy classifier with
+known structure and checks the penalized rule never yields a program
+with *fewer* training successes -- the failure mode the deviation exists
+to prevent -- at comparable quality.
+
+Runs at toy scale (seconds), so it exercises the design choice without
+the CNN zoo.
+"""
+
+import numpy as np
+
+from conftest import write_result
+from repro.classifier.toy import SmoothLinearClassifier, make_toy_images
+from repro.core.synthesis.oppsla import Oppsla, OppslaConfig
+
+
+def run_scoring_ablation(seeds=(0, 1, 2)):
+    shape = (10, 10, 3)
+    classifier = SmoothLinearClassifier(
+        shape, num_classes=3, seed=1, temperature=0.02, hotspot=(0.85, -0.85)
+    )
+    images = make_toy_images(15, shape, seed=2)
+    pairs = [(im, int(np.argmax(classifier(im)))) for im in images]
+    rows = []
+    for seed in seeds:
+        for score_failures in (True, False):
+            config = OppslaConfig(
+                max_iterations=30,
+                beta=0.05,
+                per_image_budget=300,
+                score_failures=score_failures,
+                seed=seed,
+            )
+            result = Oppsla(config).synthesize(classifier, pairs)
+            evaluation = result.best_evaluation
+            rows.append(
+                {
+                    "seed": seed,
+                    "score_failures": score_failures,
+                    "successes": evaluation.successes,
+                    "avg": evaluation.avg_queries,
+                    "penalized": evaluation.penalized_avg_queries,
+                }
+            )
+    return rows
+
+
+def test_scoring_ablation(benchmark, results_dir):
+    rows = benchmark.pedantic(run_scoring_ablation, rounds=1, iterations=1)
+    lines = ["[Ablation] candidate scoring rule (toy classifier)"]
+    lines.append(
+        f"{'seed':>4}  {'score_failures':>14}  {'successes':>9}  "
+        f"{'avg':>8}  {'penalized':>9}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['seed']:>4}  {str(row['score_failures']):>14}  "
+            f"{row['successes']:>9}  {row['avg']:>8.1f}  {row['penalized']:>9.1f}"
+        )
+    write_result(results_dir, "ablation_scoring", "\n".join(lines))
+
+    by_seed = {}
+    for row in rows:
+        by_seed.setdefault(row["seed"], {})[row["score_failures"]] = row
+    for seed, variants in by_seed.items():
+        penalized_run = variants[True]
+        literal_run = variants[False]
+        # the safety property: penalized scoring never trades successes away
+        assert penalized_run["successes"] >= literal_run["successes"], (
+            f"seed {seed}: penalized scoring lost successes"
+        )

@@ -1,0 +1,38 @@
+"""Figure 3 (CIFAR): success rate vs. query budget, per classifier.
+
+Paper shape to reproduce: OPPSLA's success rate dominates Sparse-RS and
+SuOPA at small budgets (<= 100 and <= 500 queries) on every CIFAR
+classifier, with the baselines closing most of the gap at the full
+budget.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.eval.experiments import run_figure3
+from repro.eval.reporting import format_success_curves
+from repro.models.registry import CIFAR_ARCHITECTURES
+
+
+@pytest.mark.parametrize("arch", CIFAR_ARCHITECTURES)
+def test_fig3_cifar(benchmark, context, results_dir, arch):
+    curves = benchmark.pedantic(
+        run_figure3, args=(context, "cifar", arch), rounds=1, iterations=1
+    )
+    text = format_success_curves(f"cifar/{arch}", curves)
+    write_result(results_dir, f"fig3_cifar_{arch}", text)
+
+    oppsla = curves["OPPSLA"]
+    sparse_rs = curves["Sparse-RS"]
+    suopa = curves["SuOPA"]
+    thresholds = context.profile.cifar_thresholds
+    low = thresholds[0]
+
+    # shape 1: OPPSLA at the low budget beats both baselines
+    assert oppsla.rate_at(low) >= sparse_rs.rate_at(low)
+    assert oppsla.rate_at(low) >= suopa.rate_at(low)
+    # shape 2: OPPSLA attains a nonzero success rate
+    assert oppsla.rate_at(max(thresholds)) > 0
+    # shape 3: success-rate curves are monotone in the budget
+    for curve in curves.values():
+        assert curve.rates == sorted(curve.rates)

@@ -1,0 +1,31 @@
+"""Figure 3 (ImageNet): success rate vs. query budget.
+
+Paper shape to reproduce: on the higher-resolution dataset (search space
+much larger than the budget), OPPSLA's success rate at the full budget
+exceeds Sparse-RS's, and OPPSLA is at least as good at a few hundred
+queries.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.eval.experiments import run_figure3
+from repro.eval.reporting import format_success_curves
+from repro.models.registry import IMAGENET_ARCHITECTURES
+
+
+@pytest.mark.parametrize("arch", IMAGENET_ARCHITECTURES)
+def test_fig3_imagenet(benchmark, context, results_dir, arch):
+    curves = benchmark.pedantic(
+        run_figure3, args=(context, "imagenet", arch), rounds=1, iterations=1
+    )
+    text = format_success_curves(f"imagenet/{arch}", curves)
+    write_result(results_dir, f"fig3_imagenet_{arch}", text)
+
+    oppsla = curves["OPPSLA"]
+    sparse_rs = curves["Sparse-RS"]
+    thresholds = context.profile.imagenet_thresholds
+
+    # shape: OPPSLA >= Sparse-RS at the low threshold and overall
+    assert oppsla.rate_at(thresholds[0]) >= sparse_rs.rate_at(thresholds[0])
+    assert oppsla.rate_at(max(thresholds)) > 0

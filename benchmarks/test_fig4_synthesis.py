@@ -1,0 +1,30 @@
+"""Figure 4: attack quality as a function of synthesis cost.
+
+Paper shape to reproduce: replaying the intermediate accepted programs on
+a held-out test set, the average query count trends downward with the
+synthesis queries invested, and the best synthesized program needs fewer
+queries than the zero-cost fixed-prioritization program (the paper
+reports a 2.7x reduction after ~50k synthesis queries).
+"""
+
+from conftest import write_result
+from repro.eval.experiments import run_figure4
+from repro.eval.reporting import format_synthesis_study
+
+
+def test_fig4_synthesis(benchmark, context, results_dir):
+    study = benchmark.pedantic(
+        run_figure4, args=(context,), kwargs={"arch": "vgg16bn", "class_label": 0},
+        rounds=1, iterations=1,
+    )
+    text = format_synthesis_study(study)
+    write_result(results_dir, "fig4_synthesis", text)
+
+    assert study.points, "the search must accept at least the initial program"
+    # synthesis queries along the trace are monotone (cost accumulates)
+    costs = [point.synthesis_queries for point in study.points]
+    assert costs == sorted(costs)
+    # shape: the best accepted program is no worse than the first accepted
+    assert study.best_avg_queries <= study.points[0].avg_test_queries
+    # shape: synthesized prioritization beats (or ties) the fixed one
+    assert study.best_avg_queries <= study.fixed_avg_queries * 1.1

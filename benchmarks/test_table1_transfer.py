@@ -1,0 +1,30 @@
+"""Table 1: transferability of synthesized programs across classifiers.
+
+Paper shape to reproduce: programs synthesized for one classifier remain
+effective against the others -- the off-diagonal average query counts stay
+within a small factor of the diagonal (the paper's worst case is ~2.1x,
+GoogLeNet's program on ResNet18).
+"""
+
+import math
+
+from conftest import write_result
+from repro.eval.experiments import run_table1
+from repro.eval.reporting import format_transfer
+
+
+def test_table1_transfer(benchmark, context, results_dir):
+    matrix = benchmark.pedantic(run_table1, args=(context,), rounds=1, iterations=1)
+    text = format_transfer(matrix)
+    write_result(results_dir, "table1_transfer", text)
+
+    for target in matrix.names:
+        assert math.isfinite(matrix.diagonal(target)), (
+            f"native program should succeed on {target}"
+        )
+        for source in matrix.names:
+            overhead = matrix.transfer_overhead(target, source)
+            # transferred programs stay effective: bounded overhead
+            assert overhead < 8.0, (
+                f"{source} -> {target} transfer overhead {overhead:.1f}x"
+            )

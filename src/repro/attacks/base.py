@@ -1,0 +1,74 @@
+"""Common attack interface.
+
+Every attack -- the paper's sketch programs and all baselines -- exposes
+one method::
+
+    attack(classifier, image, true_class, budget=None) -> AttackResult
+
+where ``classifier`` maps an (H, W, 3) image to a score vector and
+``budget`` caps the number of queries.  This uniformity is what lets the
+evaluation harness sweep approaches for Figure 3 and Tables 1-2 with one
+code path.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+Classifier = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """The outcome of attacking one image.
+
+    ``queries`` is the number of classifier submissions actually posed
+    (for failures under a budget, the number posed before giving up).
+    ``location`` / ``perturbation`` describe the successful pixel write
+    when ``success``; the perturbation is the full RGB value written.
+    """
+
+    success: bool
+    queries: int
+    location: Optional[Tuple[int, int]] = None
+    perturbation: Optional[np.ndarray] = None
+    adversarial_class: Optional[int] = None
+
+    def __post_init__(self):
+        if self.queries < 0:
+            raise ValueError("queries must be non-negative")
+        if self.success and (self.location is None or self.perturbation is None):
+            raise ValueError("successful results must carry location and perturbation")
+
+
+class OnePixelAttack(abc.ABC):
+    """Abstract base for all one-pixel attacks."""
+
+    @abc.abstractmethod
+    def attack(
+        self,
+        classifier: Classifier,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        target_class: Optional[int] = None,
+    ) -> AttackResult:
+        """Attack one image under an optional query budget.
+
+        ``target_class=None`` (the paper's setting) succeeds on any
+        misclassification; a concrete target requires the classifier to
+        output exactly that class.
+        """
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @staticmethod
+    def _validate(image: np.ndarray) -> None:
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise ValueError(f"image must be (H, W, 3), got {image.shape}")

@@ -1,0 +1,24 @@
+"""The Sketch+False ablation baseline (Appendix C).
+
+Instantiating every condition with ``False`` disables all reordering, so
+the attack checks pairs in the fixed initial prioritization (farthest
+corner first, center-out).  It poses no synthesis queries at all, which
+is why the paper uses it as the zero-cost reference point in Figure 4.
+"""
+
+from __future__ import annotations
+
+from repro.attacks.sketch_attack import SketchAttack
+from repro.core.dsl.ast import Program
+
+
+def false_program() -> Program:
+    """The fixed-prioritization program: all four conditions are ``False``."""
+    return Program.constant(False)
+
+
+class FixedSketchAttack(SketchAttack):
+    """The sketch with the constant-``False`` program."""
+
+    def __init__(self):
+        super().__init__(false_program(), label="Sketch+False")

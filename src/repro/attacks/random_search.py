@@ -1,0 +1,74 @@
+"""A uniform-random one-pixel baseline (Narodytska & Kasiviswanathan style).
+
+The simplest black-box attack: walk the (location, corner) pair space in
+a uniformly random order without repetition, returning the first
+successful pair.  It shares the sketch's perturbation space and
+completeness but uses no prioritization whatsoever, so it lower-bounds
+what any prioritization (fixed or learned) must beat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import AttackResult, Classifier, OnePixelAttack
+from repro.classifier.blackbox import CountingClassifier, QueryBudgetExceeded
+from repro.core.geometry import NUM_CORNERS, RGB_CORNERS
+
+
+@dataclass(frozen=True)
+class UniformRandomConfig:
+    seed: int = 0
+
+
+class UniformRandomAttack(OnePixelAttack):
+    """Exhaustive search of the corner space in random order."""
+
+    def __init__(self, config: UniformRandomConfig = None):
+        self.config = config or UniformRandomConfig()
+
+    @property
+    def name(self) -> str:
+        return "UniformRandom"
+
+    def attack(
+        self,
+        classifier: Classifier,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        target_class: Optional[int] = None,
+    ) -> AttackResult:
+        self._validate(image)
+        rng = np.random.default_rng(self.config.seed)
+        counting = CountingClassifier(classifier, budget=budget)
+        d1, d2 = image.shape[:2]
+        order = rng.permutation(d1 * d2 * NUM_CORNERS)
+        try:
+            for flat in order:
+                corner = int(flat % NUM_CORNERS)
+                location_index = int(flat // NUM_CORNERS)
+                row, col = location_index // d2, location_index % d2
+                perturbed = image.copy()
+                perturbed[row, col] = RGB_CORNERS[corner]
+                scores = counting(perturbed)
+                winner = int(np.argmax(scores))
+                won = (
+                    winner != true_class
+                    if target_class is None
+                    else winner == target_class
+                )
+                if won:
+                    return AttackResult(
+                        success=True,
+                        queries=counting.count,
+                        location=(row, col),
+                        perturbation=RGB_CORNERS[corner],
+                        adversarial_class=winner,
+                    )
+        except QueryBudgetExceeded:
+            pass
+        return AttackResult(success=False, queries=counting.count)

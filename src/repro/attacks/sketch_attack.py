@@ -1,0 +1,46 @@
+"""Adapter presenting a sketch program as a :class:`OnePixelAttack`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import AttackResult, Classifier, OnePixelAttack
+from repro.core.dsl.ast import Program
+from repro.core.sketch import OnePixelSketch
+
+
+class SketchAttack(OnePixelAttack):
+    """A synthesized (or hand-written) adversarial program as an attack."""
+
+    def __init__(self, program: Program, label: str = "OPPSLA"):
+        self.program = program
+        self.sketch = OnePixelSketch(program)
+        self._label = label
+
+    @property
+    def name(self) -> str:
+        return self._label
+
+    def attack(
+        self,
+        classifier: Classifier,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        target_class: Optional[int] = None,
+    ) -> AttackResult:
+        self._validate(image)
+        result = self.sketch.attack(
+            classifier, image, true_class, budget=budget, target_class=target_class
+        )
+        if result.success:
+            return AttackResult(
+                success=True,
+                queries=result.queries,
+                location=result.pair.location,
+                perturbation=result.pair.perturbation,
+                adversarial_class=result.adversarial_class,
+            )
+        return AttackResult(success=False, queries=result.queries)

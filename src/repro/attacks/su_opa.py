@@ -1,0 +1,136 @@
+"""SuOPA: the original One Pixel Attack (Su et al., 2017).
+
+Differential evolution over candidate vectors ``(row, col, r, g, b)``:
+positions range over the pixel grid and colors over the *full* ``[0, 1]``
+cube (not just the corners -- the paper highlights this difference).  The
+fitness to minimize is the true class's confidence; DE/rand/1 mutation
+with ``F = 0.5`` produces one child per parent each generation, and the
+child replaces the parent when fitter.  The attack stops early as soon as
+any evaluated candidate is misclassified.
+
+Because the whole initial population is evaluated before any evolution,
+the minimal number of queries equals ``population_size`` -- the "minimum
+400 queries" behaviour the paper notes in Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import AttackResult, Classifier, OnePixelAttack
+from repro.classifier.blackbox import CountingClassifier, QueryBudgetExceeded
+
+
+@dataclass(frozen=True)
+class SuOPAConfig:
+    """Hyper-parameters of the differential-evolution attack."""
+
+    population_size: int = 400
+    max_generations: int = 100
+    differential_weight: float = 0.5  # F in DE/rand/1
+    color_mean: float = 0.5
+    color_std: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.population_size < 4:
+            raise ValueError("DE/rand/1 needs a population of at least 4")
+        if not 0 < self.differential_weight <= 2:
+            raise ValueError("differential weight must be in (0, 2]")
+
+
+class SuOPA(OnePixelAttack):
+    """One Pixel Attack via differential evolution."""
+
+    def __init__(self, config: SuOPAConfig = None):
+        self.config = config or SuOPAConfig()
+
+    @property
+    def name(self) -> str:
+        return "SuOPA"
+
+    def attack(
+        self,
+        classifier: Classifier,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        target_class: Optional[int] = None,
+    ) -> AttackResult:
+        self._validate(image)
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        counting = CountingClassifier(classifier, budget=budget)
+        d1, d2 = image.shape[:2]
+
+        def evaluate(candidate: np.ndarray):
+            """Fitness to minimize, or a success result.
+
+            Untargeted fitness is the true class's confidence; targeted
+            fitness is the target's negated confidence.
+            """
+            row, col = int(round(candidate[0])), int(round(candidate[1]))
+            perturbed = image.copy()
+            perturbed[row, col] = candidate[2:5]
+            scores = counting(perturbed)
+            winner = int(np.argmax(scores))
+            won = winner != true_class if target_class is None else winner == target_class
+            if won:
+                return None, AttackResult(
+                    success=True,
+                    queries=counting.count,
+                    location=(row, col),
+                    perturbation=candidate[2:5].copy(),
+                    adversarial_class=winner,
+                )
+            if target_class is None:
+                return float(scores[true_class]), None
+            return -float(scores[target_class]), None
+
+        def clip(candidate: np.ndarray) -> np.ndarray:
+            candidate[0] = np.clip(candidate[0], 0, d1 - 1)
+            candidate[1] = np.clip(candidate[1], 0, d2 - 1)
+            candidate[2:5] = np.clip(candidate[2:5], 0.0, 1.0)
+            return candidate
+
+        size = config.population_size
+        population = np.empty((size, 5))
+        population[:, 0] = rng.uniform(0, d1 - 1, size=size)
+        population[:, 1] = rng.uniform(0, d2 - 1, size=size)
+        population[:, 2:5] = np.clip(
+            rng.normal(config.color_mean, config.color_std, size=(size, 3)), 0.0, 1.0
+        )
+        fitness = np.empty(size)
+
+        try:
+            for index in range(size):
+                value, result = evaluate(population[index])
+                if result is not None:
+                    return result
+                fitness[index] = value
+            for _ in range(config.max_generations):
+                for index in range(size):
+                    r1, r2, r3 = _distinct_indices(rng, size, exclude=index)
+                    mutant = population[r1] + config.differential_weight * (
+                        population[r2] - population[r3]
+                    )
+                    mutant = clip(mutant)
+                    value, result = evaluate(mutant)
+                    if result is not None:
+                        return result
+                    if value < fitness[index]:
+                        population[index] = mutant
+                        fitness[index] = value
+        except QueryBudgetExceeded:
+            pass
+        return AttackResult(success=False, queries=counting.count)
+
+
+def _distinct_indices(rng: np.random.Generator, size: int, exclude: int):
+    """Three distinct population indices, all different from ``exclude``."""
+    choices = rng.choice(size - 1, size=3, replace=False)
+    # shift values >= exclude up by one to skip the excluded index
+    return tuple(int(c) + (1 if c >= exclude else 0) for c in choices)

@@ -1,0 +1,9 @@
+"""Black-box classifier interface with query accounting."""
+
+from repro.classifier.blackbox import (
+    CountingClassifier,
+    NetworkClassifier,
+    QueryBudgetExceeded,
+)
+
+__all__ = ["CountingClassifier", "NetworkClassifier", "QueryBudgetExceeded"]

@@ -1,0 +1,127 @@
+"""The black-box query boundary.
+
+The paper's threat model gives the attacker nothing but the classifier's
+output score vector for submitted images, and success is measured in the
+*number of submissions*.  This module makes that boundary explicit:
+
+- :class:`NetworkClassifier` adapts a trained :class:`repro.nn.Module`
+  to the ``image (H, W, 3) -> scores (C,)`` interface (converting layout
+  and applying softmax so scores are class confidences).
+- :class:`CountingClassifier` wraps any classifier callable, counts every
+  query, and optionally enforces a hard budget by raising
+  :class:`QueryBudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.module import Module
+
+Classifier = Callable[[np.ndarray], np.ndarray]
+
+
+class QueryBudgetExceeded(Exception):
+    """Raised when a query would exceed the configured budget.
+
+    Attributes
+    ----------
+    budget:
+        The budget that was in force when the violation happened.
+    """
+
+    def __init__(self, budget: int):
+        super().__init__(f"query budget of {budget} exhausted")
+        self.budget = budget
+
+
+class NetworkClassifier:
+    """Adapt a trained network to the black-box image interface.
+
+    The wrapped module is switched to evaluation mode once at construction;
+    queries never mutate it.  Pass ``dtype=numpy.float32`` to cast the
+    model for roughly 2x faster CPU inference (scores then differ from
+    float64 in the last bits; returned scores are always float64).
+    """
+
+    def __init__(self, model: Module, dtype=None):
+        self.model = model
+        self.model.eval()
+        self.dtype = dtype
+        if dtype is not None:
+            self.model.astype(dtype)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise ValueError(f"expected an (H, W, 3) image, got {image.shape}")
+        batch = image.transpose(2, 0, 1)[None, ...]
+        if self.dtype is not None:
+            batch = batch.astype(self.dtype)
+        logits = self.model(np.ascontiguousarray(batch))
+        return softmax(logits.astype(np.float64), axis=1)[0]
+
+    def batch(self, images: np.ndarray) -> np.ndarray:
+        """Score a batch of (N, H, W, 3) images at once.
+
+        This is a *white-box convenience* for training-side evaluation
+        (e.g. filtering misclassified test images); attacks must go
+        through the single-image call so queries are counted faithfully.
+        """
+        if images.ndim != 4 or images.shape[3] != 3:
+            raise ValueError(f"expected (N, H, W, 3) images, got {images.shape}")
+        batch = np.ascontiguousarray(images.transpose(0, 3, 1, 2))
+        if self.dtype is not None:
+            batch = batch.astype(self.dtype)
+        return softmax(self.model(batch).astype(np.float64), axis=1)
+
+
+class CountingClassifier:
+    """Count (and optionally cap) the queries posed to a classifier.
+
+    Parameters
+    ----------
+    classifier:
+        Any callable mapping an (H, W, 3) image to a score vector.
+    budget:
+        If given, the ``budget + 1``-th query raises
+        :class:`QueryBudgetExceeded` instead of executing.
+
+    The counter can be read at any time via :attr:`count` and reset with
+    :meth:`reset`; attacks use it as their sole query-accounting mechanism
+    so reported numbers cannot drift from reality.
+    """
+
+    def __init__(self, classifier: Classifier, budget: Optional[int] = None):
+        if budget is not None and budget < 0:
+            raise ValueError("budget must be non-negative")
+        self._classifier = classifier
+        self.budget = budget
+        self.count = 0
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.budget is not None and self.count >= self.budget:
+            raise QueryBudgetExceeded(self.budget)
+        self.count += 1
+        return self._classifier(image)
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Queries left before the budget trips (``None`` if unbudgeted)."""
+        if self.budget is None:
+            return None
+        return max(self.budget - self.count, 0)
+
+    def reset(self, budget: Optional[int] = "unchanged") -> None:
+        """Zero the counter; optionally install a new budget."""
+        self.count = 0
+        if budget != "unchanged":
+            if budget is not None and budget < 0:
+                raise ValueError("budget must be non-negative")
+            self.budget = budget
+
+    def classify(self, image: np.ndarray) -> int:
+        """Convenience: the argmax class of one (counted) query."""
+        return int(np.argmax(self(image)))

@@ -1,0 +1,229 @@
+"""Cheap deterministic classifiers for tests and examples.
+
+Unit tests of the sketch, DSL and synthesizer need a classifier that is
+(1) orders of magnitude faster than a CNN forward pass, (2) deterministic,
+and (3) genuinely attackable by a one-pixel perturbation with a known
+ground truth.  These toy classifiers satisfy all three while honouring
+exactly the same ``image (H, W, 3) -> scores (C,)`` interface as the real
+networks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import softmax
+
+
+class LinearPixelClassifier:
+    """Scores are a fixed random linear map of the flattened image.
+
+    Every pixel channel has a nonzero weight on every class, so a one-pixel
+    change moves all scores linearly; with a ``temperature`` small enough,
+    some images sit close to a boundary and are one-pixel attackable.
+    """
+
+    def __init__(
+        self,
+        image_shape: Tuple[int, int, int],
+        num_classes: int,
+        seed: int = 0,
+        temperature: float = 1.0,
+    ):
+        if len(image_shape) != 3 or image_shape[2] != 3:
+            raise ValueError(f"image_shape must be (H, W, 3), got {image_shape}")
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        rng = np.random.default_rng(seed)
+        dim = int(np.prod(image_shape))
+        self.image_shape = tuple(image_shape)
+        self.num_classes = num_classes
+        self.temperature = temperature
+        self.weight = rng.normal(0.0, 1.0 / np.sqrt(dim), size=(num_classes, dim))
+        self.bias = rng.normal(0.0, 0.1, size=num_classes)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if image.shape != self.image_shape:
+            raise ValueError(
+                f"expected image of shape {self.image_shape}, got {image.shape}"
+            )
+        logits = self.weight @ image.reshape(-1) + self.bias
+        return softmax(logits / self.temperature)
+
+
+class SmoothLinearClassifier:
+    """A linear classifier whose weights vary smoothly over the image.
+
+    Neighbouring pixels get correlated weights (a sum of low-frequency
+    sinusoids), so nearby pixels have similar attack leverage -- the
+    locality property Vargas & Su (2020) report for CIFAR-10 networks and
+    the reason the sketch's neighbour-reordering conditions pay off.
+    Unlike :class:`LinearPixelClassifier`, adversarial programs synthesized
+    against this classifier genuinely generalize across images.
+
+    ``hotspot`` optionally concentrates the leverage in a Gaussian bump at
+    the given normalized (x, y) position (in [-1, 1]^2).  An off-center
+    hotspot defeats the sketch's center-out default ordering, giving the
+    synthesizer real headroom to exploit.
+    """
+
+    def __init__(
+        self,
+        image_shape: Tuple[int, int, int],
+        num_classes: int,
+        seed: int = 0,
+        components: int = 3,
+        temperature: float = 1.0,
+        hotspot: Optional[Tuple[float, float]] = None,
+        hotspot_width: float = 0.35,
+    ):
+        if len(image_shape) != 3 or image_shape[2] != 3:
+            raise ValueError(f"image_shape must be (H, W, 3), got {image_shape}")
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        rng = np.random.default_rng(seed)
+        height, width = image_shape[:2]
+        ys = np.linspace(-1, 1, height)[:, None, None]
+        xs = np.linspace(-1, 1, width)[None, :, None]
+        weights = np.zeros((num_classes,) + tuple(image_shape))
+        for class_index in range(num_classes):
+            field = np.zeros((height, width, 3))
+            for _ in range(components):
+                fx, fy = rng.uniform(0.3, 1.5, size=2)
+                phase = rng.uniform(0, 2 * np.pi, size=3)
+                field += np.sin(2 * np.pi * (fx * xs + fy * ys) + phase)
+            weights[class_index] = field / np.sqrt(
+                components * height * width
+            )
+        if hotspot is not None:
+            hx, hy = hotspot
+            envelope = np.exp(
+                -((xs[..., 0] - hx) ** 2 + (ys[..., 0] - hy) ** 2)
+                / (2 * hotspot_width**2)
+            )
+            weights *= envelope[None, :, :, None]
+        self.image_shape = tuple(image_shape)
+        self.num_classes = num_classes
+        self.temperature = temperature
+        self.weight = weights.reshape(num_classes, -1)
+        self.bias = rng.normal(0.0, 0.05, size=num_classes)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if image.shape != self.image_shape:
+            raise ValueError(
+                f"expected image of shape {self.image_shape}, got {image.shape}"
+            )
+        logits = self.weight @ image.reshape(-1) + self.bias
+        return softmax(logits / self.temperature)
+
+
+class SinglePixelBackdoorClassifier:
+    """A classifier with a planted one-pixel vulnerability.
+
+    It predicts a constant ``default_class`` everywhere, *except* when the
+    pixel at ``trigger_location`` matches ``trigger_value`` (within
+    ``tolerance`` in L1), in which case it predicts ``backdoor_class``.
+    Tests use it to assert that an attack finds the unique successful
+    (location, perturbation) pair and to validate query accounting against
+    a known search order.
+    """
+
+    def __init__(
+        self,
+        image_shape: Tuple[int, int, int],
+        trigger_location: Tuple[int, int],
+        trigger_value: np.ndarray,
+        default_class: int = 0,
+        backdoor_class: int = 1,
+        num_classes: int = 2,
+        tolerance: float = 1e-9,
+    ):
+        if default_class == backdoor_class:
+            raise ValueError("default and backdoor classes must differ")
+        self.image_shape = tuple(image_shape)
+        self.trigger_location = tuple(trigger_location)
+        self.trigger_value = np.asarray(trigger_value, dtype=np.float64)
+        self.default_class = default_class
+        self.backdoor_class = backdoor_class
+        self.num_classes = num_classes
+        self.tolerance = tolerance
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if image.shape != self.image_shape:
+            raise ValueError(
+                f"expected image of shape {self.image_shape}, got {image.shape}"
+            )
+        i, j = self.trigger_location
+        triggered = (
+            np.abs(image[i, j] - self.trigger_value).sum() <= self.tolerance
+        )
+        scores = np.full(self.num_classes, 0.1 / max(self.num_classes - 1, 1))
+        winner = self.backdoor_class if triggered else self.default_class
+        scores[:] = (1.0 - 0.9) / max(self.num_classes - 1, 1)
+        scores[winner] = 0.9
+        return scores / scores.sum()
+
+
+class MarginRampClassifier:
+    """True-class confidence decays with the perturbed pixel's brightness.
+
+    Useful for testing ``score_diff`` conditions: perturbing location
+    ``(i, j)`` to a brighter value lowers the true class's score by a known
+    amount, flipping the prediction when total brightness at a designated
+    ``weak_location`` exceeds ``threshold``.
+    """
+
+    def __init__(
+        self,
+        image_shape: Tuple[int, int, int],
+        weak_location: Tuple[int, int],
+        true_class: int = 0,
+        other_class: int = 1,
+        threshold: float = 2.5,
+        num_classes: int = 2,
+        slope: float = 0.2,
+    ):
+        self.image_shape = tuple(image_shape)
+        self.weak_location = tuple(weak_location)
+        self.true_class = true_class
+        self.other_class = other_class
+        self.threshold = threshold
+        self.num_classes = num_classes
+        self.slope = slope
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if image.shape != self.image_shape:
+            raise ValueError(
+                f"expected image of shape {self.image_shape}, got {image.shape}"
+            )
+        i, j = self.weak_location
+        brightness = float(image[i, j].sum())
+        margin = self.slope * (self.threshold - brightness)
+        logits = np.zeros(self.num_classes)
+        logits[self.true_class] = margin
+        logits[self.other_class] = -margin
+        return softmax(logits)
+
+
+def make_toy_images(
+    count: int,
+    image_shape: Tuple[int, int, int] = (6, 6, 3),
+    seed: int = 0,
+    smooth: bool = True,
+) -> np.ndarray:
+    """Random (N, H, W, 3) images in [0, 1] for toy-classifier tests.
+
+    ``smooth=True`` produces mid-range values (beta(2,2)) so corner
+    perturbations are always far from the original pixel.
+    """
+    rng = np.random.default_rng(seed)
+    shape = (count,) + tuple(image_shape)
+    if smooth:
+        return rng.beta(2.0, 2.0, size=shape)
+    return rng.uniform(0.0, 1.0, size=shape)

@@ -1,0 +1,212 @@
+"""Command-line interface for the OPPSLA reproduction.
+
+Subcommands::
+
+    python -m repro.cli train --dataset cifar --arch vgg16bn
+    python -m repro.cli synthesize --dataset cifar --arch vgg16bn \
+        --iterations 40 --out program.json
+    python -m repro.cli attack --dataset cifar --arch vgg16bn \
+        --program program.json --images 20 --budget 2048
+    python -m repro.cli experiment fig3-cifar
+
+Each subcommand builds on the same cached model zoo the benchmarks use,
+so artifacts are shared across invocations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.attacks.fixed_sketch import FixedSketchAttack
+from repro.attacks.sketch_attack import SketchAttack
+from repro.attacks.sparse_rs import SparseRS, SparseRSConfig
+from repro.core.dsl.analysis import lint_program
+from repro.core.dsl.grammar import Grammar
+from repro.core.dsl.printer import format_program
+from repro.core.dsl.typecheck import check_program
+from repro.core.synthesis.oppsla import Oppsla, OppslaConfig, SynthesisResult
+from repro.eval.experiments import (
+    ExperimentContext,
+    active_profile,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    run_table2,
+)
+from repro.eval.reporting import (
+    format_ablation,
+    format_success_curves,
+    format_synthesis_study,
+    format_transfer,
+)
+from repro.eval.runner import attack_dataset
+from repro.models.registry import ARCHITECTURES
+from repro.models.zoo import ModelZoo, ZooConfig
+
+
+def _add_zoo_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=["cifar", "imagenet"], default="cifar")
+    parser.add_argument("--arch", choices=sorted(ARCHITECTURES), default="vgg16bn")
+    parser.add_argument("--image-size", type=int, default=16)
+    parser.add_argument("--train-per-class", type=int, default=200)
+    parser.add_argument("--epochs", type=int, default=5)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _zoo(args: argparse.Namespace) -> ModelZoo:
+    kwargs = dict(
+        dataset=args.dataset,
+        image_size=args.image_size,
+        train_per_class=args.train_per_class,
+        epochs=args.epochs,
+        seed=args.seed,
+    )
+    if args.cache_dir:
+        kwargs["cache_dir"] = args.cache_dir
+    return ModelZoo(ZooConfig(**kwargs))
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    zoo = _zoo(args)
+    trained = zoo.get(args.arch, force_retrain=args.force)
+    print(
+        f"{args.dataset}/{args.arch}: train accuracy {trained.train_accuracy:.1%}, "
+        f"test accuracy {trained.test_accuracy:.1%}"
+    )
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    zoo = _zoo(args)
+    trained = zoo.get(args.arch)
+    pairs = zoo.correctly_classified(
+        args.arch, split="train", limit=args.train_images, label=args.label
+    ).pairs()
+    config = OppslaConfig(
+        max_iterations=args.iterations,
+        beta=args.beta,
+        per_image_budget=args.per_image_budget,
+        seed=args.seed,
+    )
+    result = Oppsla(config).synthesize(trained.classifier, pairs)
+    print(format_program(result.program))
+    print(
+        f"# synthesis queries: {result.total_queries}, "
+        f"train successes: {result.best_evaluation.successes}"
+        f"/{result.best_evaluation.total_images}"
+    )
+    if args.out:
+        result.save(args.out)
+        print(f"# saved to {args.out}")
+    return 0
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    zoo = _zoo(args)
+    trained = zoo.get(args.arch)
+    pairs = zoo.correctly_classified(
+        args.arch, split="test", limit=args.images, label=args.label
+    ).pairs()
+    if args.program:
+        program = SynthesisResult.load_program(args.program)
+        for warning in lint_program(program):
+            print(f"# warning: {warning}")
+        grammar = Grammar((args.image_size, args.image_size))
+        check = check_program(program, grammar)
+        for diagnostic in check.errors:
+            print(f"# warning: {diagnostic}")
+        attack = SketchAttack(program)
+    elif args.baseline == "sparse-rs":
+        attack = SparseRS(SparseRSConfig(seed=args.seed))
+    else:
+        attack = FixedSketchAttack()
+    summary = attack_dataset(attack, trained.classifier, pairs, budget=args.budget)
+    print(
+        f"{summary.attack_name}: success {summary.success_rate:.1%}, "
+        f"avg queries {summary.avg_queries:.1f}, "
+        f"median {summary.median_queries:.1f} "
+        f"({summary.successes}/{summary.total_images} images)"
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    context = ExperimentContext(active_profile())
+    name = args.name
+    if name == "fig3-cifar":
+        for arch in context.architectures("cifar"):
+            curves = run_figure3(context, "cifar", arch)
+            print(format_success_curves(f"cifar/{arch}", curves))
+    elif name == "fig3-imagenet":
+        for arch in context.architectures("imagenet"):
+            curves = run_figure3(context, "imagenet", arch)
+            print(format_success_curves(f"imagenet/{arch}", curves))
+    elif name == "table1":
+        print(format_transfer(run_table1(context)))
+    elif name == "fig4":
+        print(format_synthesis_study(run_figure4(context)))
+    elif name == "table2":
+        for arch in context.architectures("cifar"):
+            print(format_ablation(run_table2(context, arch)))
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OPPSLA reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="train (or load) a classifier")
+    _add_zoo_arguments(train)
+    train.add_argument("--force", action="store_true", help="retrain even if cached")
+    train.set_defaults(func=cmd_train)
+
+    synthesize = subparsers.add_parser(
+        "synthesize", help="synthesize an adversarial program"
+    )
+    _add_zoo_arguments(synthesize)
+    synthesize.add_argument("--iterations", type=int, default=40)
+    synthesize.add_argument("--beta", type=float, default=0.005)
+    synthesize.add_argument("--per-image-budget", type=int, default=1024)
+    synthesize.add_argument("--train-images", type=int, default=16)
+    synthesize.add_argument("--label", type=int, default=None)
+    synthesize.add_argument("--out", default=None, help="save program JSON here")
+    synthesize.set_defaults(func=cmd_synthesize)
+
+    attack = subparsers.add_parser("attack", help="attack test images")
+    _add_zoo_arguments(attack)
+    attack.add_argument("--program", default=None, help="program JSON to use")
+    attack.add_argument(
+        "--baseline",
+        choices=["fixed", "sparse-rs"],
+        default="fixed",
+        help="attack to run when no --program is given",
+    )
+    attack.add_argument("--images", type=int, default=20)
+    attack.add_argument("--label", type=int, default=None)
+    attack.add_argument("--budget", type=int, default=2048)
+    attack.set_defaults(func=cmd_attack)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run a paper experiment end to end"
+    )
+    experiment.add_argument(
+        "name",
+        choices=["fig3-cifar", "fig3-imagenet", "table1", "fig4", "table2"],
+    )
+    experiment.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

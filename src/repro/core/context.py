@@ -1,0 +1,69 @@
+"""Evaluation context handed to DSL conditions.
+
+Because the attack is black-box, a condition may only observe the image,
+the candidate pair, and network outputs that were *already obtained*: the
+clean output ``N(x)`` (known up front -- the attacker was given a
+correctly-classified image) and the output ``N(x[l <- p])`` of the failed
+query the sketch just posed.  Evaluating a condition therefore never costs
+a query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.geometry import center_distance
+from repro.core.pairs import Pair
+
+
+@dataclass(frozen=True)
+class EvalContext:
+    """Everything a condition may inspect, for one failed pair.
+
+    Attributes
+    ----------
+    image:
+        The clean image ``x`` (H, W, 3).
+    pair:
+        The failed (location, perturbation) pair.
+    clean_scores:
+        ``N(x)``.
+    perturbed_scores:
+        ``N(x[l <- p])`` from the query the sketch just posed.
+    true_class:
+        ``c_x``, the class the attack must dislodge.
+    """
+
+    image: np.ndarray
+    pair: Pair
+    clean_scores: np.ndarray
+    perturbed_scores: np.ndarray
+    true_class: int
+
+    @property
+    def image_shape(self) -> Tuple[int, int]:
+        return self.image.shape[:2]
+
+    @property
+    def original_pixel(self) -> np.ndarray:
+        """``x_l``: the clean image's pixel at the pair's location."""
+        return self.image[self.pair.row, self.pair.col]
+
+    @property
+    def perturbation(self) -> np.ndarray:
+        """``p``: the RGB value the pair writes."""
+        return self.pair.perturbation
+
+    def score_diff(self) -> float:
+        """``N(x)_{c_x} - N(x[l <- p])_{c_x}``: the confidence drop."""
+        return float(
+            self.clean_scores[self.true_class]
+            - self.perturbed_scores[self.true_class]
+        )
+
+    def center(self) -> float:
+        """Linf distance of the pair's location from the image center."""
+        return center_distance(self.pair.location, self.image_shape)

@@ -1,0 +1,65 @@
+"""The condition language of Figure 1: AST, grammar, interpreter,
+printer, parser, random generation and mutation."""
+
+from repro.core.dsl.ast import (
+    Avg,
+    Center,
+    Condition,
+    Constant,
+    ConstantCondition,
+    Max,
+    Min,
+    PixelRef,
+    Program,
+    ScoreDiff,
+)
+from repro.core.dsl.analysis import (
+    analyze_program,
+    corner_support,
+    is_tautology,
+    is_vacuous,
+    lint_program,
+)
+from repro.core.dsl.grammar import Grammar
+from repro.core.dsl.interpreter import evaluate_condition, evaluate_function
+from repro.core.dsl.library import (
+    eager_locality_program,
+    fixed_program,
+    paper_example_program,
+)
+from repro.core.dsl.mutation import mutate_program
+from repro.core.dsl.parser import parse_condition, parse_program
+from repro.core.dsl.printer import format_condition, format_program
+from repro.core.dsl.typecheck import CheckResult, check_condition, check_program
+
+__all__ = [
+    "Program",
+    "Condition",
+    "ConstantCondition",
+    "Constant",
+    "Max",
+    "Min",
+    "Avg",
+    "ScoreDiff",
+    "Center",
+    "PixelRef",
+    "Grammar",
+    "evaluate_condition",
+    "evaluate_function",
+    "mutate_program",
+    "format_condition",
+    "format_program",
+    "parse_condition",
+    "parse_program",
+    "check_program",
+    "check_condition",
+    "CheckResult",
+    "paper_example_program",
+    "fixed_program",
+    "eager_locality_program",
+    "corner_support",
+    "is_vacuous",
+    "is_tautology",
+    "analyze_program",
+    "lint_program",
+]

@@ -1,0 +1,137 @@
+"""Static analysis of conditions over the finite perturbation domain.
+
+Conditions over the *perturbation* pixel ``p`` are special: ``p`` ranges
+over just the eight RGB-cube corners, so ``max(p)``/``min(p)``/``avg(p)``
+take one of a handful of values and every such condition has an exactly
+computable truth table.  That enables:
+
+- :func:`corner_support`: the set of corners satisfying a condition;
+- :func:`is_vacuous` / :func:`is_tautology`: conditions that can never /
+  always fire (a vacuous ``B3``, say, silently disables eager checking --
+  worth a lint before deploying a hand-written program);
+- :func:`analyze_program`: a per-slot report.
+
+Conditions over ``x[l]``, ``score_diff`` or ``center`` depend on runtime
+context and are reported as ``None`` (unknown).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.core.dsl.ast import (
+    Avg,
+    Comparison,
+    Condition,
+    ConditionLike,
+    ConstantCondition,
+    Max,
+    Min,
+    PixelRef,
+    Program,
+)
+from repro.core.geometry import NUM_CORNERS, RGB_CORNERS
+
+ALL_CORNERS: FrozenSet[int] = frozenset(range(NUM_CORNERS))
+
+
+def _perturbation_value(condition: Condition, corner: int) -> Optional[float]:
+    """The value of the condition's function at a given corner, if static."""
+    function = condition.function
+    if not isinstance(function, (Max, Min, Avg)):
+        return None
+    if function.pixel is not PixelRef.PERTURBATION:
+        return None
+    pixel = RGB_CORNERS[corner]
+    if isinstance(function, Max):
+        return float(pixel.max())
+    if isinstance(function, Min):
+        return float(pixel.min())
+    return float(pixel.mean())
+
+
+def corner_support(condition: ConditionLike) -> Optional[FrozenSet[int]]:
+    """Corners on which the condition holds, or ``None`` if context-dependent.
+
+    Literals are static too: ``true`` has full support, ``false`` empty.
+    """
+    if isinstance(condition, ConstantCondition):
+        return ALL_CORNERS if condition.value else frozenset()
+    satisfied = set()
+    for corner in range(NUM_CORNERS):
+        value = _perturbation_value(condition, corner)
+        if value is None:
+            return None
+        if condition.comparison is Comparison.GT:
+            holds = value > condition.constant.value
+        else:
+            holds = value < condition.constant.value
+        if holds:
+            satisfied.add(corner)
+    return frozenset(satisfied)
+
+
+def is_vacuous(condition: ConditionLike) -> Optional[bool]:
+    """True if the condition can never fire (``None`` when unknown)."""
+    support = corner_support(condition)
+    if support is None:
+        return None
+    return not support
+
+
+def is_tautology(condition: ConditionLike) -> Optional[bool]:
+    """True if the condition always fires (``None`` when unknown)."""
+    support = corner_support(condition)
+    if support is None:
+        return None
+    return support == ALL_CORNERS
+
+
+@dataclass(frozen=True)
+class SlotAnalysis:
+    """The static verdict for one condition slot."""
+
+    slot: str
+    support: Optional[FrozenSet[int]]  # None = context-dependent
+
+    @property
+    def verdict(self) -> str:
+        if self.support is None:
+            return "context-dependent"
+        if not self.support:
+            return "vacuous (never fires)"
+        if self.support == ALL_CORNERS:
+            return "tautology (always fires)"
+        return f"fires on {len(self.support)}/8 corners"
+
+
+def analyze_program(program: Program) -> List[SlotAnalysis]:
+    """Per-slot static analysis of a program's conditions."""
+    return [
+        SlotAnalysis(slot=f"b{index + 1}", support=corner_support(condition))
+        for index, condition in enumerate(program.conditions)
+    ]
+
+
+def lint_program(program: Program) -> List[str]:
+    """Human-readable warnings about statically degenerate conditions.
+
+    A vacuous ``B1``/``B2`` disables the push-back reordering entirely;
+    a tautological ``B3``/``B4`` turns the eager front-check into an
+    unconditional flood-fill (still complete, but the prioritization the
+    paper synthesizes is gone).
+    """
+    warnings: List[str] = []
+    for analysis in analyze_program(program):
+        if analysis.support is None:
+            continue
+        if not analysis.support:
+            warnings.append(
+                f"{analysis.slot} is vacuous: its reordering never activates"
+            )
+        elif analysis.support == ALL_CORNERS:
+            warnings.append(
+                f"{analysis.slot} is a tautology: its reordering always activates"
+            )
+    return warnings

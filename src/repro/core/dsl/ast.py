@@ -1,0 +1,209 @@
+"""Abstract syntax of the condition language (Figure 1).
+
+The grammar is::
+
+    P ::= (B1, B2, B3, B4)
+    B ::= F > r | F < r
+    F ::= max(p) | min(p) | avg(p)
+        | score_diff(N(x), N(x[l<-p]), c')
+        | center(l)
+
+A pixel argument ``p`` may refer to the original pixel ``x[l]`` (as in the
+paper's worked example, ``max(x_l) > 0.19``) or to the perturbation value
+``p``; :class:`PixelRef` distinguishes the two.
+
+One extension beyond the grammar: :class:`ConstantCondition` represents a
+literal ``true``/``false`` condition.  It exists only so the paper's
+*Sketch+False* ablation baseline (Appendix C) is a first-class program;
+the random generator and the synthesizer never produce it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+
+class PixelRef(enum.Enum):
+    """Which pixel a pixel-function inspects."""
+
+    ORIGINAL = "x[l]"  # the clean image's pixel at the pair's location
+    PERTURBATION = "p"  # the RGB value being written
+
+
+class FunctionKind(enum.Enum):
+    """The function alternatives of nonterminal ``F``."""
+
+    MAX = "max"
+    MIN = "min"
+    AVG = "avg"
+    SCORE_DIFF = "score_diff"
+    CENTER = "center"
+
+
+@dataclass(frozen=True)
+class PixelFunction:
+    """Shared shape of ``max``/``min``/``avg`` over a pixel reference."""
+
+    pixel: PixelRef
+
+    @property
+    def kind(self) -> FunctionKind:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Max(PixelFunction):
+    kind = FunctionKind.MAX
+
+
+@dataclass(frozen=True)
+class Min(PixelFunction):
+    kind = FunctionKind.MIN
+
+
+@dataclass(frozen=True)
+class Avg(PixelFunction):
+    kind = FunctionKind.AVG
+
+
+@dataclass(frozen=True)
+class ScoreDiff:
+    """``score_diff(N(x), N(x[l<-p]), c_x)``: the true-class confidence drop."""
+
+    kind = FunctionKind.SCORE_DIFF
+
+
+@dataclass(frozen=True)
+class Center:
+    """``center(l)``: Linf distance of the location from the image center."""
+
+    kind = FunctionKind.CENTER
+
+
+Function = Union[Max, Min, Avg, ScoreDiff, Center]
+
+
+@dataclass(frozen=True)
+class Constant:
+    """The real-valued threshold ``r``."""
+
+    value: float
+
+    def __post_init__(self):
+        if not isinstance(self.value, (int, float)):
+            raise TypeError("constant must be a real number")
+        object.__setattr__(self, "value", float(self.value))
+
+
+class Comparison(enum.Enum):
+    """The inequality of a condition."""
+
+    GT = ">"
+    LT = "<"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``F > r`` or ``F < r``."""
+
+    comparison: Comparison
+    function: Function
+    constant: Constant
+
+
+@dataclass(frozen=True)
+class ConstantCondition:
+    """A literal boolean condition (extension for the ablation baselines)."""
+
+    value: bool
+
+
+ConditionLike = Union[Condition, ConstantCondition]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A full instantiation of the sketch: the four conditions.
+
+    ``b1``/``b2`` guard the push-back reordering of location / perturbation
+    neighbours; ``b3``/``b4`` guard the eager front-checking (Algorithm 1).
+    """
+
+    b1: ConditionLike
+    b2: ConditionLike
+    b3: ConditionLike
+    b4: ConditionLike
+
+    @property
+    def conditions(self) -> Tuple[ConditionLike, ConditionLike, ConditionLike, ConditionLike]:
+        return (self.b1, self.b2, self.b3, self.b4)
+
+    def replace(self, index: int, condition: ConditionLike) -> "Program":
+        """A copy of this program with condition ``index`` (0-3) replaced."""
+        conditions = list(self.conditions)
+        conditions[index] = condition
+        return Program(*conditions)
+
+    @staticmethod
+    def constant(value: bool) -> "Program":
+        """The all-``value`` program; ``Program.constant(False)`` is the
+        paper's fixed-prioritization baseline (Sketch+False)."""
+        condition = ConstantCondition(value)
+        return Program(condition, condition, condition, condition)
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        return {"conditions": [_condition_to_dict(c) for c in self.conditions]}
+
+    @staticmethod
+    def from_dict(payload: Dict) -> "Program":
+        conditions = [_condition_from_dict(c) for c in payload["conditions"]]
+        if len(conditions) != 4:
+            raise ValueError("a program has exactly four conditions")
+        return Program(*conditions)
+
+
+def _function_to_dict(function: Function) -> Dict:
+    data = {"kind": function.kind.value}
+    if isinstance(function, PixelFunction):
+        data["pixel"] = function.pixel.value
+    return data
+
+
+_PIXEL_FUNCTION_TYPES = {
+    FunctionKind.MAX: Max,
+    FunctionKind.MIN: Min,
+    FunctionKind.AVG: Avg,
+}
+
+
+def _function_from_dict(data: Dict) -> Function:
+    kind = FunctionKind(data["kind"])
+    if kind in _PIXEL_FUNCTION_TYPES:
+        return _PIXEL_FUNCTION_TYPES[kind](PixelRef(data["pixel"]))
+    if kind is FunctionKind.SCORE_DIFF:
+        return ScoreDiff()
+    return Center()
+
+
+def _condition_to_dict(condition: ConditionLike) -> Dict:
+    if isinstance(condition, ConstantCondition):
+        return {"literal": condition.value}
+    return {
+        "comparison": condition.comparison.value,
+        "function": _function_to_dict(condition.function),
+        "constant": condition.constant.value,
+    }
+
+
+def _condition_from_dict(data: Dict) -> ConditionLike:
+    if "literal" in data:
+        return ConstantCondition(bool(data["literal"]))
+    return Condition(
+        comparison=Comparison(data["comparison"]),
+        function=_function_from_dict(data["function"]),
+        constant=Constant(float(data["constant"])),
+    )

@@ -1,0 +1,98 @@
+"""Typed random generation of conditions (the search-space definition).
+
+The synthesizer's search space is every instantiation of the sketch with
+well-typed conditions.  A :class:`Grammar` knows the image shape (so the
+``center`` threshold is drawn from the meaningful range) and samples
+functions, comparisons and *typed constants*:
+
+- pixel functions (``max``/``min``/``avg``): thresholds in ``[0, 1]``;
+- ``score_diff``: thresholds in ``[-0.5, 0.5]`` (confidence drops live in
+  ``[-1, 1]`` but are concentrated near zero);
+- ``center``: thresholds in ``[0, max-center-distance]``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.dsl.ast import (
+    Avg,
+    Center,
+    Comparison,
+    Condition,
+    Constant,
+    Function,
+    FunctionKind,
+    Max,
+    Min,
+    PixelRef,
+    Program,
+    ScoreDiff,
+)
+from repro.core.geometry import max_center_distance
+
+_PIXEL_FUNCTION_TYPES = (Max, Min, Avg)
+
+
+class Grammar:
+    """Samples well-typed conditions and programs for a given image shape."""
+
+    def __init__(self, image_shape: Tuple[int, int], score_diff_range: float = 0.5):
+        d1, d2 = image_shape
+        if d1 <= 0 or d2 <= 0:
+            raise ValueError("image dimensions must be positive")
+        if score_diff_range <= 0:
+            raise ValueError("score_diff_range must be positive")
+        self.image_shape = (d1, d2)
+        self.score_diff_range = score_diff_range
+        self.max_center = max_center_distance(self.image_shape)
+
+    # -- sampling ----------------------------------------------------------------
+
+    def random_function(self, rng: np.random.Generator) -> Function:
+        choice = rng.integers(0, 5)
+        if choice < 3:
+            pixel = PixelRef.ORIGINAL if rng.integers(0, 2) == 0 else PixelRef.PERTURBATION
+            return _PIXEL_FUNCTION_TYPES[choice](pixel)
+        if choice == 3:
+            return ScoreDiff()
+        return Center()
+
+    def random_constant(self, rng: np.random.Generator, function: Function) -> Constant:
+        """A threshold drawn from the function's typed range."""
+        kind = function.kind
+        if kind is FunctionKind.SCORE_DIFF:
+            value = rng.uniform(-self.score_diff_range, self.score_diff_range)
+        elif kind is FunctionKind.CENTER:
+            value = rng.uniform(0.0, self.max_center)
+        else:
+            value = rng.uniform(0.0, 1.0)
+        return Constant(float(value))
+
+    def random_comparison(self, rng: np.random.Generator) -> Comparison:
+        return Comparison.GT if rng.integers(0, 2) == 0 else Comparison.LT
+
+    def random_condition(self, rng: np.random.Generator) -> Condition:
+        function = self.random_function(rng)
+        return Condition(
+            comparison=self.random_comparison(rng),
+            function=function,
+            constant=self.random_constant(rng, function),
+        )
+
+    def random_program(self, rng: np.random.Generator) -> Program:
+        return Program(*(self.random_condition(rng) for _ in range(4)))
+
+    # -- typing -------------------------------------------------------------------
+
+    def constant_in_range(self, function: Function, constant: Constant) -> bool:
+        """Whether ``constant`` lies in the typed range for ``function``."""
+        kind = function.kind
+        value = constant.value
+        if kind is FunctionKind.SCORE_DIFF:
+            return -self.score_diff_range <= value <= self.score_diff_range
+        if kind is FunctionKind.CENTER:
+            return 0.0 <= value <= self.max_center
+        return 0.0 <= value <= 1.0

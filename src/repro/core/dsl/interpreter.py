@@ -1,0 +1,55 @@
+"""Evaluation of conditions against an :class:`~repro.core.context.EvalContext`.
+
+Kept separate from the AST so the syntax stays a plain data structure
+(printable, parseable, mutable) and the semantics live in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.context import EvalContext
+from repro.core.dsl.ast import (
+    Avg,
+    Center,
+    Comparison,
+    Condition,
+    ConditionLike,
+    ConstantCondition,
+    Function,
+    Max,
+    Min,
+    PixelRef,
+    ScoreDiff,
+)
+
+
+def _resolve_pixel(ref: PixelRef, context: EvalContext) -> np.ndarray:
+    if ref is PixelRef.ORIGINAL:
+        return context.original_pixel
+    return context.perturbation
+
+
+def evaluate_function(function: Function, context: EvalContext) -> float:
+    """The real value of ``F`` in ``context``."""
+    if isinstance(function, Max):
+        return float(_resolve_pixel(function.pixel, context).max())
+    if isinstance(function, Min):
+        return float(_resolve_pixel(function.pixel, context).min())
+    if isinstance(function, Avg):
+        return float(_resolve_pixel(function.pixel, context).mean())
+    if isinstance(function, ScoreDiff):
+        return context.score_diff()
+    if isinstance(function, Center):
+        return context.center()
+    raise TypeError(f"unknown function node {function!r}")
+
+
+def evaluate_condition(condition: ConditionLike, context: EvalContext) -> bool:
+    """The truth value of ``B`` in ``context``."""
+    if isinstance(condition, ConstantCondition):
+        return condition.value
+    value = evaluate_function(condition.function, context)
+    if condition.comparison is Comparison.GT:
+        return value > condition.constant.value
+    return value < condition.constant.value

@@ -1,0 +1,59 @@
+"""Tree mutation for the stochastic search (Section 4).
+
+A program's abstract syntax tree has a root with four condition children;
+each condition has a function child and a constant child (Figure 2).  A
+mutation uniformly selects one node -- the root, one of the 4 conditions,
+one of the 4 functions, or one of the 4 constants (13 nodes total) -- and
+regenerates its entire subtree with fresh samples from the grammar, so
+the result is always a well-typed program in the search space.
+
+When a *function* node is regenerated to a kind whose constant range
+differs from the old kind's, the sibling constant is resampled too;
+otherwise the mutated condition could pair, e.g., a ``center`` function
+with a ``[0, 1]`` pixel threshold and fall outside the typed space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dsl.ast import Condition, ConstantCondition, Program
+from repro.core.dsl.grammar import Grammar
+
+#: node ids: 0 = root; 1..4 = conditions; 5..8 = functions; 9..12 = constants
+NUM_MUTATION_SITES = 13
+
+
+def mutate_program(
+    program: Program, grammar: Grammar, rng: np.random.Generator
+) -> Program:
+    """One uniformly-random subtree mutation of ``program``."""
+    site = int(rng.integers(0, NUM_MUTATION_SITES))
+    if site == 0:
+        return grammar.random_program(rng)
+    index = (site - 1) % 4
+    condition = program.conditions[index]
+    if site <= 4 or isinstance(condition, ConstantCondition):
+        # condition node (or a literal, which has no typed children):
+        # regenerate the whole condition
+        return program.replace(index, grammar.random_condition(rng))
+    if site <= 8:
+        return program.replace(index, _mutate_function(condition, grammar, rng))
+    return program.replace(index, _mutate_constant(condition, grammar, rng))
+
+
+def _mutate_function(
+    condition: Condition, grammar: Grammar, rng: np.random.Generator
+) -> Condition:
+    function = grammar.random_function(rng)
+    constant = condition.constant
+    if not grammar.constant_in_range(function, constant):
+        constant = grammar.random_constant(rng, function)
+    return Condition(condition.comparison, function, constant)
+
+
+def _mutate_constant(
+    condition: Condition, grammar: Grammar, rng: np.random.Generator
+) -> Condition:
+    constant = grammar.random_constant(rng, condition.function)
+    return Condition(condition.comparison, condition.function, constant)

@@ -1,0 +1,107 @@
+"""A recursive-descent parser for the condition language's concrete syntax.
+
+Accepts exactly what :mod:`repro.core.dsl.printer` emits, plus benign
+whitespace variations and the ``x_l`` spelling of the original pixel used
+in the paper's prose.  Examples::
+
+    parse_condition("max(x[l]) > 0.19")
+    parse_condition("score_diff(N(x), N(x[l<-p]), c_x) < 0.21")
+    parse_condition("center(l) < 8")
+    parse_condition("false")
+    parse_program('''
+        [B1] score_diff(N(x), N(x[l<-p]), c_x) < 0.21
+        [B2] max(x[l]) > 0.19
+        [B3] score_diff(N(x), N(x[l<-p]), c_x) > 0.25
+        [B4] center(l) < 8
+    ''')
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.core.dsl.ast import (
+    Avg,
+    Center,
+    Comparison,
+    Condition,
+    ConditionLike,
+    ConstantCondition,
+    Constant,
+    Max,
+    Min,
+    PixelRef,
+    Program,
+    ScoreDiff,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed condition syntax."""
+
+
+_SCORE_DIFF_RE = re.compile(
+    r"score_diff\s*\(\s*N\(x\)\s*,\s*N\(x\[l\s*<-\s*p\]\)\s*,\s*c_?x'?\s*\)"
+)
+_PIXEL_FN_RE = re.compile(r"(max|min|avg)\s*\(\s*(x\[l\]|x_l|p)\s*\)")
+_CENTER_RE = re.compile(r"center\s*\(\s*l\s*\)")
+_NUMBER_RE = re.compile(r"[-+]?(\d+\.?\d*|\.\d+)([eE][-+]?\d+)?")
+_LABEL_RE = re.compile(r"^\[B[1-4]\]\s*")
+
+_PIXEL_REFS = {"x[l]": PixelRef.ORIGINAL, "x_l": PixelRef.ORIGINAL, "p": PixelRef.PERTURBATION}
+_PIXEL_FNS = {"max": Max, "min": Min, "avg": Avg}
+
+
+def parse_condition(text: str) -> ConditionLike:
+    """Parse one condition."""
+    stripped = text.strip()
+    lowered = stripped.lower()
+    if lowered == "true":
+        return ConstantCondition(True)
+    if lowered == "false":
+        return ConstantCondition(False)
+
+    # function part
+    remainder = stripped
+    match = _SCORE_DIFF_RE.match(remainder)
+    if match:
+        function = ScoreDiff()
+    else:
+        match = _PIXEL_FN_RE.match(remainder)
+        if match:
+            function = _PIXEL_FNS[match.group(1)](_PIXEL_REFS[match.group(2)])
+        else:
+            match = _CENTER_RE.match(remainder)
+            if match:
+                function = Center()
+            else:
+                raise ParseError(f"cannot parse function in {text!r}")
+    remainder = remainder[match.end() :].strip()
+
+    # comparison
+    if remainder.startswith(">"):
+        comparison = Comparison.GT
+    elif remainder.startswith("<"):
+        comparison = Comparison.LT
+    else:
+        raise ParseError(f"expected '<' or '>' after function in {text!r}")
+    remainder = remainder[1:].strip()
+
+    # constant
+    number = _NUMBER_RE.fullmatch(remainder)
+    if not number:
+        raise ParseError(f"cannot parse constant in {text!r}")
+    return Condition(comparison, function, Constant(float(remainder)))
+
+
+def parse_program(text: str) -> Program:
+    """Parse a four-line program (``[B1]``..``[B4]`` labels optional)."""
+    lines: List[str] = [line.strip() for line in text.strip().splitlines() if line.strip()]
+    if len(lines) != 4:
+        raise ParseError(f"a program has exactly four conditions, got {len(lines)}")
+    conditions = []
+    for line in lines:
+        without_label = _LABEL_RE.sub("", line)
+        conditions.append(parse_condition(without_label))
+    return Program(*conditions)

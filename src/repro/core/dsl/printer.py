@@ -1,0 +1,49 @@
+"""Pretty-printing of conditions and programs.
+
+The concrete syntax round-trips through :mod:`repro.core.dsl.parser`::
+
+    score_diff(N(x), N(x[l<-p]), c_x) < 0.21
+    max(x[l]) > 0.19
+    false
+"""
+
+from __future__ import annotations
+
+from repro.core.dsl.ast import (
+    Center,
+    Condition,
+    ConditionLike,
+    ConstantCondition,
+    Function,
+    PixelFunction,
+    Program,
+    ScoreDiff,
+)
+
+
+def format_function(function: Function) -> str:
+    if isinstance(function, PixelFunction):
+        return f"{function.kind.value}({function.pixel.value})"
+    if isinstance(function, ScoreDiff):
+        return "score_diff(N(x), N(x[l<-p]), c_x)"
+    if isinstance(function, Center):
+        return "center(l)"
+    raise TypeError(f"unknown function node {function!r}")
+
+
+def format_condition(condition: ConditionLike) -> str:
+    if isinstance(condition, ConstantCondition):
+        return "true" if condition.value else "false"
+    return (
+        f"{format_function(condition.function)} "
+        f"{condition.comparison.value} {condition.constant.value:g}"
+    )
+
+
+def format_program(program: Program) -> str:
+    """Multi-line rendering with the paper's ``[B1]``..``[B4]`` labels."""
+    lines = [
+        f"[B{index + 1}] {format_condition(condition)}"
+        for index, condition in enumerate(program.conditions)
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Static validation of condition programs.
+
+The synthesizer only ever produces well-typed programs by construction,
+but programs also arrive from *outside* the search: parsed from text,
+loaded from JSON artifacts, or hand-written.  The checker validates those
+against a :class:`~repro.core.dsl.grammar.Grammar` and reports precise
+diagnostics instead of failing deep inside an attack run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.dsl.ast import (
+    Avg,
+    Center,
+    Comparison,
+    Condition,
+    ConditionLike,
+    Constant,
+    ConstantCondition,
+    Max,
+    Min,
+    PixelRef,
+    Program,
+    ScoreDiff,
+)
+from repro.core.dsl.grammar import Grammar
+
+_KNOWN_FUNCTIONS = (Max, Min, Avg, ScoreDiff, Center)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding."""
+
+    slot: str  # "b1" .. "b4"
+    message: str
+    severity: str = "error"  # "error" | "warning"
+
+    def __str__(self) -> str:
+        return f"[{self.slot}] {self.severity}: {self.message}"
+
+
+@dataclass
+class CheckResult:
+    """All findings for one program."""
+
+    diagnostics: List[Diagnostic]
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.severity == "error" for d in self.diagnostics)
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == "warning"]
+
+
+def check_condition(
+    condition: ConditionLike, grammar: Grammar, slot: str
+) -> List[Diagnostic]:
+    """Validate one condition against the grammar's typed ranges."""
+    diagnostics: List[Diagnostic] = []
+    if isinstance(condition, ConstantCondition):
+        # literals are a deliberate extension (the ablation baseline);
+        # they are valid but outside the synthesizer's search space
+        diagnostics.append(
+            Diagnostic(
+                slot,
+                "literal condition is outside the synthesizable grammar",
+                severity="warning",
+            )
+        )
+        return diagnostics
+    if not isinstance(condition, Condition):
+        diagnostics.append(
+            Diagnostic(slot, f"not a condition node: {type(condition).__name__}")
+        )
+        return diagnostics
+    if not isinstance(condition.comparison, Comparison):
+        diagnostics.append(
+            Diagnostic(slot, f"invalid comparison {condition.comparison!r}")
+        )
+    if not isinstance(condition.function, _KNOWN_FUNCTIONS):
+        diagnostics.append(
+            Diagnostic(
+                slot, f"unknown function {type(condition.function).__name__}"
+            )
+        )
+        return diagnostics
+    if hasattr(condition.function, "pixel") and not isinstance(
+        condition.function.pixel, PixelRef
+    ):
+        diagnostics.append(
+            Diagnostic(slot, f"invalid pixel reference {condition.function.pixel!r}")
+        )
+    if not isinstance(condition.constant, Constant):
+        diagnostics.append(Diagnostic(slot, "constant node missing"))
+        return diagnostics
+    if not grammar.constant_in_range(condition.function, condition.constant):
+        diagnostics.append(
+            Diagnostic(
+                slot,
+                f"constant {condition.constant.value:g} outside the typed "
+                f"range for {condition.function.kind.value} on a "
+                f"{grammar.image_shape[0]}x{grammar.image_shape[1]} image",
+            )
+        )
+    return diagnostics
+
+
+def check_program(program: Program, grammar: Grammar) -> CheckResult:
+    """Validate a whole program; ``result.ok`` gates acceptance."""
+    diagnostics: List[Diagnostic] = []
+    conditions = program.conditions
+    if len(conditions) != 4:
+        diagnostics.append(
+            Diagnostic("program", f"expected 4 conditions, got {len(conditions)}")
+        )
+    for index, condition in enumerate(conditions):
+        diagnostics.extend(
+            check_condition(condition, grammar, slot=f"b{index + 1}")
+        )
+    return CheckResult(diagnostics=diagnostics)

@@ -1,0 +1,57 @@
+"""The initial ordering of the pair queue (Appendix A).
+
+The queue starts with all ``8 * d1 * d2`` pairs, sorted by:
+
+1. *primary*: the per-location rank of the corner by descending L1
+   distance from the image's original pixel there -- the first
+   ``d1 * d2`` pairs carry each location's farthest corner, the next
+   ``d1 * d2`` the second farthest, and so on;
+2. *secondary*: ascending Linf distance of the location from the image
+   center (center-out);
+3. deterministic tie-breaks: row-major location order, then corner index.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.geometry import NUM_CORNERS, image_center
+from repro.core.pairs import Pair
+
+
+def initial_order(image: np.ndarray) -> List[Pair]:
+    """The sketch's initial queue contents for ``image`` (H, W, 3)."""
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"image must be (H, W, 3), got {image.shape}")
+    d1, d2 = image.shape[:2]
+    ci, cj = image_center((d1, d2))
+
+    rows = np.arange(d1)[:, None] * np.ones((1, d2), dtype=int)
+    cols = np.arange(d2)[None, :] * np.ones((d1, 1), dtype=int)
+    center_dist = np.maximum(np.abs(rows - ci), np.abs(cols - cj))
+
+    # (d1, d2, 8) L1 distances from each original pixel to each corner,
+    # then per-location descending rank of each corner.
+    corners = np.array(
+        [[(k >> 0) & 1, (k >> 1) & 1, (k >> 2) & 1] for k in range(NUM_CORNERS)],
+        dtype=np.float64,
+    )
+    distances = np.abs(image[:, :, None, :] - corners[None, None, :, :]).sum(axis=3)
+    order_by_distance = np.argsort(-distances, axis=2, kind="stable")
+    rank = np.empty_like(order_by_distance)
+    ranks_range = np.arange(NUM_CORNERS)
+    np.put_along_axis(rank, order_by_distance, ranks_range[None, None, :], axis=2)
+
+    # sort keys: (rank, center distance, row, col, corner)
+    rank_flat = rank.reshape(-1)
+    rows3 = np.repeat(rows.reshape(-1), NUM_CORNERS)
+    cols3 = np.repeat(cols.reshape(-1), NUM_CORNERS)
+    center3 = np.repeat(center_dist.reshape(-1), NUM_CORNERS)
+    corner3 = np.tile(ranks_range, d1 * d2)
+    order = np.lexsort((corner3, cols3, rows3, center3, rank_flat))
+    return [
+        Pair(int(rows3[index]), int(cols3[index]), int(corner3[index]))
+        for index in order
+    ]

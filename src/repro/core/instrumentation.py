@@ -1,0 +1,81 @@
+"""Execution statistics for sketch runs.
+
+The ablation (Table 2) shows *that* synthesized conditions help; this
+instrumentation shows *how*: how often each condition fired, how many
+pairs were pushed back versus eagerly checked, and what fraction of
+queries the eager front-checking contributed.  Attach a
+:class:`SketchStats` to :meth:`OnePixelSketch.attack` via the ``stats``
+parameter to collect them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SketchStats:
+    """Counters collected during one (or more) sketch runs."""
+
+    main_loop_pops: int = 0
+    eager_checks: int = 0
+    pushed_back_location: int = 0
+    pushed_back_perturbation: int = 0
+    condition_fired: Dict[str, int] = field(
+        default_factory=lambda: {"b1": 0, "b2": 0, "b3": 0, "b4": 0}
+    )
+    condition_evaluated: Dict[str, int] = field(
+        default_factory=lambda: {"b1": 0, "b2": 0, "b3": 0, "b4": 0}
+    )
+
+    def record_condition(self, name: str, fired: bool) -> None:
+        self.condition_evaluated[name] += 1
+        if fired:
+            self.condition_fired[name] += 1
+
+    def fire_rate(self, name: str) -> float:
+        """Fraction of evaluations of condition ``name`` that were true."""
+        evaluated = self.condition_evaluated[name]
+        if evaluated == 0:
+            return 0.0
+        return self.condition_fired[name] / evaluated
+
+    @property
+    def total_queries(self) -> int:
+        return self.main_loop_pops + self.eager_checks
+
+    @property
+    def eager_fraction(self) -> float:
+        """Share of queries driven by the eager front-checking."""
+        total = self.total_queries
+        if total == 0:
+            return 0.0
+        return self.eager_checks / total
+
+    def merge(self, other: "SketchStats") -> "SketchStats":
+        """Accumulate another run's counters into this one."""
+        self.main_loop_pops += other.main_loop_pops
+        self.eager_checks += other.eager_checks
+        self.pushed_back_location += other.pushed_back_location
+        self.pushed_back_perturbation += other.pushed_back_perturbation
+        for name in self.condition_fired:
+            self.condition_fired[name] += other.condition_fired[name]
+            self.condition_evaluated[name] += other.condition_evaluated[name]
+        return self
+
+    def summary(self) -> str:
+        lines = [
+            f"queries: {self.total_queries} "
+            f"(main loop {self.main_loop_pops}, eager {self.eager_checks}, "
+            f"eager fraction {self.eager_fraction:.1%})",
+            f"pushed back: {self.pushed_back_location} by location, "
+            f"{self.pushed_back_perturbation} by perturbation",
+        ]
+        for name in ("b1", "b2", "b3", "b4"):
+            lines.append(
+                f"{name.upper()}: fired {self.condition_fired[name]}"
+                f"/{self.condition_evaluated[name]}"
+                f" ({self.fire_rate(name):.1%})"
+            )
+        return "\n".join(lines)

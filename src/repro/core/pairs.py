@@ -1,0 +1,80 @@
+"""Location-perturbation pairs, the atoms of the sketch's search space.
+
+A candidate adversarial example is fully described by *where* to perturb
+(a pixel location) and *what value* to write (one of the eight RGB-cube
+corners, referenced by index so pairs stay hashable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.core.geometry import NUM_CORNERS, RGB_CORNERS
+
+
+@dataclass(frozen=True, order=True)
+class Pair:
+    """An immutable (location, corner) pair.
+
+    ``corner`` indexes :data:`repro.core.geometry.RGB_CORNERS`; the actual
+    RGB perturbation value is :attr:`perturbation`.
+    """
+
+    row: int
+    col: int
+    corner: int
+
+    def __post_init__(self):
+        if not 0 <= self.corner < NUM_CORNERS:
+            raise ValueError(f"corner index must be in [0, 8), got {self.corner}")
+        if self.row < 0 or self.col < 0:
+            raise ValueError("location indices must be non-negative")
+
+    @property
+    def location(self) -> Tuple[int, int]:
+        return (self.row, self.col)
+
+    @property
+    def perturbation(self) -> np.ndarray:
+        """The RGB value this pair writes at its location."""
+        return RGB_CORNERS[self.corner]
+
+    def apply(self, image: np.ndarray) -> np.ndarray:
+        """Return ``image[l <- p]``: a copy with this pair's pixel written."""
+        if self.row >= image.shape[0] or self.col >= image.shape[1]:
+            raise ValueError(
+                f"pair location {self.location} outside image {image.shape[:2]}"
+            )
+        perturbed = image.copy()
+        perturbed[self.row, self.col] = self.perturbation
+        return perturbed
+
+
+def all_pairs(shape: Tuple[int, int]) -> Iterator[Pair]:
+    """Every (location, corner) pair of a ``(d1, d2)`` image, row-major."""
+    d1, d2 = shape
+    for row in range(d1):
+        for col in range(d2):
+            for corner in range(NUM_CORNERS):
+                yield Pair(row, col, corner)
+
+
+def location_neighbors(pair: Pair, shape: Tuple[int, int]) -> List[Pair]:
+    """The closest pairs w.r.t. location: Linf distance 1, same perturbation.
+
+    These are the (up to eight) spatial neighbours of ``pair``'s location,
+    carrying the identical corner perturbation, clipped to the image.
+    """
+    d1, d2 = shape
+    neighbors = []
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            if di == 0 and dj == 0:
+                continue
+            row, col = pair.row + di, pair.col + dj
+            if 0 <= row < d1 and 0 <= col < d2:
+                neighbors.append(Pair(row, col, pair.corner))
+    return neighbors

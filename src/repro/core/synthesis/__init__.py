@@ -1,0 +1,21 @@
+"""OPPSLA: the synthesizer for the one-pixel sketch (Algorithm 2)."""
+
+from repro.core.synthesis.mh import MetropolisHastings
+from repro.core.synthesis.oppsla import Oppsla, OppslaConfig, SynthesisResult
+from repro.core.synthesis.restarts import RestartSummary, synthesize_with_restarts
+from repro.core.synthesis.score import ProgramEvaluation, evaluate_program, score
+from repro.core.synthesis.trace import AcceptedProgram, SynthesisTrace
+
+__all__ = [
+    "Oppsla",
+    "OppslaConfig",
+    "SynthesisResult",
+    "MetropolisHastings",
+    "ProgramEvaluation",
+    "evaluate_program",
+    "score",
+    "AcceptedProgram",
+    "SynthesisTrace",
+    "synthesize_with_restarts",
+    "RestartSummary",
+]

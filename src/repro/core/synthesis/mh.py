@@ -1,0 +1,120 @@
+"""The Metropolis-Hastings-style stochastic search (Section 4).
+
+The chain walks over well-typed programs: each step proposes a tree
+mutation of the current program and accepts it with probability
+``min(1, S(P')/S(P))`` (implemented, as in Algorithm 2, by comparing a
+uniform sample against the score ratio).  A proposal whose score is zero
+(the program never succeeded on the training set) is accepted only from
+an equally-scoreless state, which lets the chain escape a bad random
+initialization without ever abandoning a working program for a broken
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.dsl.ast import Program
+from repro.core.dsl.grammar import Grammar
+from repro.core.dsl.mutation import mutate_program
+from repro.core.synthesis.score import ProgramEvaluation, score
+from repro.core.synthesis.trace import SynthesisTrace
+
+Evaluator = Callable[[Program], ProgramEvaluation]
+
+
+@dataclass
+class ChainState:
+    """The chain's current position."""
+
+    program: Program
+    evaluation: ProgramEvaluation
+    score: float
+
+
+class MetropolisHastings:
+    """A reusable MH driver over the condition grammar.
+
+    Parameters
+    ----------
+    grammar:
+        Defines the proposal distribution (typed mutations).
+    evaluate:
+        Maps a program to its measured training behaviour; this is where
+        all classifier queries happen.
+    beta:
+        Score temperature: larger values make the chain greedier.
+    rng:
+        Randomness source for proposals and accept decisions.
+    score_failures:
+        Score with the failure-penalized average (recommended whenever
+        candidate evaluation runs under a per-image budget; see
+        :meth:`ProgramEvaluation.penalized_avg_queries`).
+    """
+
+    def __init__(
+        self,
+        grammar: Grammar,
+        evaluate: Evaluator,
+        beta: float,
+        rng: np.random.Generator,
+        score_failures: bool = False,
+    ):
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.grammar = grammar
+        self.evaluate = evaluate
+        self.beta = beta
+        self.rng = rng
+        self.score_failures = score_failures
+
+    def _score(self, evaluation: ProgramEvaluation) -> float:
+        return score(evaluation, self.beta, include_failures=self.score_failures)
+
+    def accept_probability(self, current: float, proposed: float) -> float:
+        """``min(1, S'/S)`` with the zero-score edge cases made explicit."""
+        if current == 0.0:
+            return 1.0 if proposed >= current else 0.0
+        return min(1.0, proposed / current)
+
+    def run(
+        self,
+        max_iterations: int,
+        initial: Optional[Program] = None,
+        trace: Optional[SynthesisTrace] = None,
+        query_budget: Optional[int] = None,
+    ) -> "tuple[ChainState, SynthesisTrace]":
+        """Run the chain for ``max_iterations`` proposals.
+
+        ``query_budget`` optionally stops the search once the cumulative
+        classifier queries exceed it (checked between iterations), which
+        models the paper's synthesis-cost cap (Section 5, 10^6 queries).
+        """
+        if max_iterations < 0:
+            raise ValueError("max_iterations must be non-negative")
+        trace = trace if trace is not None else SynthesisTrace()
+        program = initial if initial is not None else self.grammar.random_program(self.rng)
+        evaluation = self.evaluate(program)
+        trace.total_queries += evaluation.total_queries
+        state = ChainState(program, evaluation, self._score(evaluation))
+        trace.record_accept(0, program, evaluation)
+
+        for iteration in range(1, max_iterations + 1):
+            if query_budget is not None and trace.total_queries >= query_budget:
+                break
+            proposal = mutate_program(state.program, self.grammar, self.rng)
+            proposal_eval = self.evaluate(proposal)
+            trace.total_queries += proposal_eval.total_queries
+            trace.iterations = iteration
+            proposal_score = self._score(proposal_eval)
+            threshold = self.accept_probability(state.score, proposal_score)
+            if self.rng.uniform(0.0, 1.0) < threshold:
+                state = ChainState(proposal, proposal_eval, proposal_score)
+                trace.proposals_accepted += 1
+                trace.record_accept(iteration, proposal, proposal_eval)
+            else:
+                trace.proposals_rejected += 1
+        return state, trace

@@ -1,0 +1,199 @@
+"""OPPSLA, the top-level synthesizer (Algorithm 2).
+
+Given a classifier and a training set of correctly-classified images,
+OPPSLA runs the Metropolis-Hastings search over sketch instantiations and
+returns an adversarial program.  The expensive queries all happen here,
+once; afterwards the program attacks arbitrarily many images (or even, as
+the transferability experiment shows, other classifiers) cheaply.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dsl.ast import Program
+from repro.core.dsl.grammar import Grammar
+from repro.core.sketch import OnePixelSketch
+from repro.core.synthesis.mh import MetropolisHastings
+from repro.core.synthesis.score import (
+    ProgramEvaluation,
+    TrainingPair,
+    evaluate_program,
+)
+from repro.core.synthesis.trace import SynthesisTrace
+
+
+@dataclass(frozen=True)
+class OppslaConfig:
+    """Synthesis hyper-parameters.
+
+    Attributes
+    ----------
+    max_iterations:
+        MH proposals (the paper's MAX_ITER; 210 in Appendix C).
+    beta:
+        Score temperature in ``S(P) = exp(-beta * Qbar)``.
+    per_image_budget:
+        Cap on queries per training image during candidate evaluation;
+        ``None`` lets each run exhaust the pair space (the paper's
+        setting; 8 * d1 * d2 queries worst case).
+    query_budget:
+        Optional cap on total synthesis queries (the paper caps at 10^6).
+    score_failures:
+        Score candidates by the failure-penalized query average instead
+        of the paper's successes-only average.  Equivalent to the paper
+        when ``per_image_budget`` is ``None``; strictly safer with one
+        (see :attr:`ProgramEvaluation.penalized_avg_queries`).
+    seed:
+        Randomness seed for the whole synthesis run.
+    """
+
+    max_iterations: int = 210
+    beta: float = 0.02
+    per_image_budget: Optional[int] = None
+    query_budget: Optional[int] = None
+    score_failures: bool = True
+    seed: int = 0
+
+
+@dataclass
+class SynthesisResult:
+    """What a synthesis run produces.
+
+    ``final_program`` is Algorithm 2's literal return value (the last
+    accepted candidate); ``best_program`` is the evaluated candidate with
+    the most successes and, among those, the lowest average query count --
+    the one a practitioner would deploy.  ``program`` aliases
+    ``best_program``.
+    """
+
+    final_program: Program
+    final_evaluation: ProgramEvaluation
+    best_program: Program
+    best_evaluation: ProgramEvaluation
+    trace: SynthesisTrace
+    config: OppslaConfig = field(default_factory=OppslaConfig)
+
+    @property
+    def program(self) -> Program:
+        return self.best_program
+
+    @property
+    def total_queries(self) -> int:
+        return self.trace.total_queries
+
+    def attacker(self) -> OnePixelSketch:
+        """The deployable attack for :attr:`program`."""
+        return OnePixelSketch(self.program)
+
+    def save(self, path: str) -> None:
+        """Persist the synthesized programs and summary metrics as JSON."""
+        payload = {
+            "best_program": self.best_program.to_dict(),
+            "final_program": self.final_program.to_dict(),
+            "best_avg_queries": self.best_evaluation.avg_queries,
+            "best_successes": self.best_evaluation.successes,
+            "total_synthesis_queries": self.total_queries,
+            "iterations": self.trace.iterations,
+            "config": {
+                "max_iterations": self.config.max_iterations,
+                "beta": self.config.beta,
+                "per_image_budget": self.config.per_image_budget,
+                "query_budget": self.config.query_budget,
+                "seed": self.config.seed,
+            },
+        }
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+
+    @staticmethod
+    def load_program(path: str) -> Program:
+        """Load just the deployable program from a saved result."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        return Program.from_dict(payload["best_program"])
+
+
+class Oppsla:
+    """The synthesizer facade.
+
+    Example
+    -------
+    >>> oppsla = Oppsla(OppslaConfig(max_iterations=20, seed=7))
+    >>> result = oppsla.synthesize(classifier, training_pairs)   # doctest: +SKIP
+    >>> attack = result.attacker()                               # doctest: +SKIP
+    """
+
+    def __init__(self, config: OppslaConfig = None):
+        self.config = config or OppslaConfig()
+
+    def synthesize(
+        self,
+        classifier: Callable[[np.ndarray], np.ndarray],
+        training_pairs: Sequence[TrainingPair],
+        initial: Optional[Program] = None,
+    ) -> SynthesisResult:
+        """Synthesize an adversarial program for ``classifier``.
+
+        ``training_pairs`` are (image, true_class) tuples; images must all
+        share one shape (the grammar is typed by it).
+        """
+        training_pairs = list(training_pairs)
+        if not training_pairs:
+            raise ValueError("training set must be non-empty")
+        shape = training_pairs[0][0].shape[:2]
+        for image, _ in training_pairs:
+            if image.shape[:2] != shape:
+                raise ValueError("all training images must share one shape")
+        grammar = Grammar(shape)
+        rng = np.random.default_rng(self.config.seed)
+
+        def evaluate(program: Program) -> ProgramEvaluation:
+            return evaluate_program(
+                program,
+                classifier,
+                training_pairs,
+                per_image_budget=self.config.per_image_budget,
+            )
+
+        chain = MetropolisHastings(
+            grammar,
+            evaluate,
+            self.config.beta,
+            rng,
+            score_failures=self.config.score_failures,
+        )
+        state, trace = chain.run(
+            self.config.max_iterations,
+            initial=initial,
+            query_budget=self.config.query_budget,
+        )
+
+        def quality(entry):
+            evaluation = entry.evaluation
+            if not evaluation.successes:
+                return (0, 0.0)
+            average = (
+                evaluation.penalized_avg_queries
+                if self.config.score_failures
+                else evaluation.avg_queries
+            )
+            return (evaluation.successes, -average)
+
+        best = max(trace.accepted, key=quality)
+        return SynthesisResult(
+            final_program=state.program,
+            final_evaluation=state.evaluation,
+            best_program=best.program,
+            best_evaluation=best.evaluation,
+            trace=trace,
+            config=self.config,
+        )

@@ -1,0 +1,69 @@
+"""Multi-restart synthesis.
+
+A single MH chain can stall in a poor region of program space (a known
+MCMC failure mode; our quickstart-scale experiments show visible
+seed-to-seed variance).  Running ``R`` independent chains from different
+seeds and keeping the best program trades a linear query-cost factor for
+much lower variance -- the standard stochastic-search remedy, kept out of
+:class:`~repro.core.synthesis.oppsla.Oppsla` so the faithful single-chain
+Algorithm 2 stays pristine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.synthesis.oppsla import Oppsla, OppslaConfig, SynthesisResult
+from repro.core.synthesis.score import TrainingPair
+
+
+@dataclass
+class RestartSummary:
+    """The best result plus every chain's outcome for inspection."""
+
+    best: SynthesisResult
+    all_results: List[SynthesisResult]
+
+    @property
+    def total_queries(self) -> int:
+        return sum(result.total_queries for result in self.all_results)
+
+
+def synthesize_with_restarts(
+    classifier: Callable[[np.ndarray], np.ndarray],
+    training_pairs: Sequence[TrainingPair],
+    config: OppslaConfig = None,
+    restarts: int = 3,
+) -> RestartSummary:
+    """Run ``restarts`` independent OPPSLA chains; keep the best program.
+
+    Chain ``i`` uses seed ``config.seed + i``; "best" means most training
+    successes, then the lowest (failure-penalized, if configured) average
+    query count -- the same ordering OPPSLA itself uses.
+    """
+    if restarts < 1:
+        raise ValueError("restarts must be at least 1")
+    config = config or OppslaConfig()
+    results: List[SynthesisResult] = []
+    for index in range(restarts):
+        chain_config = replace(config, seed=config.seed + index)
+        results.append(
+            Oppsla(chain_config).synthesize(classifier, training_pairs)
+        )
+
+    def quality(result: SynthesisResult):
+        evaluation = result.best_evaluation
+        if not evaluation.successes:
+            return (0, 0.0)
+        average = (
+            evaluation.penalized_avg_queries
+            if config.score_failures
+            else evaluation.avg_queries
+        )
+        return (evaluation.successes, -average)
+
+    best = max(results, key=quality)
+    return RestartSummary(best=best, all_results=results)

@@ -1,0 +1,122 @@
+"""The score function of Section 4.
+
+Executing a candidate program on the training set yields the average
+number of queries over the inputs where it *succeeds* (failed inputs pose
+a fixed number of queries -- the whole space, or the per-image budget --
+and are excluded from the average, as in the paper).  The score is then
+``S(P) = exp(-beta * Qbar_P)``: positive, monotonically decreasing in the
+average query count, and maximal (1) at zero queries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dsl.ast import Program
+from repro.core.sketch import OnePixelSketch, SketchResult
+
+TrainingPair = Tuple[np.ndarray, int]
+
+
+@dataclass(frozen=True)
+class ProgramEvaluation:
+    """The measured behaviour of one program on a training set.
+
+    Attributes
+    ----------
+    avg_queries:
+        Mean queries over successful inputs; ``inf`` when none succeed.
+    successes:
+        Number of training inputs attacked successfully.
+    total_images:
+        Training-set size.
+    total_queries:
+        Queries posed over *all* inputs (successes and failures) -- the
+        synthesis-cost currency of Figure 4.
+    results:
+        Per-input sketch results, aligned with the training set.
+    """
+
+    avg_queries: float
+    successes: int
+    total_images: int
+    total_queries: int
+    results: Tuple[SketchResult, ...]
+
+    @property
+    def success_rate(self) -> float:
+        if self.total_images == 0:
+            return 0.0
+        return self.successes / self.total_images
+
+    @property
+    def penalized_avg_queries(self) -> float:
+        """Mean queries over *all* inputs, failures at their fixed cost.
+
+        Without a per-image budget this ranks programs identically to
+        :attr:`avg_queries` (every sketch instantiation succeeds on the
+        same inputs, so failures add the same constant to every
+        program).  *With* a budget it closes a loophole: a program that
+        pushes a borderline image past the budget would otherwise
+        *improve* its successes-only average by evicting an expensive
+        success, rewarding exactly the wrong behaviour.
+        """
+        if self.total_images == 0 or self.successes == 0:
+            return math.inf
+        return self.total_queries / self.total_images
+
+
+def evaluate_program(
+    program: Program,
+    classifier: Callable[[np.ndarray], np.ndarray],
+    training_pairs: Sequence[TrainingPair],
+    per_image_budget: Optional[int] = None,
+) -> ProgramEvaluation:
+    """Run ``program`` on every training input and aggregate query counts."""
+    sketch = OnePixelSketch(program)
+    results: List[SketchResult] = []
+    success_queries = 0
+    successes = 0
+    total_queries = 0
+    for image, true_class in training_pairs:
+        result = sketch.attack(
+            classifier, image, true_class, budget=per_image_budget
+        )
+        results.append(result)
+        total_queries += result.queries
+        if result.success:
+            successes += 1
+            success_queries += result.queries
+    avg = success_queries / successes if successes else math.inf
+    return ProgramEvaluation(
+        avg_queries=avg,
+        successes=successes,
+        total_images=len(results),
+        total_queries=total_queries,
+        results=tuple(results),
+    )
+
+
+def score(
+    evaluation: ProgramEvaluation, beta: float, include_failures: bool = False
+) -> float:
+    """``S(P) = exp(-beta * Qbar_P)``; zero when the program never succeeds.
+
+    ``include_failures`` switches ``Qbar`` from the paper's successes-only
+    average to :attr:`ProgramEvaluation.penalized_avg_queries`; see that
+    property for why this matters under per-image budgets.
+    """
+    if beta <= 0:
+        raise ValueError("beta must be positive")
+    average = (
+        evaluation.penalized_avg_queries
+        if include_failures
+        else evaluation.avg_queries
+    )
+    if math.isinf(average):
+        return 0.0
+    return math.exp(-beta * average)

@@ -1,0 +1,54 @@
+"""Synthesis traces: the record of a stochastic-search run.
+
+Figure 4 of the paper plots the quality of each intermediate *accepted*
+program against the cumulative number of synthesis queries posed up to
+the iteration that produced it; these dataclasses carry exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.dsl.ast import Program
+from repro.core.synthesis.score import ProgramEvaluation
+
+
+@dataclass(frozen=True)
+class AcceptedProgram:
+    """One accepted candidate and the synthesis cost paid to reach it."""
+
+    iteration: int
+    program: Program
+    evaluation: ProgramEvaluation
+    cumulative_queries: int
+
+
+@dataclass
+class SynthesisTrace:
+    """The full history of one search run."""
+
+    accepted: List[AcceptedProgram] = field(default_factory=list)
+    iterations: int = 0
+    total_queries: int = 0
+    proposals_accepted: int = 0
+    proposals_rejected: int = 0
+
+    def record_accept(
+        self, iteration: int, program: Program, evaluation: ProgramEvaluation
+    ) -> None:
+        self.accepted.append(
+            AcceptedProgram(
+                iteration=iteration,
+                program=program,
+                evaluation=evaluation,
+                cumulative_queries=self.total_queries,
+            )
+        )
+
+    @property
+    def acceptance_rate(self) -> float:
+        total = self.proposals_accepted + self.proposals_rejected
+        if total == 0:
+            return 0.0
+        return self.proposals_accepted / total

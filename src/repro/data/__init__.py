@@ -1,0 +1,24 @@
+"""Procedurally generated image datasets.
+
+These datasets stand in for CIFAR-10 and ImageNet, which are unavailable
+offline.  Each class is a parametric visual concept (stripes, blobs,
+rings, gradients, ...) rendered with per-sample jitter in color, geometry
+and noise, so that a convolutional network must learn genuine spatial
+structure to classify them -- the regime in which one-pixel attacks were
+studied.
+"""
+
+from repro.data.augment import augment_batch
+from repro.data.dataset import Dataset, LabeledImage
+from repro.data.cifar_like import CIFAR_LIKE_CLASSES, make_cifar_like
+from repro.data.imagenet_like import IMAGENET_LIKE_CLASSES, make_imagenet_like
+
+__all__ = [
+    "Dataset",
+    "LabeledImage",
+    "make_cifar_like",
+    "make_imagenet_like",
+    "augment_batch",
+    "CIFAR_LIKE_CLASSES",
+    "IMAGENET_LIKE_CLASSES",
+]

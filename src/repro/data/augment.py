@@ -1,0 +1,69 @@
+"""Training-time data augmentation.
+
+Standard light augmentations for the synthetic datasets: horizontal
+flips, shifted crops (zero-padded), and brightness jitter.  All operate
+on channels-last ``(N, H, W, 3)`` batches and take an explicit generator,
+so augmented training remains deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_horizontal_flip(
+    images: np.ndarray, rng: np.random.Generator, probability: float = 0.5
+) -> np.ndarray:
+    """Flip each image left-right with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    out = images.copy()
+    mask = rng.uniform(size=images.shape[0]) < probability
+    out[mask] = out[mask, :, ::-1, :]
+    return out
+
+
+def random_shift(
+    images: np.ndarray, rng: np.random.Generator, max_shift: int = 2
+) -> np.ndarray:
+    """Translate each image by up to ``max_shift`` pixels, zero-filling."""
+    if max_shift < 0:
+        raise ValueError("max_shift must be non-negative")
+    if max_shift == 0:
+        return images.copy()
+    n, height, width, _ = images.shape
+    out = np.zeros_like(images)
+    shifts = rng.integers(-max_shift, max_shift + 1, size=(n, 2))
+    for index in range(n):
+        dy, dx = int(shifts[index, 0]), int(shifts[index, 1])
+        src_y = slice(max(0, -dy), min(height, height - dy))
+        src_x = slice(max(0, -dx), min(width, width - dx))
+        dst_y = slice(max(0, dy), min(height, height + dy))
+        dst_x = slice(max(0, dx), min(width, width + dx))
+        out[index, dst_y, dst_x] = images[index, src_y, src_x]
+    return out
+
+
+def random_brightness(
+    images: np.ndarray, rng: np.random.Generator, jitter: float = 0.1
+) -> np.ndarray:
+    """Scale each image's brightness by ``1 +- jitter``, clipping to [0, 1]."""
+    if jitter < 0:
+        raise ValueError("jitter must be non-negative")
+    factors = 1.0 + rng.uniform(-jitter, jitter, size=(images.shape[0], 1, 1, 1))
+    return np.clip(images * factors, 0.0, 1.0)
+
+
+def augment_batch(
+    images: np.ndarray,
+    rng: np.random.Generator,
+    flip_probability: float = 0.5,
+    max_shift: int = 2,
+    brightness_jitter: float = 0.1,
+) -> np.ndarray:
+    """The default augmentation pipeline: flip, shift, brightness."""
+    if images.ndim != 4 or images.shape[3] != 3:
+        raise ValueError(f"expected (N, H, W, 3) images, got {images.shape}")
+    out = random_horizontal_flip(images, rng, flip_probability)
+    out = random_shift(out, rng, max_shift)
+    return random_brightness(out, rng, brightness_jitter)

@@ -1,0 +1,165 @@
+"""The CIFAR-like synthetic dataset: 10 visual concepts at small resolution.
+
+Class identities (chosen to be mutually discriminable yet to require
+spatial reasoning, like the paper's CIFAR-10):
+
+====  ===========  =========================================================
+idx   name         concept
+====  ===========  =========================================================
+0     airplane     diagonal bright streak (half-plane) on a sky gradient
+1     automobile   horizontal stripes, warm palette
+2     bird         small off-center disk on textured background
+3     cat          checkerboard, mid-frequency
+4     deer         vertical stripes, green-brown palette
+5     dog          two overlapping blotches, warm palette
+6     frog         concentric rings, green palette
+7     horse        cross / plus shape
+8     ship         linear horizon gradient with lower-half dominant color
+9     truck        coarse checkerboard with high-contrast palette
+====  ===========  =========================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import patterns
+from repro.data.dataset import Dataset
+
+CIFAR_LIKE_CLASSES = (
+    "airplane",
+    "automobile",
+    "bird",
+    "cat",
+    "deer",
+    "dog",
+    "frog",
+    "horse",
+    "ship",
+    "truck",
+)
+
+# Per-class base palettes (low color, high color).
+_PALETTES = {
+    0: ((0.45, 0.65, 0.90), (0.95, 0.95, 1.00)),
+    1: ((0.75, 0.20, 0.15), (0.95, 0.80, 0.30)),
+    2: ((0.55, 0.45, 0.30), (0.90, 0.85, 0.55)),
+    3: ((0.35, 0.30, 0.30), (0.80, 0.70, 0.60)),
+    4: ((0.25, 0.45, 0.20), (0.70, 0.60, 0.35)),
+    5: ((0.60, 0.40, 0.25), (0.90, 0.75, 0.55)),
+    6: ((0.10, 0.45, 0.20), (0.55, 0.85, 0.40)),
+    7: ((0.40, 0.30, 0.25), (0.85, 0.75, 0.65)),
+    8: ((0.20, 0.35, 0.60), (0.75, 0.85, 0.95)),
+    9: ((0.15, 0.15, 0.20), (0.90, 0.85, 0.20)),
+}
+
+
+def _render_class(
+    label: int, height: int, width: int, rng: np.random.Generator
+) -> np.ndarray:
+    low = patterns.jitter_color(_PALETTES[label][0], rng)
+    high = patterns.jitter_color(_PALETTES[label][1], rng)
+    if label == 0:
+        angle = rng.uniform(np.pi / 6, np.pi / 3)
+        field = patterns.half_plane(height, width, angle, rng.uniform(-0.3, 0.3))
+    elif label == 1:
+        field = patterns.stripes(
+            height, width, rng.uniform(2.0, 3.5), np.pi / 2, rng.uniform(0, 2 * np.pi)
+        )
+    elif label == 2:
+        center = (rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4))
+        field = patterns.disk(height, width, center, rng.uniform(0.25, 0.45))
+    elif label == 3:
+        field = patterns.checkerboard(
+            height, width, int(rng.integers(4, 7)), rng.uniform(0, np.pi)
+        )
+    elif label == 4:
+        field = patterns.stripes(
+            height, width, rng.uniform(2.0, 3.5), 0.0, rng.uniform(0, 2 * np.pi)
+        )
+    elif label == 5:
+        field = patterns.blotches(height, width, rng, components=3)
+    elif label == 6:
+        center = (rng.uniform(-0.2, 0.2), rng.uniform(-0.2, 0.2))
+        field = patterns.rings(
+            height, width, center, rng.uniform(1.5, 2.5), rng.uniform(0, 2 * np.pi)
+        )
+    elif label == 7:
+        center = (rng.uniform(-0.25, 0.25), rng.uniform(-0.25, 0.25))
+        field = patterns.cross(height, width, center, rng.uniform(0.12, 0.22))
+    elif label == 8:
+        field = patterns.linear_gradient(
+            height, width, np.pi / 2 + rng.uniform(-0.2, 0.2)
+        )
+    elif label == 9:
+        field = patterns.checkerboard(
+            height, width, int(rng.integers(2, 4)), rng.uniform(0, np.pi)
+        )
+    else:
+        raise ValueError(f"unknown CIFAR-like class {label}")
+    image = patterns.colorize(field, low, high)
+    return patterns.finish(image, rng)
+
+
+def make_cifar_like(
+    num_per_class: int,
+    size: int = 32,
+    seed: int = 0,
+    classes=None,
+    ambiguity: float = 1.0,
+    blend_range=(0.25, 0.55),
+) -> Dataset:
+    """Generate a balanced CIFAR-like dataset.
+
+    Parameters
+    ----------
+    num_per_class:
+        Number of images per class.
+    size:
+        Image side in pixels (the paper's CIFAR-10 uses 32).
+    seed:
+        Generator seed; the full dataset is deterministic in it.
+    classes:
+        Optional subset of class indices to generate (defaults to all 10).
+    ambiguity:
+        Probability that an image is blended with a random *distractor*
+        class's pattern.  Blending puts part of the test set close to the
+        trained decision boundaries, which is what makes classifiers
+        realistically vulnerable to one-pixel attacks (real CIFAR-10
+        models owe their vulnerability to exactly such low-margin
+        inputs).  Set to 0 for a cleanly separable dataset.
+    blend_range:
+        Range of the distractor mixing weight (the label stays the
+        primary class's, so weights must stay below 0.5 of the mix for
+        the task to remain well-posed; the upper default 0.55 leaves a
+        small deliberately-ambiguous tail).
+    """
+    if num_per_class <= 0:
+        raise ValueError("num_per_class must be positive")
+    if size < 4:
+        raise ValueError("size must be at least 4")
+    if not 0.0 <= ambiguity <= 1.0:
+        raise ValueError("ambiguity must be in [0, 1]")
+    selected = list(classes) if classes is not None else list(range(10))
+    for label in selected:
+        if not 0 <= label < 10:
+            raise ValueError(f"class index {label} out of range")
+    rng = np.random.default_rng(seed)
+    images = []
+    labels = []
+    for label in selected:
+        for _ in range(num_per_class):
+            image = _render_class(label, size, size, rng)
+            if rng.uniform() < ambiguity:
+                distractor = int(rng.integers(0, 9))
+                if distractor >= label:
+                    distractor += 1
+                weight = rng.uniform(*blend_range)
+                image = (1.0 - weight) * image + weight * _render_class(
+                    distractor, size, size, rng
+                )
+            images.append(image)
+            labels.append(label)
+    return Dataset(
+        np.stack(images), np.asarray(labels, dtype=np.int64), CIFAR_LIKE_CLASSES
+    )

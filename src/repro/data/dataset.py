@@ -1,0 +1,101 @@
+"""Dataset containers.
+
+Images are stored channels-last, ``(H, W, 3)`` float64 in ``[0, 1]`` --
+the representation the paper's attack operates on.  Conversion to the
+channels-first layout used by the network framework happens at the
+classifier boundary (:mod:`repro.classifier.blackbox`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LabeledImage:
+    """A single image with its ground-truth class."""
+
+    image: np.ndarray
+    label: int
+
+    def __post_init__(self):
+        if self.image.ndim != 3 or self.image.shape[2] != 3:
+            raise ValueError(f"image must be (H, W, 3), got {self.image.shape}")
+
+
+class Dataset:
+    """An in-memory labelled image dataset.
+
+    Attributes
+    ----------
+    images:
+        Array of shape (N, H, W, 3), float64 in [0, 1].
+    labels:
+        Integer array of shape (N,).
+    class_names:
+        Human-readable class names, indexed by label.
+    """
+
+    def __init__(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        class_names: Sequence[str],
+    ):
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if images.ndim != 4 or images.shape[3] != 3:
+            raise ValueError(f"images must be (N, H, W, 3), got {images.shape}")
+        if labels.shape != (images.shape[0],):
+            raise ValueError("labels must be (N,)")
+        if images.size and (images.min() < 0.0 or images.max() > 1.0):
+            raise ValueError("image values must lie in [0, 1]")
+        if labels.size and (labels.min() < 0 or labels.max() >= len(class_names)):
+            raise ValueError("label out of range for class_names")
+        self.images = images
+        self.labels = labels
+        self.class_names = list(class_names)
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def __getitem__(self, index: int) -> LabeledImage:
+        return LabeledImage(image=self.images[index], label=int(self.labels[index]))
+
+    def __iter__(self) -> Iterator[LabeledImage]:
+        for index in range(len(self)):
+            yield self[index]
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        return tuple(self.images.shape[1:])
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.class_names)
+
+    # -- views ----------------------------------------------------------------
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(self.images[indices], self.labels[indices], self.class_names)
+
+    def of_class(self, label: int, limit: int = None) -> "Dataset":
+        """All images of one class, optionally truncated to ``limit``."""
+        indices = np.flatnonzero(self.labels == label)
+        if limit is not None:
+            indices = indices[:limit]
+        return self.subset(indices)
+
+    def to_nchw(self) -> np.ndarray:
+        """Channels-first view of the images for the network framework."""
+        return np.ascontiguousarray(self.images.transpose(0, 3, 1, 2))
+
+    def pairs(self) -> List[Tuple[np.ndarray, int]]:
+        """List of (image, label) tuples -- the form the attacks consume."""
+        return [(self.images[index], int(self.labels[index])) for index in range(len(self))]

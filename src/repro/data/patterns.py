@@ -1,0 +1,144 @@
+"""Parametric texture primitives for the synthetic datasets.
+
+Every primitive renders a scalar field of shape (H, W) with values in
+[0, 1]; :func:`colorize` turns a field into an RGB image by blending two
+colors, and :func:`finish` applies brightness jitter and pixel noise.
+All randomness flows through an explicit generator.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def coordinate_grid(height: int, width: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalized coordinates in [-1, 1] x [-1, 1], returned as (ys, xs)."""
+    ys = np.linspace(-1.0, 1.0, height)[:, None] * np.ones((1, width))
+    xs = np.linspace(-1.0, 1.0, width)[None, :] * np.ones((height, 1))
+    return ys, xs
+
+
+def stripes(
+    height: int, width: int, frequency: float, angle: float, phase: float = 0.0
+) -> np.ndarray:
+    """Sinusoidal stripes at ``angle`` radians with ``frequency`` cycles."""
+    ys, xs = coordinate_grid(height, width)
+    axis = xs * np.cos(angle) + ys * np.sin(angle)
+    return 0.5 + 0.5 * np.sin(2.0 * np.pi * frequency * axis + phase)
+
+
+def checkerboard(height: int, width: int, cells: int, phase: float = 0.0) -> np.ndarray:
+    """A ``cells x cells`` checkerboard (soft-edged via sign of sinusoids)."""
+    ys, xs = coordinate_grid(height, width)
+    wave = np.sin(np.pi * cells * (xs + 1) / 2 + phase) * np.sin(
+        np.pi * cells * (ys + 1) / 2 + phase
+    )
+    return (wave > 0).astype(np.float64)
+
+
+def disk(
+    height: int,
+    width: int,
+    center: Tuple[float, float],
+    radius: float,
+    softness: float = 0.08,
+) -> np.ndarray:
+    """A filled disk at ``center`` (normalized coords) with soft edges."""
+    ys, xs = coordinate_grid(height, width)
+    distance = np.sqrt((xs - center[0]) ** 2 + (ys - center[1]) ** 2)
+    return np.clip((radius - distance) / max(softness, 1e-6) + 0.5, 0.0, 1.0)
+
+
+def rings(
+    height: int,
+    width: int,
+    center: Tuple[float, float],
+    frequency: float,
+    phase: float = 0.0,
+) -> np.ndarray:
+    """Concentric sinusoidal rings around ``center``."""
+    ys, xs = coordinate_grid(height, width)
+    distance = np.sqrt((xs - center[0]) ** 2 + (ys - center[1]) ** 2)
+    return 0.5 + 0.5 * np.sin(2.0 * np.pi * frequency * distance + phase)
+
+
+def linear_gradient(height: int, width: int, angle: float) -> np.ndarray:
+    """A linear ramp in [0, 1] along ``angle``."""
+    ys, xs = coordinate_grid(height, width)
+    axis = xs * np.cos(angle) + ys * np.sin(angle)
+    lo, hi = axis.min(), axis.max()
+    return (axis - lo) / max(hi - lo, 1e-9)
+
+
+def radial_gradient(
+    height: int, width: int, center: Tuple[float, float]
+) -> np.ndarray:
+    """A radial ramp: 1 at ``center`` falling to 0 at the farthest corner."""
+    ys, xs = coordinate_grid(height, width)
+    distance = np.sqrt((xs - center[0]) ** 2 + (ys - center[1]) ** 2)
+    return 1.0 - distance / max(distance.max(), 1e-9)
+
+
+def cross(
+    height: int,
+    width: int,
+    center: Tuple[float, float],
+    thickness: float,
+) -> np.ndarray:
+    """A plus-shaped mask centred at ``center``."""
+    ys, xs = coordinate_grid(height, width)
+    horizontal = np.abs(ys - center[1]) < thickness
+    vertical = np.abs(xs - center[0]) < thickness
+    return (horizontal | vertical).astype(np.float64)
+
+
+def half_plane(height: int, width: int, angle: float, offset: float) -> np.ndarray:
+    """A soft half-plane split at ``angle`` with signed ``offset``."""
+    ys, xs = coordinate_grid(height, width)
+    axis = xs * np.cos(angle) + ys * np.sin(angle) - offset
+    return np.clip(axis * 4.0 + 0.5, 0.0, 1.0)
+
+
+def blotches(
+    height: int, width: int, rng: np.random.Generator, components: int = 4
+) -> np.ndarray:
+    """Smooth low-frequency random blobs (sum of random 2-D sinusoids)."""
+    ys, xs = coordinate_grid(height, width)
+    field = np.zeros((height, width))
+    for _ in range(components):
+        fx, fy = rng.uniform(0.5, 2.5, size=2)
+        phase = rng.uniform(0, 2 * np.pi)
+        field += np.sin(2 * np.pi * (fx * xs + fy * ys) + phase)
+    field -= field.min()
+    field /= max(field.max(), 1e-9)
+    return field
+
+
+def colorize(
+    field: np.ndarray, color_low: np.ndarray, color_high: np.ndarray
+) -> np.ndarray:
+    """Blend two RGB colors by the field value, giving an (H, W, 3) image."""
+    field = np.clip(field, 0.0, 1.0)[..., None]
+    return (1.0 - field) * np.asarray(color_low) + field * np.asarray(color_high)
+
+
+def finish(
+    image: np.ndarray,
+    rng: np.random.Generator,
+    noise: float = 0.04,
+    brightness_jitter: float = 0.15,
+) -> np.ndarray:
+    """Apply brightness jitter and i.i.d. pixel noise, then clip to [0, 1]."""
+    brightness = 1.0 + rng.uniform(-brightness_jitter, brightness_jitter)
+    noisy = image * brightness + rng.normal(0.0, noise, size=image.shape)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+def jitter_color(
+    base: Tuple[float, float, float], rng: np.random.Generator, amount: float = 0.12
+) -> np.ndarray:
+    """Perturb a base RGB color, staying inside the unit cube."""
+    color = np.asarray(base, dtype=np.float64)
+    return np.clip(color + rng.uniform(-amount, amount, size=3), 0.0, 1.0)

@@ -1,0 +1,10 @@
+"""Defenses against one-pixel attacks (extension beyond the paper).
+
+The paper's related work cites OPA2D (Nguyen-Son et al., 2021), which
+detects and reverses one-pixel attacks; :mod:`repro.defense.healing`
+implements that idea on our substrate.
+"""
+
+from repro.defense.healing import DetectionResult, PixelHealingDetector
+
+__all__ = ["PixelHealingDetector", "DetectionResult"]

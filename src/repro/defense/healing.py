@@ -1,0 +1,119 @@
+"""Pixel-healing detection of one-pixel adversarial examples.
+
+A one-pixel adversarial example is, by construction, classification-
+unstable at a single location: replacing the perturbed pixel with
+something locally plausible restores the original class.  The detector
+exploits that asymmetry (the idea behind OPA2D's detection/defense,
+Nguyen-Son et al. 2021):
+
+1. rank pixels by *local implausibility* -- the L1 distance from the
+   median of their 3x3 neighbourhood (an adversarial corner write is
+   almost always a local outlier);
+2. for the top-k suspects, query the classifier with the pixel *healed*
+   (replaced by that neighbourhood median);
+3. if any healing flips the predicted class, flag the image as
+   adversarial and return the healed image and location.
+
+Clean images are stable under healing (their pixels are locally
+plausible), so false positives come only from genuinely outlier pixels
+that the classifier is also sensitive to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+Classifier = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """The detector's verdict on one image.
+
+    When ``adversarial``, ``healed_image`` carries the restored image,
+    ``location`` the suspected perturbed pixel, and ``restored_class``
+    the class the healed image receives.
+    """
+
+    adversarial: bool
+    queries: int
+    location: Optional[Tuple[int, int]] = None
+    healed_image: Optional[np.ndarray] = None
+    original_class: Optional[int] = None
+    restored_class: Optional[int] = None
+
+
+def neighborhood_median(image: np.ndarray, row: int, col: int) -> np.ndarray:
+    """Per-channel median of the 3x3 neighbourhood, excluding the pixel."""
+    height, width = image.shape[:2]
+    values = []
+    for dr in (-1, 0, 1):
+        for dc in (-1, 0, 1):
+            if dr == 0 and dc == 0:
+                continue
+            r, c = row + dr, col + dc
+            if 0 <= r < height and 0 <= c < width:
+                values.append(image[r, c])
+    return np.median(np.stack(values), axis=0)
+
+
+def implausibility_map(image: np.ndarray) -> np.ndarray:
+    """L1 distance of every pixel from its 3x3 neighbourhood median."""
+    height, width = image.shape[:2]
+    scores = np.zeros((height, width))
+    for row in range(height):
+        for col in range(width):
+            median = neighborhood_median(image, row, col)
+            scores[row, col] = np.abs(image[row, col] - median).sum()
+    return scores
+
+
+class PixelHealingDetector:
+    """Detects (and reverses) one-pixel adversarial examples.
+
+    Parameters
+    ----------
+    classifier:
+        The black-box classifier under attack.
+    top_k:
+        Number of most-implausible pixels to try healing.  Each healing
+        costs one query, so detection costs at most ``top_k + 1`` queries
+        (one to read the current prediction).
+    """
+
+    def __init__(self, classifier: Classifier, top_k: int = 8):
+        if top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        self.classifier = classifier
+        self.top_k = top_k
+
+    def detect(self, image: np.ndarray) -> DetectionResult:
+        """Inspect one image for a one-pixel perturbation."""
+        if image.ndim != 3 or image.shape[2] != 3:
+            raise ValueError(f"image must be (H, W, 3), got {image.shape}")
+        queries = 1
+        original_class = int(np.argmax(self.classifier(image)))
+        scores = implausibility_map(image)
+        flat_order = np.argsort(-scores, axis=None)[: self.top_k]
+        width = image.shape[1]
+        for flat_index in flat_order:
+            row, col = int(flat_index // width), int(flat_index % width)
+            healed = image.copy()
+            healed[row, col] = neighborhood_median(image, row, col)
+            queries += 1
+            restored_class = int(np.argmax(self.classifier(healed)))
+            if restored_class != original_class:
+                return DetectionResult(
+                    adversarial=True,
+                    queries=queries,
+                    location=(row, col),
+                    healed_image=healed,
+                    original_class=original_class,
+                    restored_class=restored_class,
+                )
+        return DetectionResult(
+            adversarial=False, queries=queries, original_class=original_class
+        )

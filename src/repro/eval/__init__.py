@@ -1,0 +1,28 @@
+"""The experiment harness reproducing the paper's tables and figures."""
+
+from repro.eval.runner import AttackRunSummary, attack_dataset
+from repro.eval.stats import (
+    bootstrap_mean,
+    bootstrap_mean_difference,
+    bootstrap_success_rate,
+)
+from repro.eval.success_curves import SuccessCurve, success_curves
+from repro.eval.transfer import TransferMatrix, transfer_matrix
+from repro.eval.synthesis_study import SynthesisStudy, synthesis_study
+from repro.eval.ablation import AblationRow, ablation_table
+
+__all__ = [
+    "attack_dataset",
+    "AttackRunSummary",
+    "success_curves",
+    "SuccessCurve",
+    "transfer_matrix",
+    "TransferMatrix",
+    "synthesis_study",
+    "SynthesisStudy",
+    "ablation_table",
+    "AblationRow",
+    "bootstrap_mean",
+    "bootstrap_mean_difference",
+    "bootstrap_success_rate",
+]

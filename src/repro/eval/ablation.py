@@ -1,0 +1,64 @@
+"""Table 2 (Appendix C): the value of the conditions and the search.
+
+Per classifier, four approaches are compared on average and median query
+counts over the test set:
+
+- **OPPSLA**: the synthesized program;
+- **Sketch+False**: the fixed prioritization (no synthesis queries);
+- **Sketch+Random**: best of N random instantiations;
+- **Sparse-RS**: the external state of the art.
+
+All sketch variants share the same success rate by completeness, so the
+comparison is purely about query counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.attacks.base import OnePixelAttack
+from repro.eval.runner import Classifier, TestPair, attack_dataset
+
+
+@dataclass
+class AblationRow:
+    """One (classifier, approach) row of Table 2.
+
+    ``avg_queries``/``median_queries`` follow the paper (over successes
+    only); ``penalized_avg_queries`` additionally charges failures their
+    actual query cost, which keeps rows comparable when approaches differ
+    in success rate (see
+    :attr:`repro.eval.runner.AttackRunSummary.penalized_avg_queries`).
+    """
+
+    classifier: str
+    approach: str
+    avg_queries: float
+    median_queries: float
+    penalized_avg_queries: float
+    success_rate: float
+
+
+def ablation_table(
+    classifier_name: str,
+    classifier: Classifier,
+    attacks: Sequence[OnePixelAttack],
+    test_pairs: Sequence[TestPair],
+    budget: Optional[int] = None,
+) -> List[AblationRow]:
+    """Run each approach on one classifier's test set."""
+    rows = []
+    for attack in attacks:
+        summary = attack_dataset(attack, classifier, test_pairs, budget=budget)
+        rows.append(
+            AblationRow(
+                classifier=classifier_name,
+                approach=attack.name,
+                avg_queries=summary.avg_queries,
+                median_queries=summary.median_queries,
+                penalized_avg_queries=summary.penalized_avg_queries,
+                success_rate=summary.success_rate,
+            )
+        )
+    return rows

@@ -1,0 +1,138 @@
+"""Post-hoc analysis of where and how one-pixel attacks succeed.
+
+Alatalo et al. (2022) analysed successful one-pixel attacks *spatially*
+(successful perturbations cluster near the image center) and
+*chromatically* (dark pixels in dark regions are disproportionately
+vulnerable); Vargas & Su (2020) showed neighbouring pixels share
+vulnerability.  Those observations justify the condition language's
+``center``/``min``/``max``/``avg`` features.  This module recomputes the
+same profiles from attack results on *our* classifiers, closing the loop:
+if the profiles hold on the substrate, the DSL's features are the right
+ones here too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackResult
+from repro.core.geometry import center_distance, max_center_distance
+
+
+@dataclass(frozen=True)
+class SpatialProfile:
+    """Distribution of successful-attack locations relative to the center."""
+
+    center_distances: Tuple[float, ...]  # normalized to [0, 1]
+    samples: int
+
+    @property
+    def mean_normalized_distance(self) -> float:
+        if not self.center_distances:
+            return float("nan")
+        return float(np.mean(self.center_distances))
+
+    def center_bias(self) -> float:
+        """How much closer to the center successes are than chance.
+
+        Under a uniform spatial distribution the expected normalized
+        Linf center distance is ~0.67 (two-thirds of the pixels of a
+        square lie in the outer rings).  Values below 1 mean successes
+        skew toward the center, matching Alatalo et al.
+        """
+        if not self.center_distances:
+            return float("nan")
+        return self.mean_normalized_distance / (2.0 / 3.0)
+
+
+@dataclass(frozen=True)
+class ChromaticProfile:
+    """Brightness statistics of attacked pixels and their perturbations."""
+
+    original_brightness: Tuple[float, ...]  # mean RGB of attacked pixel
+    perturbation_brightness: Tuple[float, ...]
+    samples: int
+
+    @property
+    def mean_original_brightness(self) -> float:
+        if not self.original_brightness:
+            return float("nan")
+        return float(np.mean(self.original_brightness))
+
+    @property
+    def dark_to_bright_fraction(self) -> float:
+        """Share of successes that brightened a dark pixel (< 0.5 mean)."""
+        if not self.original_brightness:
+            return float("nan")
+        flips = [
+            1.0 if orig < 0.5 and pert >= 0.5 else 0.0
+            for orig, pert in zip(
+                self.original_brightness, self.perturbation_brightness
+            )
+        ]
+        return float(np.mean(flips))
+
+
+def spatial_profile(
+    results: Sequence[AttackResult], image_shape: Tuple[int, int]
+) -> SpatialProfile:
+    """Normalized center distances of every successful attack location."""
+    max_distance = max_center_distance(image_shape)
+    distances: List[float] = []
+    for result in results:
+        if result.success and result.location is not None:
+            distances.append(
+                center_distance(result.location, image_shape) / max(max_distance, 1e-9)
+            )
+    return SpatialProfile(
+        center_distances=tuple(distances), samples=len(distances)
+    )
+
+
+def chromatic_profile(
+    results: Sequence[AttackResult], images: Sequence[np.ndarray]
+) -> ChromaticProfile:
+    """Brightness of attacked pixels before and after perturbation.
+
+    ``images`` must align with ``results`` (the clean image each result
+    attacked).
+    """
+    if len(results) != len(images):
+        raise ValueError("results and images must align")
+    originals: List[float] = []
+    perturbations: List[float] = []
+    for result, image in zip(results, images):
+        if not (result.success and result.location is not None):
+            continue
+        row, col = result.location
+        originals.append(float(image[row, col].mean()))
+        perturbations.append(float(np.asarray(result.perturbation).mean()))
+    return ChromaticProfile(
+        original_brightness=tuple(originals),
+        perturbation_brightness=tuple(perturbations),
+        samples=len(originals),
+    )
+
+
+def format_profiles(
+    spatial: SpatialProfile, chromatic: ChromaticProfile
+) -> str:
+    """Readable one-block summary of both profiles."""
+    lines = [
+        f"successful attacks analysed: {spatial.samples}",
+        (
+            f"spatial: mean normalized center distance "
+            f"{spatial.mean_normalized_distance:.2f} "
+            f"(center bias {spatial.center_bias():.2f}; < 1 means "
+            f"successes skew central)"
+        ),
+        (
+            f"chromatic: mean attacked-pixel brightness "
+            f"{chromatic.mean_original_brightness:.2f}; "
+            f"dark-to-bright flips {chromatic.dark_to_bright_fraction:.0%}"
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence
+
+from repro.eval.ablation import AblationRow
+from repro.eval.success_curves import SuccessCurve
+from repro.eval.synthesis_study import SynthesisStudy
+from repro.eval.transfer import TransferMatrix
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    if isinstance(value, float) and math.isinf(value):
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """A fixed-width text table."""
+    columns = [list(column) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    def render(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    separator = "  ".join("-" * width for width in widths)
+    lines = [render(headers), separator]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_success_curves(
+    classifier_name: str, curves: Mapping[str, SuccessCurve], chart: bool = True
+) -> str:
+    """Figure 3, one classifier: success rate at each threshold.
+
+    With ``chart=True`` an ASCII success-rate-vs-log-budget plot over a
+    denser budget grid follows the table.
+    """
+    sample = next(iter(curves.values()))
+    headers = ["Attack"] + [f"q<={t}" for t in sample.thresholds]
+    rows = []
+    for name, curve in curves.items():
+        rows.append([name] + [f"{rate * 100:.1f}%" for rate in curve.rates])
+    text = f"[Figure 3] {classifier_name}\n" + format_table(headers, rows)
+    if chart:
+        budget = max(sample.thresholds)
+        grid = sorted(
+            {int(round(budget ** (i / 11))) for i in range(12)} | {budget}
+        )
+        series = {
+            name: [(q, curve.rate_at(q)) for q in grid]
+            for name, curve in curves.items()
+        }
+        text += "\n" + render_ascii_chart(series, log_x=True)
+    return text
+
+
+def format_transfer(matrix: TransferMatrix) -> str:
+    """Table 1: average queries, targets as rows, sources as columns."""
+    headers = ["Target \\ Synthesized for"] + list(matrix.names)
+    rows = []
+    for target in matrix.names:
+        rows.append(
+            [target]
+            + [_fmt(matrix.entry(target, source)) for source in matrix.names]
+        )
+    return "[Table 1] Transferability (Avg. #Queries)\n" + format_table(headers, rows)
+
+
+def format_ablation(rows: Sequence[AblationRow]) -> str:
+    """Table 2: avg / median / penalized queries per classifier and approach."""
+    headers = [
+        "Classifier",
+        "Approach",
+        "Avg #Queries",
+        "Median #Queries",
+        "Penalized Avg",
+        "Success",
+    ]
+    body = [
+        [
+            row.classifier,
+            row.approach,
+            _fmt(row.avg_queries),
+            _fmt(row.median_queries, 1),
+            _fmt(row.penalized_avg_queries, 1),
+            f"{row.success_rate * 100:.1f}%",
+        ]
+        for row in rows
+    ]
+    return "[Table 2] Conditions & search ablation\n" + format_table(headers, body)
+
+
+def render_ascii_chart(
+    series: Mapping[str, Sequence],
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = False,
+) -> str:
+    """Plot ``name -> [(x, y), ...]`` series on a character grid.
+
+    A lightweight stand-in for the paper's figures: each series gets a
+    marker (its name's first letter), axes are annotated with the data
+    ranges.  Useful in benchmark logs where no plotting library exists.
+    """
+    points = [
+        (x, y) for values in series.values() for x, y in values
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if not points or width < 8 or height < 3:
+        return "(no data)"
+
+    def transform(x):
+        return math.log10(max(x, 1e-12)) if log_x else x
+
+    xs = [transform(x) for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = _distinct_markers(list(series))
+    for (name, values), marker in zip(series.items(), markers):
+        for x, y in values:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = int((transform(x) - x_lo) / x_span * (width - 1))
+            row = int((y_hi - y) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = ["".join(row) for row in grid]
+    lines.append("-" * width)
+    x_label = "log10(x)" if log_x else "x"
+    lines.append(
+        f"{x_label}: [{x_lo:g}, {x_hi:g}]   y: [{y_lo:g}, {y_hi:g}]   "
+        + "  ".join(
+            f"{marker}={name}" for name, marker in zip(series, markers)
+        )
+    )
+    return "\n".join(lines)
+
+
+def _distinct_markers(names: Sequence[str]) -> List[str]:
+    """One distinct single-character marker per series.
+
+    Prefers the first unused letter of each name; falls back to digits.
+    """
+    markers: List[str] = []
+    used = set()
+    for name in names:
+        chosen = None
+        for char in name.upper():
+            if char.isalnum() and char not in used:
+                chosen = char
+                break
+        if chosen is None:
+            for char in "0123456789*#@+%":
+                if char not in used:
+                    chosen = char
+                    break
+        markers.append(chosen or "?")
+        used.add(chosen)
+    return markers
+
+
+def format_synthesis_study(study: SynthesisStudy) -> str:
+    """Figure 4: avg test queries vs synthesis queries / iterations."""
+    headers = ["Iteration", "Synthesis queries", "Avg test #queries", "Success"]
+    rows = [
+        [
+            str(point.iteration),
+            str(point.synthesis_queries),
+            _fmt(point.avg_test_queries),
+            f"{point.success_rate * 100:.1f}%",
+        ]
+        for point in study.points
+    ]
+    footer = (
+        f"fixed-prioritization reference: {_fmt(study.fixed_avg_queries)} queries; "
+        f"best improvement: {_fmt(study.improvement_over_fixed, 2)}x"
+    )
+    text = "[Figure 4] Synthesis study\n" + format_table(headers, rows) + "\n" + footer
+    finite = [
+        (point.synthesis_queries, point.avg_test_queries)
+        for point in study.points
+        if math.isfinite(point.avg_test_queries)
+    ]
+    if len(finite) >= 2 and math.isfinite(study.fixed_avg_queries):
+        series = {
+            "oppsla": finite,
+            "fixed": [(x, study.fixed_avg_queries) for x, _ in finite],
+        }
+        text += "\n" + render_ascii_chart(series)
+    return text

@@ -1,0 +1,108 @@
+"""Running an attack over a whole test set and summarizing the outcome.
+
+Every experiment in the paper reduces to "attack each correctly-classified
+test image under a budget and aggregate the query counts", so this module
+is the shared backbone of Figures 3-4 and Tables 1-2.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackResult, OnePixelAttack
+
+Classifier = Callable[[np.ndarray], np.ndarray]
+TestPair = Tuple[np.ndarray, int]
+
+
+@dataclass
+class AttackRunSummary:
+    """Aggregated results of one attack over one test set."""
+
+    attack_name: str
+    results: List[AttackResult]
+    budget: Optional[int]
+
+    @property
+    def total_images(self) -> int:
+        return len(self.results)
+
+    @property
+    def successes(self) -> int:
+        return sum(1 for result in self.results if result.success)
+
+    @property
+    def success_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return self.successes / len(self.results)
+
+    def success_rate_at(self, max_queries: int) -> float:
+        """Fraction of images attacked successfully within ``max_queries``.
+
+        This is the quantity Figure 3 plots: an attack run with a large
+        budget yields the whole success-rate-versus-budget curve, because
+        an image successful at q queries is successful at any q' >= q.
+        """
+        if not self.results:
+            return 0.0
+        hits = sum(
+            1
+            for result in self.results
+            if result.success and result.queries <= max_queries
+        )
+        return hits / len(self.results)
+
+    def success_queries(self) -> List[int]:
+        return [result.queries for result in self.results if result.success]
+
+    @property
+    def avg_queries(self) -> float:
+        """Mean queries over successful attacks (the paper's Avg. #Queries)."""
+        queries = self.success_queries()
+        if not queries:
+            return float("inf")
+        return sum(queries) / len(queries)
+
+    @property
+    def median_queries(self) -> float:
+        queries = self.success_queries()
+        if not queries:
+            return float("inf")
+        return float(statistics.median(queries))
+
+    @property
+    def penalized_avg_queries(self) -> float:
+        """Mean queries over *all* images, failures at their actual cost.
+
+        Unlike :attr:`avg_queries` (the paper's successes-only metric),
+        this is comparable across attacks with *different* success sets:
+        an attack that fails often pays the full budget on each failure
+        instead of silently dropping those images from its average.  With
+        small test sets this is the statistically robust ranking metric.
+        """
+        if not self.results:
+            return float("inf")
+        return sum(result.queries for result in self.results) / len(self.results)
+
+    def curve(self, thresholds: Sequence[int]) -> List[float]:
+        """Success rate at each query threshold."""
+        return [self.success_rate_at(threshold) for threshold in thresholds]
+
+
+def attack_dataset(
+    attack: OnePixelAttack,
+    classifier: Classifier,
+    test_pairs: Sequence[TestPair],
+    budget: Optional[int] = None,
+) -> AttackRunSummary:
+    """Attack every (image, true_class) pair and collect the results."""
+    results = [
+        attack.attack(classifier, image, true_class, budget=budget)
+        for image, true_class in test_pairs
+    ]
+    return AttackRunSummary(attack_name=attack.name, results=results, budget=budget)

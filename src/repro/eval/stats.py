@@ -1,0 +1,109 @@
+"""Statistical utilities for experiment reporting.
+
+The paper reports point estimates; at our smaller test-set sizes a
+confidence interval is the honest companion.  Bootstrap resampling keeps
+the machinery assumption-free for the heavily skewed query-count
+distributions one-pixel attacks produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate and its bootstrap interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.2f} "
+            f"[{self.lower:.2f}, {self.upper:.2f}] @ {self.confidence:.0%}"
+        )
+
+
+def bootstrap_mean(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap percentile interval for the mean of ``values``."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("need at least one value")
+    rng = np.random.default_rng(seed)
+    samples = rng.choice(values, size=(resamples, values.size), replace=True)
+    means = samples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        estimate=float(values.mean()),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+    )
+
+
+def bootstrap_success_rate(
+    successes: int,
+    total: int,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap interval for a binomial success rate."""
+    if total <= 0:
+        raise ValueError("total must be positive")
+    if not 0 <= successes <= total:
+        raise ValueError("successes must be within [0, total]")
+    outcomes = np.zeros(total)
+    outcomes[:successes] = 1.0
+    return bootstrap_mean(outcomes, confidence, resamples, seed)
+
+
+def bootstrap_mean_difference(
+    a: Sequence[float],
+    b: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap interval for ``mean(a) - mean(b)`` (unpaired).
+
+    If the interval excludes zero, the difference is significant at the
+    given confidence level -- the check to run before claiming that one
+    attack "needs fewer queries" than another.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    rng = np.random.default_rng(seed)
+    diffs = np.empty(resamples)
+    for index in range(resamples):
+        diffs[index] = (
+            rng.choice(a, size=a.size, replace=True).mean()
+            - rng.choice(b, size=b.size, replace=True).mean()
+        )
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(diffs, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        estimate=float(a.mean() - b.mean()),
+        lower=float(lower),
+        upper=float(upper),
+        confidence=confidence,
+    )

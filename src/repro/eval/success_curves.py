@@ -1,0 +1,60 @@
+"""Figure 3: success rate as a function of the query budget.
+
+For each classifier the paper runs OPPSLA's synthesized program and the
+two baselines (Sparse-RS, SuOPA) on every correctly-classified test image
+with a 10000-query cap, then reports the success rate at budgets 100, 500
+and 10000 (500 and 10000 for ImageNet).  One run per attack suffices: the
+success-rate-at-q curve is monotone in q and derived from per-image query
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.attacks.base import OnePixelAttack
+from repro.eval.runner import AttackRunSummary, Classifier, TestPair, attack_dataset
+
+#: the paper's reported thresholds
+CIFAR_THRESHOLDS = (100, 500, 10000)
+IMAGENET_THRESHOLDS = (500, 10000)
+
+
+@dataclass
+class SuccessCurve:
+    """One attack's success-rate curve on one classifier."""
+
+    attack_name: str
+    summary: AttackRunSummary
+    thresholds: Sequence[int]
+
+    @property
+    def rates(self) -> List[float]:
+        return self.summary.curve(self.thresholds)
+
+    def rate_at(self, threshold: int) -> float:
+        return self.summary.success_rate_at(threshold)
+
+
+def success_curves(
+    attacks: Sequence[OnePixelAttack],
+    classifier: Classifier,
+    test_pairs: Sequence[TestPair],
+    thresholds: Sequence[int] = CIFAR_THRESHOLDS,
+    budget: int = None,
+) -> Dict[str, SuccessCurve]:
+    """Run every attack once and derive its success curve.
+
+    ``budget`` defaults to the largest threshold (the paper's cap).
+    """
+    if not thresholds:
+        raise ValueError("need at least one threshold")
+    budget = budget if budget is not None else max(thresholds)
+    curves: Dict[str, SuccessCurve] = {}
+    for attack in attacks:
+        summary = attack_dataset(attack, classifier, test_pairs, budget=budget)
+        curves[attack.name] = SuccessCurve(
+            attack_name=attack.name, summary=summary, thresholds=tuple(thresholds)
+        )
+    return curves

@@ -1,0 +1,107 @@
+"""Figure 4: attack quality as a function of synthesis cost.
+
+The paper synthesizes a program for one classifier and one class's
+training set, records every intermediate accepted program, replays each
+on a held-out test set, and plots the resulting average query count
+against (left) the cumulative synthesis queries paid up to that
+acceptance and (right) the iteration index.  The horizontal reference is
+the fixed-prioritization program (all conditions ``False``), which costs
+zero synthesis queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.attacks.fixed_sketch import false_program
+from repro.attacks.sketch_attack import SketchAttack
+from repro.core.synthesis.oppsla import Oppsla, OppslaConfig, SynthesisResult
+from repro.eval.runner import Classifier, TestPair, attack_dataset
+
+
+@dataclass
+class StudyPoint:
+    """One accepted program, replayed on the test set."""
+
+    iteration: int
+    synthesis_queries: int
+    avg_test_queries: float
+    success_rate: float
+
+
+@dataclass
+class SynthesisStudy:
+    """The full Figure 4 data: one point per accepted program."""
+
+    points: List[StudyPoint]
+    fixed_avg_queries: float  # the Sketch+False reference line
+    result: SynthesisResult
+
+    @property
+    def best_avg_queries(self) -> float:
+        return min(point.avg_test_queries for point in self.points)
+
+    @property
+    def improvement_over_fixed(self) -> float:
+        """How many times fewer queries the best program needs."""
+        best = self.best_avg_queries
+        if best == 0:
+            return float("inf")
+        return self.fixed_avg_queries / best
+
+
+def synthesis_study(
+    classifier: Classifier,
+    training_pairs: Sequence[TestPair],
+    test_pairs: Sequence[TestPair],
+    config: OppslaConfig = None,
+    replay_budget: Optional[int] = None,
+    max_points: Optional[int] = None,
+) -> SynthesisStudy:
+    """Run one synthesis and replay accepted programs on the test set.
+
+    ``max_points`` caps the number of accepted programs replayed (they
+    are subsampled evenly, always keeping the first and last); replaying
+    a program costs a full attack run per test image, so long traces get
+    expensive fast.
+    """
+    config = config or OppslaConfig()
+    result = Oppsla(config).synthesize(classifier, training_pairs)
+
+    accepted_list = list(result.trace.accepted)
+    if max_points is not None and len(accepted_list) > max_points:
+        if max_points < 2:
+            raise ValueError("max_points must be at least 2")
+        indices = sorted(
+            {
+                round(i * (len(accepted_list) - 1) / (max_points - 1))
+                for i in range(max_points)
+            }
+        )
+        accepted_list = [accepted_list[i] for i in indices]
+
+    points = []
+    for accepted in accepted_list:
+        attack = SketchAttack(accepted.program)
+        summary = attack_dataset(attack, classifier, test_pairs, budget=replay_budget)
+        points.append(
+            StudyPoint(
+                iteration=accepted.iteration,
+                synthesis_queries=accepted.cumulative_queries,
+                avg_test_queries=summary.avg_queries,
+                success_rate=summary.success_rate,
+            )
+        )
+
+    fixed_summary = attack_dataset(
+        SketchAttack(false_program(), label="Sketch+False"),
+        classifier,
+        test_pairs,
+        budget=replay_budget,
+    )
+    return SynthesisStudy(
+        points=points,
+        fixed_avg_queries=fixed_summary.avg_queries,
+        result=result,
+    )

@@ -1,0 +1,75 @@
+"""Table 1: transferability of synthesized programs across classifiers.
+
+A program synthesized for classifier A is run against classifier B and
+the average query count recorded.  Success does not depend on the program
+(any sketch instantiation is complete), so transfer quality is purely a
+query-count question; the diagonal (A attacks A) is the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.attacks.sketch_attack import SketchAttack
+from repro.core.dsl.ast import Program
+from repro.eval.runner import AttackRunSummary, Classifier, TestPair, attack_dataset
+
+
+@dataclass
+class TransferMatrix:
+    """Average queries for every (synthesized-for, target) pair."""
+
+    names: Sequence[str]
+    avg_queries: Dict[str, Dict[str, float]]  # [target][source] -> avg
+    summaries: Dict[str, Dict[str, AttackRunSummary]]
+
+    def entry(self, target: str, source: str) -> float:
+        return self.avg_queries[target][source]
+
+    def diagonal(self, name: str) -> float:
+        return self.avg_queries[name][name]
+
+    def transfer_overhead(self, target: str, source: str) -> float:
+        """Ratio of transferred to native average query count on ``target``."""
+        native = self.diagonal(target)
+        if native == 0:
+            return float("inf")
+        return self.entry(target, source) / native
+
+
+def transfer_matrix(
+    programs: Mapping[str, Program],
+    classifiers: Mapping[str, Classifier],
+    test_pairs: Mapping[str, Sequence[TestPair]],
+    budget: Optional[int] = None,
+) -> TransferMatrix:
+    """Cross-evaluate every program against every classifier.
+
+    Parameters
+    ----------
+    programs:
+        ``name -> synthesized program`` (the "Synthesized for" columns).
+    classifiers:
+        ``name -> black-box classifier`` (the "Target" rows).
+    test_pairs:
+        Per-target test sets (each target's correctly-classified images).
+    budget:
+        Optional per-image query cap.
+    """
+    if set(programs) != set(classifiers) or set(programs) != set(test_pairs):
+        raise ValueError("programs, classifiers and test sets must share keys")
+    names = sorted(programs)
+    avg: Dict[str, Dict[str, float]] = {}
+    summaries: Dict[str, Dict[str, AttackRunSummary]] = {}
+    for target in names:
+        avg[target] = {}
+        summaries[target] = {}
+        for source in names:
+            attack = SketchAttack(programs[source], label=f"OPPSLA[{source}]")
+            summary = attack_dataset(
+                attack, classifiers[target], test_pairs[target], budget=budget
+            )
+            avg[target][source] = summary.avg_queries
+            summaries[target][source] = summary
+    return TransferMatrix(names=names, avg_queries=avg, summaries=summaries)

@@ -1,0 +1,28 @@
+"""Scaled-down versions of the paper's classifier architectures.
+
+The paper attacks pretrained VGG-16-BN, ResNet18 and GoogLeNet on CIFAR-10
+and DenseNet121 and ResNet50 on ImageNet.  This package provides the same
+architectural *families* at a width/depth budget trainable on CPU with the
+numpy framework, plus a model zoo that trains-on-first-use and caches
+weights on disk.
+"""
+
+from repro.models.densenet import MiniDenseNet
+from repro.models.googlenet import MiniGoogLeNet
+from repro.models.registry import ARCHITECTURES, build_model
+from repro.models.resnet import MiniResNet, MiniResNetBottleneck
+from repro.models.vgg import MiniVGG
+from repro.models.zoo import ModelZoo, TrainedModel, ZooConfig
+
+__all__ = [
+    "MiniVGG",
+    "MiniResNet",
+    "MiniResNetBottleneck",
+    "MiniGoogLeNet",
+    "MiniDenseNet",
+    "ARCHITECTURES",
+    "build_model",
+    "ModelZoo",
+    "TrainedModel",
+    "ZooConfig",
+]

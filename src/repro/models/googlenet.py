@@ -1,0 +1,101 @@
+"""A GoogLeNet-style architecture at reduced scale.
+
+Keeps the family's defining inception module: four parallel branches
+(1x1; 1x1 -> 3x3; 1x1 -> 5x5; 3x3 max-pool -> 1x1) concatenated along the
+channel axis.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.models.vgg import conv_bn_relu
+from repro.nn.layers.container import Sequential
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.pool import GlobalAvgPool2d, MaxPool2d
+from repro.nn.layers.shape import Concat
+from repro.nn.module import Module
+
+
+def _conv_bn_relu_k(
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    rng: np.random.Generator,
+) -> Sequential:
+    padding = kernel // 2
+    return Sequential(
+        Conv2d(in_channels, out_channels, kernel, padding=padding, bias=False, rng=rng),
+        BatchNorm2d(out_channels),
+        ReLU(),
+    )
+
+
+def inception_module(
+    in_channels: int,
+    branch_channels: Tuple[int, int, int, int],
+    rng: np.random.Generator,
+) -> Concat:
+    """An inception module with per-branch output widths.
+
+    ``branch_channels = (c1, c3, c5, cp)`` are the widths of the 1x1,
+    3x3, 5x5 and pool-projection branches; the module outputs their sum.
+    """
+    c1, c3, c5, cp = branch_channels
+    mid3 = max(c3 // 2, 4)
+    mid5 = max(c5 // 2, 4)
+    branches = [
+        _conv_bn_relu_k(in_channels, c1, 1, rng),
+        Sequential(
+            _conv_bn_relu_k(in_channels, mid3, 1, rng),
+            _conv_bn_relu_k(mid3, c3, 3, rng),
+        ),
+        Sequential(
+            _conv_bn_relu_k(in_channels, mid5, 1, rng),
+            _conv_bn_relu_k(mid5, c5, 5, rng),
+        ),
+        Sequential(
+            MaxPool2d(3, stride=1, padding=1),
+            _conv_bn_relu_k(in_channels, cp, 1, rng),
+        ),
+    ]
+    return Concat(branches)
+
+
+class MiniGoogLeNet(Module):
+    """GoogLeNet-style network: stem, stacked inception modules, GAP head."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        stem_channels: int = 16,
+        module_specs: Sequence[Tuple[int, int, int, int]] = (
+            (8, 12, 4, 4),
+            (12, 16, 8, 8),
+            (16, 24, 8, 8),
+        ),
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        body = Sequential(conv_bn_relu(3, stem_channels, rng))
+        in_channels = stem_channels
+        for index, spec in enumerate(module_specs):
+            body.append(inception_module(in_channels, spec, rng))
+            in_channels = sum(spec)
+            if index < len(module_specs) - 1:
+                body.append(MaxPool2d(2))
+        body.append(GlobalAvgPool2d())
+        self.features = body
+        self.head = Linear(in_channels, num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.head(self.features(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.head.backward(grad_output))

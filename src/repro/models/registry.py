@@ -1,0 +1,38 @@
+"""Architecture registry mapping paper names to builders.
+
+The names mirror the paper's evaluation: ``vgg16bn``, ``resnet18`` and
+``googlenet`` are the CIFAR-10 classifiers; ``densenet121`` and
+``resnet50`` are the ImageNet classifiers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.models.densenet import MiniDenseNet
+from repro.models.googlenet import MiniGoogLeNet
+from repro.models.resnet import MiniResNet, MiniResNetBottleneck
+from repro.models.vgg import MiniVGG
+from repro.nn.module import Module
+
+ARCHITECTURES: Dict[str, Callable[..., Module]] = {
+    "vgg16bn": MiniVGG,
+    "resnet18": MiniResNet,
+    "googlenet": MiniGoogLeNet,
+    "densenet121": MiniDenseNet,
+    "resnet50": MiniResNetBottleneck,
+}
+
+CIFAR_ARCHITECTURES = ("googlenet", "resnet18", "vgg16bn")
+IMAGENET_ARCHITECTURES = ("densenet121", "resnet50")
+
+
+def build_model(name: str, num_classes: int, seed: int = 0) -> Module:
+    """Instantiate a registered architecture by name."""
+    try:
+        builder = ARCHITECTURES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown architecture {name!r}; known: {sorted(ARCHITECTURES)}"
+        ) from None
+    return builder(num_classes=num_classes, seed=seed)

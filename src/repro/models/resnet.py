@@ -1,0 +1,137 @@
+"""ResNet-style architectures at reduced scale.
+
+:class:`MiniResNet` uses the basic (two 3x3 convs) block of ResNet18;
+:class:`MiniResNetBottleneck` uses the 1x1-3x3-1x1 bottleneck block of
+ResNet50.  Both keep the family's defining identity-shortcut structure
+with a projection shortcut where shape changes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.models.vgg import conv_bn_relu
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.container import Residual, Sequential
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pool import GlobalAvgPool2d
+from repro.nn.module import Module
+
+
+def _projection(
+    in_channels: int, out_channels: int, stride: int, rng: np.random.Generator
+) -> Sequential:
+    """1x1 strided conv + BN shortcut used when the block changes shape."""
+    return Sequential(
+        Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=rng),
+        BatchNorm2d(out_channels),
+    )
+
+
+def basic_block(
+    in_channels: int, out_channels: int, stride: int, rng: np.random.Generator
+) -> Sequential:
+    """ResNet18 basic block: [3x3 conv-BN-ReLU, 3x3 conv-BN] + skip, ReLU."""
+    body = Sequential(
+        Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        ),
+        BatchNorm2d(out_channels),
+        ReLU(),
+        Conv2d(out_channels, out_channels, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(out_channels),
+    )
+    shortcut = None
+    if stride != 1 or in_channels != out_channels:
+        shortcut = _projection(in_channels, out_channels, stride, rng)
+    return Sequential(Residual(body, shortcut), ReLU())
+
+
+def bottleneck_block(
+    in_channels: int,
+    out_channels: int,
+    stride: int,
+    rng: np.random.Generator,
+    reduction: int = 4,
+) -> Sequential:
+    """ResNet50 bottleneck block: 1x1 reduce, 3x3, 1x1 expand + skip, ReLU."""
+    mid = max(out_channels // reduction, 4)
+    body = Sequential(
+        Conv2d(in_channels, mid, 1, bias=False, rng=rng),
+        BatchNorm2d(mid),
+        ReLU(),
+        Conv2d(mid, mid, 3, stride=stride, padding=1, bias=False, rng=rng),
+        BatchNorm2d(mid),
+        ReLU(),
+        Conv2d(mid, out_channels, 1, bias=False, rng=rng),
+        BatchNorm2d(out_channels),
+    )
+    shortcut = None
+    if stride != 1 or in_channels != out_channels:
+        shortcut = _projection(in_channels, out_channels, stride, rng)
+    return Sequential(Residual(body, shortcut), ReLU())
+
+
+class _ResNetBase(Module):
+    """Shared stem / stage / head assembly for both block types."""
+
+    def __init__(
+        self,
+        block_fn,
+        num_classes: int,
+        stage_channels: Sequence[int],
+        blocks_per_stage: int,
+        seed: int,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        body = Sequential(conv_bn_relu(3, stage_channels[0], rng))
+        in_channels = stage_channels[0]
+        for stage, width in enumerate(stage_channels):
+            for block in range(blocks_per_stage):
+                stride = 2 if (stage > 0 and block == 0) else 1
+                body.append(block_fn(in_channels, width, stride, rng))
+                in_channels = width
+        body.append(GlobalAvgPool2d())
+        self.features = body
+        self.head = Linear(in_channels, num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.head(self.features(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.head.backward(grad_output))
+
+
+class MiniResNet(_ResNetBase):
+    """ResNet18-style network with basic blocks."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        stage_channels: Sequence[int] = (16, 32, 64),
+        blocks_per_stage: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__(
+            basic_block, num_classes, stage_channels, blocks_per_stage, seed
+        )
+
+
+class MiniResNetBottleneck(_ResNetBase):
+    """ResNet50-style network with bottleneck blocks."""
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        stage_channels: Sequence[int] = (16, 32, 64),
+        blocks_per_stage: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__(
+            bottleneck_block, num_classes, stage_channels, blocks_per_stage, seed
+        )

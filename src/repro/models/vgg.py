@@ -1,0 +1,78 @@
+"""A VGG-16-BN-style architecture at reduced scale.
+
+The defining features of the family are preserved: homogeneous stacks of
+3x3 conv + batch-norm + ReLU, doubling channel width across stages, and
+max-pool downsampling between stages.  A global average pool replaces the
+original fully connected head so one model definition serves both the
+32x32 CIFAR-like and 48x48 ImageNet-like inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers.activation import ReLU
+from repro.nn.layers.container import Sequential
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pool import GlobalAvgPool2d, MaxPool2d
+from repro.nn.module import Module
+
+
+def conv_bn_relu(
+    in_channels: int, out_channels: int, rng: np.random.Generator, stride: int = 1
+) -> Sequential:
+    """The VGG building block: 3x3 conv (no bias) + BN + ReLU."""
+    return Sequential(
+        Conv2d(
+            in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=rng
+        ),
+        BatchNorm2d(out_channels),
+        ReLU(),
+    )
+
+
+class MiniVGG(Module):
+    """VGG-16-BN-style network.
+
+    Parameters
+    ----------
+    num_classes:
+        Output dimension.
+    stage_channels:
+        Channel width of each stage (each stage is ``convs_per_stage``
+        conv-BN-ReLU blocks followed by a 2x2 max pool).
+    convs_per_stage:
+        Blocks per stage (VGG-16 uses 2-3; default 2).
+    seed:
+        Weight initialization seed.
+    """
+
+    def __init__(
+        self,
+        num_classes: int = 10,
+        stage_channels: Sequence[int] = (16, 32, 64),
+        convs_per_stage: int = 2,
+        seed: int = 0,
+    ):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        body = Sequential()
+        in_channels = 3
+        for width in stage_channels:
+            for _ in range(convs_per_stage):
+                body.append(conv_bn_relu(in_channels, width, rng))
+                in_channels = width
+            body.append(MaxPool2d(2))
+        body.append(GlobalAvgPool2d())
+        self.features = body
+        self.head = Linear(in_channels, num_classes, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.head(self.features(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.features.backward(self.head.backward(grad_output))

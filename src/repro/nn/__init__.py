@@ -1,0 +1,57 @@
+"""A small, from-scratch numpy deep-learning framework.
+
+This subpackage is the substrate that stands in for PyTorch in the paper's
+evaluation: it provides everything needed to define, train, serialize and
+run the convolutional classifiers that the one-pixel attacks target.
+
+The design follows the familiar layer-object idiom: a :class:`Module` owns
+:class:`Parameter` objects, ``forward`` computes outputs while caching what
+``backward`` needs, and optimizers update parameters in place.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers.activation import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.container import Residual, Sequential
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pool import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.layers.shape import Flatten
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.optim import SGD, Adam
+from repro.nn.schedulers import CosineAnnealing, StepDecay, WarmupWrapper
+from repro.nn.serialization import load_state, save_state
+from repro.nn.summary import describe, parameter_table
+from repro.nn.trainer import Trainer, TrainConfig
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Residual",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "CrossEntropyLoss",
+    "SGD",
+    "Adam",
+    "save_state",
+    "load_state",
+    "Trainer",
+    "TrainConfig",
+    "Dropout",
+    "StepDecay",
+    "CosineAnnealing",
+    "WarmupWrapper",
+    "describe",
+    "parameter_table",
+]

@@ -1,0 +1,39 @@
+"""Weight initialization schemes.
+
+All initializers take an explicit :class:`numpy.random.Generator` so model
+construction is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def kaiming_normal(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int
+) -> np.ndarray:
+    """He initialization for ReLU networks: ``N(0, sqrt(2 / fan_in))``."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: Tuple[int, ...], fan_in: int, fan_out: int
+) -> np.ndarray:
+    """Glorot uniform initialization: ``U(-a, a)`` with ``a = sqrt(6/(in+out))``."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,25 @@
+"""Layer implementations for the numpy framework."""
+
+from repro.nn.layers.activation import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.container import Residual, Sequential
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pool import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.layers.shape import Flatten
+
+__all__ = [
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Sequential",
+    "Residual",
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+]

@@ -1,0 +1,49 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` over (N, in_features) inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            initializers.kaiming_normal(rng, (out_features, in_features), in_features)
+        )
+        self.bias = Parameter(initializers.zeros((out_features,))) if bias else None
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected (N, {self.in_features}) input, got {x.shape}"
+            )
+        self._cache = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        x = self._cache
+        self.weight.grad += grad_output.T @ x
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.data

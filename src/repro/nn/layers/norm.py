@@ -1,0 +1,94 @@
+"""Batch normalization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalization over (N, C, H, W) inputs.
+
+    Running statistics are updated with exponential averaging during
+    training and used verbatim in evaluation mode, matching the standard
+    semantics.
+    """
+
+    _buffer_names = ("running_mean", "running_var")
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.gamma = Parameter(initializers.ones((num_features,)))
+        self.beta = Parameter(initializers.zeros((num_features,)))
+        self.running_mean = np.zeros(num_features, dtype=np.float64)
+        self.running_var = np.ones(num_features, dtype=np.float64)
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected (N, {self.num_features}, H, W) input, got {x.shape}"
+            )
+        if self.training:
+            axes = (0, 2, 3)
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            count = x.shape[0] * x.shape[2] * x.shape[3]
+            # unbiased variance for the running estimate, as in torch
+            unbiased = var * count / max(count - 1, 1)
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            )
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * unbiased
+            )
+        else:
+            # inference fast path: fold normalization and affine into one
+            # fused multiply-add (x_hat is reconstructed lazily if a
+            # backward pass is ever requested in eval mode)
+            inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+            scale = (self.gamma.data * inv_std).astype(x.dtype)
+            shift = (self.beta.data - self.running_mean * scale).astype(x.dtype)
+            out = x * scale[None, :, None, None]
+            out += shift[None, :, None, None]
+            self._cache = ("eval", x, inv_std)
+            return out
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        out = (
+            self.gamma.data[None, :, None, None] * x_hat
+            + self.beta.data[None, :, None, None]
+        )
+        self._cache = ("train", x_hat, inv_std)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        mode, cached, inv_std = self._cache
+        axes = (0, 2, 3)
+        count = grad_output.shape[0] * grad_output.shape[2] * grad_output.shape[3]
+        if mode == "eval":
+            x_hat = (
+                cached - self.running_mean[None, :, None, None]
+            ) * inv_std[None, :, None, None]
+            self.gamma.grad += (grad_output * x_hat).sum(axis=axes)
+            self.beta.grad += grad_output.sum(axis=axes)
+            return grad_output * (self.gamma.data * inv_std)[None, :, None, None]
+        x_hat = cached
+        self.gamma.grad += (grad_output * x_hat).sum(axis=axes)
+        self.beta.grad += grad_output.sum(axis=axes)
+        grad_xhat = grad_output * self.gamma.data[None, :, None, None]
+        sum_g = grad_xhat.sum(axis=axes, keepdims=True)
+        sum_gx = (grad_xhat * x_hat).sum(axis=axes, keepdims=True)
+        return (
+            inv_std[None, :, None, None]
+            * (grad_xhat - sum_g / count - x_hat * sum_gx / count)
+        )

@@ -1,0 +1,53 @@
+"""Loss functions.
+
+Losses follow the same forward/backward protocol as layers but take the
+target as a second argument and return a scalar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+
+
+class CrossEntropyLoss:
+    """Softmax cross entropy over integer class labels, mean-reduced.
+
+    Supports optional label smoothing, which both regularizes training and
+    keeps the trained classifiers from saturating to razor-thin decision
+    margins (real pretrained networks are similarly calibrated, and the
+    one-pixel attack literature depends on non-degenerate margins).
+    """
+
+    def __init__(self, label_smoothing: float = 0.0):
+        if not 0.0 <= label_smoothing < 1.0:
+            raise ValueError("label_smoothing must be in [0, 1)")
+        self.label_smoothing = label_smoothing
+        self._cache = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be (N, C), got {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels must be (N,), got {labels.shape} for logits {logits.shape}"
+            )
+        n, c = logits.shape
+        log_probs = log_softmax(logits, axis=1)
+        smooth = self.label_smoothing
+        target = np.full((n, c), smooth / c, dtype=np.float64)
+        target[np.arange(n), labels] += 1.0 - smooth
+        loss = -(target * log_probs).sum(axis=1).mean()
+        self._cache = (logits, target)
+        return float(loss)
+
+    def backward(self) -> np.ndarray:
+        logits, target = self._cache
+        n = logits.shape[0]
+        probs = softmax(logits, axis=1)
+        return (probs - target) / n
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)

@@ -1,0 +1,184 @@
+"""Base classes for the numpy neural-network framework.
+
+A :class:`Module` is a node in a tree of layers.  Child modules and
+parameters are discovered by attribute inspection (registered at
+``__setattr__`` time), which keeps layer definitions declarative::
+
+    class Block(Module):
+        def __init__(self):
+            super().__init__()
+            self.conv = Conv2d(3, 16, 3, padding=1)
+            self.bn = BatchNorm2d(16)
+
+Every module implements ``forward`` (caching whatever ``backward`` needs on
+``self``) and ``backward`` (consuming the cache, accumulating parameter
+gradients, and returning the gradient with respect to its input).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor: a value array plus an accumulated gradient."""
+
+    __slots__ = ("data", "grad")
+
+    def __init__(self, data: np.ndarray):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and models."""
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration ------------------------------------------------------
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        """Register a child module that is not a plain attribute.
+
+        Containers holding modules in lists use this so traversal still
+        finds every child.
+        """
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal ---------------------------------------------------------
+
+    def children(self) -> Iterator["Module"]:
+        return iter(self._modules.values())
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant, depth-first."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def parameters(self) -> List[Parameter]:
+        params: List[Parameter] = []
+        for module in self.modules():
+            params.extend(module._parameters.values())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Yield persistent non-trainable state (e.g. batch-norm statistics)."""
+        for name in getattr(self, "_buffer_names", ()):
+            yield (f"{prefix}{name}", getattr(self, name))
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    # -- mode switching ----------------------------------------------------
+
+    def train(self) -> "Module":
+        for module in self.modules():
+            module.training = True
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            module.training = False
+        return self
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- compute -----------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- state dict --------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state = {name: param.data for name, param in self.named_parameters()}
+        state.update({name: buf for name, buf in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = {name: None for name, _ in self.named_buffers()}
+        missing = (set(own_params) | set(own_buffers)) - set(state)
+        unexpected = set(state) - (set(own_params) | set(own_buffers))
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}"
+            )
+        for name, param in own_params.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"{value.shape} vs {param.data.shape}"
+                )
+            param.data = value
+        self._load_buffers(state, prefix="")
+
+    def _load_buffers(self, state: Dict[str, np.ndarray], prefix: str) -> None:
+        for name in getattr(self, "_buffer_names", ()):
+            key = f"{prefix}{name}"
+            value = np.asarray(state[key], dtype=np.float64)
+            object.__setattr__(self, name, value)
+        for child_name, child in self._modules.items():
+            child._load_buffers(state, prefix=f"{prefix}{child_name}.")
+
+    def astype(self, dtype) -> "Module":
+        """Cast all parameters and buffers in place (e.g. to float32).
+
+        Intended for inference: float32 roughly halves matmul time on
+        CPU.  Gradients are re-allocated in the new dtype, so training
+        afterwards works but at the reduced precision.
+        """
+        for param in self.parameters():
+            param.data = param.data.astype(dtype)
+            param.grad = param.grad.astype(dtype)
+        for module in self.modules():
+            for name in getattr(module, "_buffer_names", ()):
+                object.__setattr__(
+                    module, name, getattr(module, name).astype(dtype)
+                )
+        return self
+
+    def num_parameters(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.parameters())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(params={self.num_parameters()})"

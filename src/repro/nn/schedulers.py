@@ -1,0 +1,80 @@
+"""Learning-rate schedulers.
+
+Schedulers mutate an optimizer's ``lr`` in place; call :meth:`step` once
+per epoch.  They complement the simple step-decay built into
+:class:`~repro.nn.trainer.TrainConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.nn.optim import Optimizer
+
+
+class Scheduler:
+    """Base class tracking the epoch counter and the initial rate."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.rate(self.epoch)
+        return self.optimizer.lr
+
+    def rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepDecay(Scheduler):
+    """Multiply the rate by ``factor`` every ``period`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, period: int, factor: float = 0.1):
+        super().__init__(optimizer)
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        self.period = period
+        self.factor = factor
+
+    def rate(self, epoch: int) -> float:
+        return self.base_lr * self.factor ** (epoch // self.period)
+
+
+class CosineAnnealing(Scheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def rate(self, epoch: int) -> float:
+        progress = min(epoch / self.total_epochs, 1.0)
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupWrapper(Scheduler):
+    """Linear warmup for ``warmup_epochs``, then delegate to ``inner``."""
+
+    def __init__(self, inner: Scheduler, warmup_epochs: int):
+        super().__init__(inner.optimizer)
+        if warmup_epochs < 0:
+            raise ValueError("warmup_epochs must be non-negative")
+        self.inner = inner
+        self.warmup_epochs = warmup_epochs
+
+    def rate(self, epoch: int) -> float:
+        if self.warmup_epochs and epoch <= self.warmup_epochs:
+            return self.base_lr * epoch / self.warmup_epochs
+        return self.inner.rate(epoch - self.warmup_epochs)

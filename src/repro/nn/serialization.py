@@ -1,0 +1,27 @@
+"""Weight serialization to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state(model: Module, path: Union[str, os.PathLike]) -> None:
+    """Save a model's parameters and buffers to a compressed ``.npz``."""
+    state = model.state_dict()
+    directory = os.path.dirname(os.fspath(path))
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state(model: Module, path: Union[str, os.PathLike]) -> Module:
+    """Load parameters and buffers saved by :func:`save_state` into ``model``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state)
+    return model

@@ -1,0 +1,50 @@
+"""Human-readable model summaries."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def describe(model: Module, max_depth: int = 3) -> str:
+    """An indented tree of the model's modules and parameter counts.
+
+    Example output::
+
+        MiniVGG  (23,466 params)
+          features: Sequential  (23,136 params)
+            layer0: Sequential  (448 params)
+            ...
+          head: Linear  (330 params)
+    """
+    lines: List[str] = []
+
+    def visit(module: Module, name: str, depth: int) -> None:
+        count = module.num_parameters()
+        label = f"{name}: " if name else ""
+        lines.append(
+            f"{'  ' * depth}{label}{type(module).__name__}"
+            f"  ({count:,} params)"
+        )
+        if depth >= max_depth:
+            return
+        for child_name, child in module._modules.items():
+            visit(child, child_name, depth + 1)
+
+    visit(model, "", 0)
+    return "\n".join(lines)
+
+
+def parameter_table(model: Module) -> str:
+    """Every named parameter with its shape and size."""
+    rows = []
+    total = 0
+    for name, param in model.named_parameters():
+        size = int(np.prod(param.shape))
+        total += size
+        rows.append(f"{name:50s} {str(param.shape):20s} {size:>10,}")
+    rows.append(f"{'total':50s} {'':20s} {total:>10,}")
+    return "\n".join(rows)

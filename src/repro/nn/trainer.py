@@ -1,0 +1,117 @@
+"""A minimal training loop for the numpy framework."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Module
+from repro.nn.optim import Adam, Optimizer
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for :class:`Trainer`.
+
+    ``lr_decay_epochs`` lists epochs after which the learning rate is
+    multiplied by ``lr_decay_factor`` (a simple step schedule).
+    """
+
+    epochs: int = 10
+    batch_size: int = 64
+    lr: float = 1e-3
+    weight_decay: float = 0.0
+    label_smoothing: float = 0.0
+    lr_decay_epochs: List[int] = field(default_factory=list)
+    lr_decay_factor: float = 0.1
+    shuffle: bool = True
+    augment: bool = False  # flips / shifts / brightness on each batch
+    seed: int = 0
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch training metrics."""
+
+    epoch: int
+    loss: float
+    accuracy: float
+
+
+class Trainer:
+    """Trains a classifier with Adam and softmax cross entropy.
+
+    The trainer owns no global state; given the same model initialization,
+    data and config seed, training is fully deterministic.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        config: TrainConfig,
+        optimizer: Optional[Optimizer] = None,
+        on_epoch_end: Optional[Callable[[EpochStats], None]] = None,
+    ):
+        self.model = model
+        self.config = config
+        self.loss_fn = CrossEntropyLoss(label_smoothing=config.label_smoothing)
+        self.optimizer = optimizer or Adam(
+            model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+        )
+        self.on_epoch_end = on_epoch_end
+        self.history: List[EpochStats] = []
+
+    def fit(self, images: np.ndarray, labels: np.ndarray) -> List[EpochStats]:
+        """Train on (N, C, H, W) images with integer labels."""
+        if images.shape[0] != labels.shape[0]:
+            raise ValueError("images and labels must have the same length")
+        rng = np.random.default_rng(self.config.seed)
+        n = images.shape[0]
+        for epoch in range(self.config.epochs):
+            if epoch in self.config.lr_decay_epochs:
+                self.optimizer.lr *= self.config.lr_decay_factor
+            order = rng.permutation(n) if self.config.shuffle else np.arange(n)
+            self.model.train()
+            total_loss = 0.0
+            total_correct = 0
+            for start in range(0, n, self.config.batch_size):
+                batch = order[start : start + self.config.batch_size]
+                x = images[batch]
+                y = labels[batch]
+                if self.config.augment:
+                    # augmentation operates channels-last
+                    from repro.data.augment import augment_batch
+
+                    x = augment_batch(
+                        np.ascontiguousarray(x.transpose(0, 2, 3, 1)), rng
+                    ).transpose(0, 3, 1, 2)
+                logits = self.model(x)
+                loss = self.loss_fn(logits, y)
+                self.optimizer.zero_grad()
+                self.model.backward(self.loss_fn.backward())
+                self.optimizer.step()
+                total_loss += loss * len(batch)
+                total_correct += int((logits.argmax(axis=1) == y).sum())
+            stats = EpochStats(
+                epoch=epoch, loss=total_loss / n, accuracy=total_correct / n
+            )
+            self.history.append(stats)
+            if self.on_epoch_end is not None:
+                self.on_epoch_end(stats)
+        return self.history
+
+    def evaluate(
+        self, images: np.ndarray, labels: np.ndarray, batch_size: int = 256
+    ) -> float:
+        """Return classification accuracy in evaluation mode."""
+        self.model.eval()
+        correct = 0
+        for start in range(0, images.shape[0], batch_size):
+            x = images[start : start + batch_size]
+            y = labels[start : start + batch_size]
+            logits = self.model(x)
+            correct += int((logits.argmax(axis=1) == y).sum())
+        return correct / images.shape[0]

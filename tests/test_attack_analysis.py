@@ -1,0 +1,90 @@
+"""Tests for the spatial / chromatic attack-profile analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackResult
+from repro.eval.attack_analysis import (
+    ChromaticProfile,
+    SpatialProfile,
+    chromatic_profile,
+    format_profiles,
+    spatial_profile,
+)
+
+SHAPE = (9, 9)
+
+
+def success_at(location, perturbation=(1.0, 1.0, 1.0), queries=5):
+    return AttackResult(
+        success=True,
+        queries=queries,
+        location=location,
+        perturbation=np.array(perturbation),
+    )
+
+
+def failure():
+    return AttackResult(success=False, queries=100)
+
+
+class TestSpatialProfile:
+    def test_center_success_has_zero_distance(self):
+        profile = spatial_profile([success_at((4, 4))], SHAPE)
+        assert profile.samples == 1
+        assert profile.center_distances[0] == 0.0
+
+    def test_corner_success_has_max_distance(self):
+        profile = spatial_profile([success_at((0, 0))], SHAPE)
+        assert profile.center_distances[0] == pytest.approx(1.0)
+
+    def test_failures_excluded(self):
+        profile = spatial_profile([failure(), success_at((4, 4))], SHAPE)
+        assert profile.samples == 1
+
+    def test_center_bias_below_one_for_central_successes(self):
+        results = [success_at((4, 4)), success_at((3, 4)), success_at((5, 5))]
+        profile = spatial_profile(results, SHAPE)
+        assert profile.center_bias() < 1.0
+
+    def test_empty_results(self):
+        profile = spatial_profile([failure()], SHAPE)
+        assert math.isnan(profile.mean_normalized_distance)
+        assert math.isnan(profile.center_bias())
+
+
+class TestChromaticProfile:
+    def test_brightness_computed_from_clean_image(self):
+        image = np.full((9, 9, 3), 0.2)
+        image[4, 4] = [0.1, 0.1, 0.1]
+        results = [success_at((4, 4), perturbation=(1.0, 1.0, 1.0))]
+        profile = chromatic_profile(results, [image])
+        assert profile.mean_original_brightness == pytest.approx(0.1)
+        assert profile.dark_to_bright_fraction == 1.0
+
+    def test_bright_to_dark_not_counted(self):
+        image = np.full((9, 9, 3), 0.9)
+        results = [success_at((4, 4), perturbation=(0.0, 0.0, 0.0))]
+        profile = chromatic_profile(results, [image])
+        assert profile.dark_to_bright_fraction == 0.0
+
+    def test_alignment_validated(self):
+        with pytest.raises(ValueError):
+            chromatic_profile([failure()], [])
+
+    def test_empty(self):
+        profile = chromatic_profile([failure()], [np.zeros((9, 9, 3))])
+        assert profile.samples == 0
+        assert math.isnan(profile.mean_original_brightness)
+
+
+class TestFormatting:
+    def test_format_profiles(self):
+        image = np.full((9, 9, 3), 0.3)
+        results = [success_at((4, 4))]
+        text = format_profiles(
+            spatial_profile(results, SHAPE), chromatic_profile(results, [image])
+        )
+        assert "spatial" in text and "chromatic" in text

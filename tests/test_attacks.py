@@ -1,0 +1,193 @@
+"""Tests for the baseline attacks (Sparse-RS, SuOPA, Sketch+False/Random)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackResult
+from repro.attacks.fixed_sketch import FixedSketchAttack, false_program
+from repro.attacks.random_program import RandomProgramSearch, RandomSearchConfig
+from repro.attacks.sketch_attack import SketchAttack
+from repro.attacks.sparse_rs import SparseRS, SparseRSConfig, margin
+from repro.attacks.su_opa import SuOPA, SuOPAConfig
+from repro.classifier.toy import SinglePixelBackdoorClassifier
+from repro.core.dsl.ast import ConstantCondition, Program
+
+SHAPE = (6, 6, 3)
+
+
+def gray_image():
+    return np.full(SHAPE, 0.5)
+
+
+def backdoor():
+    return SinglePixelBackdoorClassifier(SHAPE, (2, 3), np.ones(3))
+
+
+class TestAttackResult:
+    def test_success_requires_location(self):
+        with pytest.raises(ValueError):
+            AttackResult(success=True, queries=3)
+
+    def test_negative_queries_rejected(self):
+        with pytest.raises(ValueError):
+            AttackResult(success=False, queries=-1)
+
+
+class TestMargin:
+    def test_sign_convention(self):
+        assert margin(np.array([0.7, 0.2, 0.1]), 0) > 0
+        assert margin(np.array([0.2, 0.7, 0.1]), 0) < 0
+        assert margin(np.array([0.5, 0.5]), 0) == 0.0
+
+
+class TestSparseRS:
+    def test_finds_backdoor(self):
+        attack = SparseRS(SparseRSConfig(seed=0, max_steps=5000))
+        result = attack.attack(backdoor(), gray_image(), true_class=0)
+        assert result.success
+        assert result.location == (2, 3)
+        assert np.array_equal(result.perturbation, np.ones(3))
+        assert result.adversarial_class == 1
+
+    def test_budget_respected(self):
+        attack = SparseRS(SparseRSConfig(seed=1))
+        result = attack.attack(backdoor(), gray_image(), true_class=0, budget=5)
+        assert result.queries <= 5
+
+    def test_deterministic_given_seed(self):
+        config = SparseRSConfig(seed=3, max_steps=3000)
+        a = SparseRS(config).attack(backdoor(), gray_image(), true_class=0)
+        b = SparseRS(config).attack(backdoor(), gray_image(), true_class=0)
+        assert a.queries == b.queries
+
+    def test_failure_when_no_adversarial_example(self):
+        classifier = SinglePixelBackdoorClassifier(
+            SHAPE, (2, 3), np.array([0.5, 0.3, 0.7])  # not a corner
+        )
+        attack = SparseRS(SparseRSConfig(seed=0, max_steps=50))
+        result = attack.attack(classifier, gray_image(), true_class=0)
+        assert not result.success
+        assert result.queries >= 1
+
+    def test_name(self):
+        assert SparseRS().name == "Sparse-RS"
+
+
+class TestSuOPA:
+    def test_finds_tolerant_backdoor(self):
+        # DE uses continuous colors, so give the trigger a tolerance band
+        classifier = SinglePixelBackdoorClassifier(
+            SHAPE, (2, 3), np.ones(3), tolerance=1.2
+        )
+        attack = SuOPA(SuOPAConfig(population_size=30, max_generations=60, seed=0))
+        result = attack.attack(classifier, gray_image(), true_class=0)
+        assert result.success
+        assert result.location == (2, 3)
+
+    def test_minimum_queries_is_population_size(self):
+        """The paper notes SuOPA's minimal query count equals the
+        population size (the whole initial population is evaluated)."""
+        classifier = SinglePixelBackdoorClassifier(
+            SHAPE, (2, 3), np.ones(3), tolerance=2.9  # nearly everything triggers
+        )
+        attack = SuOPA(SuOPAConfig(population_size=25, max_generations=5, seed=0))
+        result = attack.attack(classifier, gray_image(), true_class=0)
+        # success can occur during initialization, but never before the
+        # first evaluation; failures cost at least the population size
+        assert result.queries >= 1
+        failing = SuOPA(SuOPAConfig(population_size=25, max_generations=0, seed=0))
+        unsuccessful = failing.attack(
+            SinglePixelBackdoorClassifier(SHAPE, (2, 3), np.array([0.5, 0.3, 0.7])),
+            gray_image(),
+            true_class=0,
+        )
+        assert unsuccessful.queries == 25
+
+    def test_budget_respected(self):
+        attack = SuOPA(SuOPAConfig(population_size=30, seed=1))
+        result = attack.attack(
+            SinglePixelBackdoorClassifier(SHAPE, (2, 3), np.array([0.5, 0.3, 0.7])),
+            gray_image(),
+            true_class=0,
+            budget=10,
+        )
+        assert result.queries <= 10
+        assert not result.success
+
+    def test_population_validation(self):
+        with pytest.raises(ValueError):
+            SuOPAConfig(population_size=3)
+        with pytest.raises(ValueError):
+            SuOPAConfig(differential_weight=0.0)
+
+    def test_candidates_stay_in_bounds(self):
+        """Every query must be a valid image: one pixel in [0,1]^3."""
+
+        class Recorder:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def __call__(self, image):
+                assert image.min() >= 0.0 and image.max() <= 1.0
+                delta = np.abs(image - gray_image()).sum(axis=2)
+                assert (delta > 0).sum() <= 1
+                return self.inner(image)
+
+        attack = SuOPA(SuOPAConfig(population_size=10, max_generations=3, seed=2))
+        attack.attack(
+            Recorder(
+                SinglePixelBackdoorClassifier(
+                    SHAPE, (2, 3), np.array([0.5, 0.3, 0.7])
+                )
+            ),
+            gray_image(),
+            true_class=0,
+        )
+
+
+class TestSketchAttacks:
+    def test_fixed_sketch_program_is_all_false(self):
+        program = false_program()
+        assert all(
+            isinstance(c, ConstantCondition) and not c.value
+            for c in program.conditions
+        )
+        assert FixedSketchAttack().name == "Sketch+False"
+
+    def test_sketch_attack_adapts_result(self):
+        attack = SketchAttack(Program.constant(False), label="custom")
+        result = attack.attack(backdoor(), gray_image(), true_class=0)
+        assert attack.name == "custom"
+        assert result.success
+        assert result.location == (2, 3)
+        assert np.array_equal(result.perturbation, np.ones(3))
+
+    def test_failure_result(self):
+        attack = FixedSketchAttack()
+        result = attack.attack(backdoor(), gray_image(), true_class=0, budget=1)
+        assert not result.success
+        assert result.queries == 1
+
+
+class TestRandomProgramSearch:
+    def test_returns_best_of_samples(self, linear_classifier, toy_pairs):
+        search = RandomProgramSearch(
+            RandomSearchConfig(num_samples=5, per_image_budget=60, seed=0)
+        )
+        result = search.synthesize(linear_classifier, toy_pairs)
+        assert result.best_program == result.final_program
+        assert result.trace.iterations == 5
+        # the accepted trace is monotonically improving
+        improvements = [
+            (entry.evaluation.successes, -entry.evaluation.avg_queries)
+            for entry in result.trace.accepted
+        ]
+        assert improvements == sorted(improvements)
+
+    def test_validation(self, linear_classifier):
+        with pytest.raises(ValueError):
+            RandomProgramSearch(RandomSearchConfig(num_samples=0)).synthesize(
+                linear_classifier, [(np.zeros(SHAPE), 0)]
+            )
+        with pytest.raises(ValueError):
+            RandomProgramSearch().synthesize(linear_classifier, [])

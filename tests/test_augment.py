@@ -1,0 +1,99 @@
+"""Tests for the data-augmentation pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data.augment import (
+    augment_batch,
+    random_brightness,
+    random_horizontal_flip,
+    random_shift,
+)
+
+
+@pytest.fixture
+def batch():
+    return np.random.default_rng(0).uniform(size=(6, 8, 8, 3))
+
+
+class TestFlip:
+    def test_probability_one_flips_everything(self, batch):
+        flipped = random_horizontal_flip(batch, np.random.default_rng(1), 1.0)
+        assert np.array_equal(flipped, batch[:, :, ::-1, :])
+
+    def test_probability_zero_is_identity(self, batch):
+        out = random_horizontal_flip(batch, np.random.default_rng(1), 0.0)
+        assert np.array_equal(out, batch)
+
+    def test_does_not_mutate_input(self, batch):
+        before = batch.copy()
+        random_horizontal_flip(batch, np.random.default_rng(2), 1.0)
+        assert np.array_equal(batch, before)
+
+    def test_validation(self, batch):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(batch, np.random.default_rng(0), 1.5)
+
+
+class TestShift:
+    def test_zero_shift_is_identity(self, batch):
+        out = random_shift(batch, np.random.default_rng(0), max_shift=0)
+        assert np.array_equal(out, batch)
+
+    def test_content_is_translated(self):
+        image = np.zeros((1, 5, 5, 3))
+        image[0, 2, 2] = 1.0
+        rng = np.random.default_rng(3)
+        shifted = random_shift(image, rng, max_shift=1)
+        # the bright pixel moved by at most 1 in each axis and survived
+        # unless shifted out of frame
+        bright = np.argwhere(shifted[0, :, :, 0] > 0.5)
+        if len(bright):
+            assert abs(bright[0][0] - 2) <= 1
+            assert abs(bright[0][1] - 2) <= 1
+
+    def test_zero_fill(self):
+        image = np.ones((1, 4, 4, 3))
+
+        class FixedRng:
+            def integers(self, lo, hi, size):
+                return np.full(size, 1)  # always shift by +1
+
+        shifted = random_shift(image, FixedRng(), max_shift=1)
+        assert np.array_equal(shifted[0, 0, :, :], np.zeros((4, 3)))
+        assert np.array_equal(shifted[0, :, 0, :], np.zeros((4, 3)))
+        assert shifted[0, 1:, 1:].min() == 1.0
+
+    def test_validation(self, batch):
+        with pytest.raises(ValueError):
+            random_shift(batch, np.random.default_rng(0), max_shift=-1)
+
+
+class TestBrightness:
+    def test_stays_in_unit_range(self, batch):
+        out = random_brightness(batch, np.random.default_rng(4), jitter=0.5)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_zero_jitter_is_identity(self, batch):
+        out = random_brightness(batch, np.random.default_rng(4), jitter=0.0)
+        assert np.allclose(out, batch)
+
+    def test_validation(self, batch):
+        with pytest.raises(ValueError):
+            random_brightness(batch, np.random.default_rng(0), jitter=-0.1)
+
+
+class TestPipeline:
+    def test_shapes_and_range(self, batch):
+        out = augment_batch(batch, np.random.default_rng(5))
+        assert out.shape == batch.shape
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_deterministic_given_seed(self, batch):
+        a = augment_batch(batch, np.random.default_rng(6))
+        b = augment_batch(batch, np.random.default_rng(6))
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            augment_batch(np.zeros((2, 4, 4)), np.random.default_rng(0))

@@ -1,0 +1,111 @@
+"""Tests for the black-box query boundary."""
+
+import numpy as np
+import pytest
+
+from repro.classifier.blackbox import (
+    CountingClassifier,
+    NetworkClassifier,
+    QueryBudgetExceeded,
+)
+from repro.classifier.toy import LinearPixelClassifier
+from repro.models.vgg import MiniVGG
+
+
+@pytest.fixture
+def toy():
+    return LinearPixelClassifier((4, 4, 3), num_classes=3, seed=0)
+
+
+class TestCountingClassifier:
+    def test_counts_queries(self, toy):
+        counting = CountingClassifier(toy)
+        image = np.zeros((4, 4, 3))
+        for expected in range(1, 6):
+            counting(image)
+            assert counting.count == expected
+
+    def test_budget_enforced(self, toy):
+        counting = CountingClassifier(toy, budget=3)
+        image = np.zeros((4, 4, 3))
+        for _ in range(3):
+            counting(image)
+        with pytest.raises(QueryBudgetExceeded) as info:
+            counting(image)
+        assert info.value.budget == 3
+        assert counting.count == 3  # the refused query is not counted
+
+    def test_remaining(self, toy):
+        counting = CountingClassifier(toy, budget=2)
+        assert counting.remaining == 2
+        counting(np.zeros((4, 4, 3)))
+        assert counting.remaining == 1
+        unbudgeted = CountingClassifier(toy)
+        assert unbudgeted.remaining is None
+
+    def test_reset(self, toy):
+        counting = CountingClassifier(toy, budget=5)
+        counting(np.zeros((4, 4, 3)))
+        counting.reset()
+        assert counting.count == 0
+        assert counting.budget == 5
+        counting.reset(budget=None)
+        assert counting.budget is None
+
+    def test_zero_budget_rejects_first_query(self, toy):
+        counting = CountingClassifier(toy, budget=0)
+        with pytest.raises(QueryBudgetExceeded):
+            counting(np.zeros((4, 4, 3)))
+
+    def test_negative_budget_rejected(self, toy):
+        with pytest.raises(ValueError):
+            CountingClassifier(toy, budget=-1)
+
+    def test_classify_counts(self, toy):
+        counting = CountingClassifier(toy)
+        label = counting.classify(np.zeros((4, 4, 3)))
+        assert isinstance(label, int)
+        assert counting.count == 1
+
+    def test_passthrough_scores(self, toy):
+        counting = CountingClassifier(toy)
+        image = np.random.default_rng(0).uniform(size=(4, 4, 3))
+        assert np.array_equal(counting(image), toy(image))
+
+
+class TestNetworkClassifier:
+    def test_scores_are_probabilities(self):
+        model = MiniVGG(num_classes=5, stage_channels=(4, 8), seed=0)
+        classifier = NetworkClassifier(model)
+        image = np.random.default_rng(1).uniform(size=(8, 8, 3))
+        scores = classifier(image)
+        assert scores.shape == (5,)
+        assert scores.sum() == pytest.approx(1.0)
+        assert (scores >= 0).all()
+
+    def test_batch_matches_single(self):
+        model = MiniVGG(num_classes=4, stage_channels=(4,), seed=1)
+        classifier = NetworkClassifier(model)
+        images = np.random.default_rng(2).uniform(size=(3, 8, 8, 3))
+        batch = classifier.batch(images)
+        for index in range(3):
+            assert np.allclose(batch[index], classifier(images[index]))
+
+    def test_eval_mode_is_set(self):
+        model = MiniVGG(num_classes=3, stage_channels=(4,), seed=2)
+        NetworkClassifier(model)
+        assert all(not module.training for module in model.modules())
+
+    def test_deterministic_queries(self):
+        model = MiniVGG(num_classes=3, stage_channels=(4,), seed=3)
+        classifier = NetworkClassifier(model)
+        image = np.random.default_rng(3).uniform(size=(8, 8, 3))
+        assert np.array_equal(classifier(image), classifier(image))
+
+    def test_rejects_bad_shapes(self):
+        model = MiniVGG(num_classes=3, stage_channels=(4,), seed=4)
+        classifier = NetworkClassifier(model)
+        with pytest.raises(ValueError):
+            classifier(np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            classifier.batch(np.zeros((2, 8, 8)))

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+TINY = [
+    "--image-size", "8",
+    "--train-per-class", "10",
+    "--epochs", "1",
+]
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "cifar"
+        assert args.arch == "vgg16bn"
+
+    def test_rejects_unknown_arch(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--arch", "alexnet"])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "table1"])
+        assert args.name == "table1"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestCommands:
+    def test_train_then_attack(self, cache_dir, capsys):
+        assert main(["train", *TINY, "--cache-dir", cache_dir]) == 0
+        output = capsys.readouterr().out
+        assert "train accuracy" in output
+
+        assert main(
+            ["attack", *TINY, "--cache-dir", cache_dir,
+             "--images", "3", "--budget", "50"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "Sketch+False" in output
+
+    def test_synthesize_saves_program(self, cache_dir, tmp_path, capsys):
+        out = str(tmp_path / "program.json")
+        assert main(
+            ["synthesize", *TINY, "--cache-dir", cache_dir,
+             "--iterations", "1", "--train-images", "2",
+             "--per-image-budget", "40", "--out", out]
+        ) == 0
+        with open(out) as handle:
+            payload = json.load(handle)
+        assert "best_program" in payload
+        output = capsys.readouterr().out
+        assert "[B1]" in output
+
+    def test_attack_with_synthesized_program(self, cache_dir, tmp_path, capsys):
+        out = str(tmp_path / "program.json")
+        main(
+            ["synthesize", *TINY, "--cache-dir", cache_dir,
+             "--iterations", "1", "--train-images", "2",
+             "--per-image-budget", "40", "--out", out]
+        )
+        capsys.readouterr()
+        assert main(
+            ["attack", *TINY, "--cache-dir", cache_dir,
+             "--program", out, "--images", "2", "--budget", "40"]
+        ) == 0
+        assert "OPPSLA" in capsys.readouterr().out
+
+    def test_attack_sparse_rs_baseline(self, cache_dir, capsys):
+        main(["train", *TINY, "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(
+            ["attack", *TINY, "--cache-dir", cache_dir,
+             "--baseline", "sparse-rs", "--images", "2", "--budget", "30"]
+        ) == 0
+        assert "Sparse-RS" in capsys.readouterr().out
+
+    def test_experiment_table2_with_tiny_profile(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """The experiment subcommand end to end, on a tiny profile."""
+        from repro.eval import experiments as exp
+
+        tiny = exp.ExperimentProfile(
+            name="tiny",
+            cifar_size=8,
+            imagenet_size=8,
+            train_per_class=10,
+            test_per_class=4,
+            epochs=1,
+            test_images=2,
+            imagenet_test_images=2,
+            cifar_thresholds=(20, 60),
+            imagenet_thresholds=(20, 60),
+            figure4_max_points=3,
+            synthesis_train_images=2,
+            synthesis_iterations=1,
+            synthesis_per_image_budget=40,
+            suopa_population=8,
+        )
+        monkeypatch.setitem(exp.PROFILES, "tiny", tiny)
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "tiny")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["experiment", "table2"]) == 0
+        output = capsys.readouterr().out
+        assert "OPPSLA" in output and "Sketch+False" in output

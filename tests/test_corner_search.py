@@ -1,0 +1,76 @@
+"""Tests for the CornerSearch baseline."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.corner_search import CornerSearch, CornerSearchConfig
+from repro.classifier.blackbox import CountingClassifier
+from repro.classifier.toy import (
+    MarginRampClassifier,
+    SinglePixelBackdoorClassifier,
+)
+
+SHAPE = (6, 6, 3)
+FULL_SPACE = 8 * 6 * 6
+
+
+def gray_image():
+    return np.full(SHAPE, 0.5)
+
+
+class TestCornerSearch:
+    def test_finds_backdoor(self):
+        classifier = SinglePixelBackdoorClassifier(SHAPE, (2, 3), np.ones(3))
+        attack = CornerSearch(CornerSearchConfig(seed=0))
+        result = attack.attack(classifier, gray_image(), true_class=0)
+        assert result.success
+        assert result.location == (2, 3)
+
+    def test_probe_phase_guides_exploitation(self):
+        """A classifier with a graded weak spot: probing reveals the spot,
+        so CornerSearch reaches it faster than unlucky random order."""
+        classifier = MarginRampClassifier(SHAPE, (1, 1), threshold=2.5)
+        attack = CornerSearch(CornerSearchConfig(probe_fraction=1.0, seed=0))
+        result = attack.attack(classifier, gray_image(), true_class=0)
+        assert result.success
+        assert result.location == (1, 1)
+        # full probe = 36 queries; exploitation should then find the
+        # weak pixel almost immediately
+        assert result.queries <= 36 + 8
+
+    def test_exhaustive_when_no_example(self):
+        classifier = SinglePixelBackdoorClassifier(
+            SHAPE, (2, 3), np.array([0.5, 0.3, 0.7])
+        )
+        attack = CornerSearch(CornerSearchConfig(seed=1))
+        result = attack.attack(classifier, gray_image(), true_class=0)
+        assert not result.success
+        # every pair queried exactly once (probes are skipped in phase 2)
+        assert result.queries == FULL_SPACE
+
+    def test_budget_respected(self):
+        classifier = SinglePixelBackdoorClassifier(
+            SHAPE, (2, 3), np.array([0.5, 0.3, 0.7])
+        )
+        counting = CountingClassifier(classifier)
+        attack = CornerSearch(CornerSearchConfig(seed=2))
+        result = attack.attack(counting, gray_image(), true_class=0, budget=20)
+        assert not result.success
+        assert result.queries == 20
+        assert counting.count == 20
+
+    def test_deterministic(self):
+        classifier = SinglePixelBackdoorClassifier(SHAPE, (2, 3), np.ones(3))
+        config = CornerSearchConfig(seed=3)
+        a = CornerSearch(config).attack(classifier, gray_image(), true_class=0)
+        b = CornerSearch(config).attack(classifier, gray_image(), true_class=0)
+        assert a.queries == b.queries
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CornerSearchConfig(probe_fraction=0.0)
+        with pytest.raises(ValueError):
+            CornerSearchConfig(probe_fraction=1.5)
+
+    def test_name(self):
+        assert CornerSearch().name == "CornerSearch"

@@ -1,0 +1,179 @@
+"""Tests for the synthetic datasets and pattern primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import patterns
+from repro.data.cifar_like import CIFAR_LIKE_CLASSES, make_cifar_like
+from repro.data.dataset import Dataset, LabeledImage
+from repro.data.imagenet_like import IMAGENET_LIKE_CLASSES, make_imagenet_like
+
+
+class TestPatterns:
+    @pytest.mark.parametrize(
+        "field",
+        [
+            patterns.stripes(8, 10, 2.0, 0.5),
+            patterns.checkerboard(8, 10, 4),
+            patterns.disk(8, 10, (0.0, 0.0), 0.5),
+            patterns.rings(8, 10, (0.0, 0.0), 2.0),
+            patterns.linear_gradient(8, 10, 1.0),
+            patterns.radial_gradient(8, 10, (0.0, 0.0)),
+            patterns.cross(8, 10, (0.0, 0.0), 0.2),
+            patterns.half_plane(8, 10, 0.7, 0.1),
+            patterns.blotches(8, 10, np.random.default_rng(0)),
+        ],
+    )
+    def test_fields_in_unit_range(self, field):
+        assert field.shape == (8, 10)
+        assert field.min() >= 0.0
+        assert field.max() <= 1.0
+
+    def test_colorize_blends(self):
+        field = np.array([[0.0, 1.0]])
+        low = np.array([0.1, 0.2, 0.3])
+        high = np.array([0.9, 0.8, 0.7])
+        image = patterns.colorize(field, low, high)
+        assert np.allclose(image[0, 0], low)
+        assert np.allclose(image[0, 1], high)
+
+    def test_finish_clips(self):
+        rng = np.random.default_rng(1)
+        image = patterns.finish(np.full((4, 4, 3), 0.99), rng, noise=0.5)
+        assert image.min() >= 0.0 and image.max() <= 1.0
+
+    def test_jitter_color_stays_in_cube(self):
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            color = patterns.jitter_color((0.95, 0.05, 0.5), rng, amount=0.3)
+            assert (color >= 0).all() and (color <= 1).all()
+
+    def test_disk_centered(self):
+        field = patterns.disk(9, 9, (0.0, 0.0), 0.3)
+        assert field[4, 4] == 1.0
+        assert field[0, 0] == 0.0
+
+
+class TestDataset:
+    def make(self):
+        images = np.random.default_rng(0).uniform(size=(6, 4, 4, 3))
+        labels = np.array([0, 1, 0, 2, 1, 0])
+        return Dataset(images, labels, ["a", "b", "c"])
+
+    def test_basic_protocol(self):
+        dataset = self.make()
+        assert len(dataset) == 6
+        item = dataset[2]
+        assert isinstance(item, LabeledImage)
+        assert item.label == 0
+        assert len(list(dataset)) == 6
+        assert dataset.image_shape == (4, 4, 3)
+        assert dataset.num_classes == 3
+
+    def test_subset_and_of_class(self):
+        dataset = self.make()
+        zeros = dataset.of_class(0)
+        assert len(zeros) == 3
+        assert (zeros.labels == 0).all()
+        limited = dataset.of_class(0, limit=2)
+        assert len(limited) == 2
+
+    def test_to_nchw(self):
+        dataset = self.make()
+        nchw = dataset.to_nchw()
+        assert nchw.shape == (6, 3, 4, 4)
+        assert np.array_equal(nchw[0, :, 1, 2], dataset.images[0, 1, 2, :])
+
+    def test_pairs(self):
+        dataset = self.make()
+        pairs = dataset.pairs()
+        assert len(pairs) == 6
+        image, label = pairs[3]
+        assert label == 2
+        assert np.array_equal(image, dataset.images[3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 4, 4, 2)), np.zeros(2, dtype=int), ["a"])
+        with pytest.raises(ValueError):
+            Dataset(np.full((1, 4, 4, 3), 2.0), np.zeros(1, dtype=int), ["a"])
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((1, 4, 4, 3)), np.array([5]), ["a", "b"])
+
+
+class TestGenerators:
+    def test_cifar_like_shape_and_balance(self):
+        dataset = make_cifar_like(num_per_class=3, size=12, seed=0)
+        assert len(dataset) == 30
+        assert dataset.image_shape == (12, 12, 3)
+        for label in range(10):
+            assert (dataset.labels == label).sum() == 3
+        assert dataset.class_names == list(CIFAR_LIKE_CLASSES)
+
+    def test_imagenet_like_shape_and_balance(self):
+        dataset = make_imagenet_like(num_per_class=2, size=16, seed=0)
+        assert len(dataset) == 22
+        assert dataset.image_shape == (16, 16, 3)
+        assert dataset.class_names == list(IMAGENET_LIKE_CLASSES)
+
+    def test_deterministic(self):
+        a = make_cifar_like(2, size=8, seed=5)
+        b = make_cifar_like(2, size=8, seed=5)
+        assert np.array_equal(a.images, b.images)
+
+    def test_different_seeds_differ(self):
+        a = make_cifar_like(2, size=8, seed=5)
+        b = make_cifar_like(2, size=8, seed=6)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_class_subset(self):
+        dataset = make_cifar_like(2, size=8, seed=0, classes=[3, 7])
+        assert set(dataset.labels.tolist()) == {3, 7}
+
+    def test_ambiguity_zero_is_pure(self):
+        pure = make_cifar_like(2, size=8, seed=1, ambiguity=0.0)
+        blended = make_cifar_like(2, size=8, seed=1, ambiguity=1.0)
+        assert not np.array_equal(pure.images, blended.images)
+
+    def test_values_in_unit_range(self):
+        dataset = make_imagenet_like(1, size=12, seed=3)
+        assert dataset.images.min() >= 0.0
+        assert dataset.images.max() <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_cifar_like(0)
+        with pytest.raises(ValueError):
+            make_cifar_like(1, size=2)
+        with pytest.raises(ValueError):
+            make_cifar_like(1, classes=[10])
+        with pytest.raises(ValueError):
+            make_cifar_like(1, ambiguity=1.5)
+        with pytest.raises(ValueError):
+            make_imagenet_like(1, classes=[11])
+
+    def test_classes_are_separable_by_simple_statistics(self):
+        """A linear probe on raw pixels beats chance comfortably, i.e.
+        the classes carry learnable signal."""
+        train = make_cifar_like(30, size=8, seed=0)
+        test = make_cifar_like(10, size=8, seed=99)
+        x = train.images.reshape(len(train), -1)
+        # nearest class-mean classifier
+        means = np.stack([
+            x[train.labels == label].mean(axis=0) for label in range(10)
+        ])
+        xt = test.images.reshape(len(test), -1)
+        predictions = np.argmin(
+            ((xt[:, None, :] - means[None, :, :]) ** 2).sum(axis=2), axis=1
+        )
+        accuracy = (predictions == test.labels).mean()
+        assert accuracy > 0.3  # 3x chance
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_any_seed_produces_valid_dataset(self, seed):
+        dataset = make_cifar_like(1, size=8, seed=seed)
+        assert dataset.images.min() >= 0.0
+        assert dataset.images.max() <= 1.0

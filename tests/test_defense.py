@@ -1,0 +1,102 @@
+"""Tests for the pixel-healing defense."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fixed_sketch import FixedSketchAttack
+from repro.classifier.blackbox import CountingClassifier
+from repro.classifier.toy import SinglePixelBackdoorClassifier
+from repro.defense.healing import (
+    PixelHealingDetector,
+    implausibility_map,
+    neighborhood_median,
+)
+
+SHAPE = (6, 6, 3)
+
+
+def gray_image():
+    return np.full(SHAPE, 0.5)
+
+
+def backdoor():
+    return SinglePixelBackdoorClassifier(SHAPE, (2, 3), np.ones(3))
+
+
+class TestNeighborhoodMedian:
+    def test_uniform_region(self):
+        image = np.full((5, 5, 3), 0.4)
+        assert np.allclose(neighborhood_median(image, 2, 2), 0.4)
+
+    def test_excludes_center_pixel(self):
+        image = np.full((5, 5, 3), 0.4)
+        image[2, 2] = 1.0  # outlier center must not influence its own median
+        assert np.allclose(neighborhood_median(image, 2, 2), 0.4)
+
+    def test_corner_pixel_uses_available_neighbors(self):
+        image = np.full((4, 4, 3), 0.7)
+        assert np.allclose(neighborhood_median(image, 0, 0), 0.7)
+
+
+class TestImplausibilityMap:
+    def test_outlier_has_max_score(self):
+        image = gray_image()
+        image[3, 4] = [1.0, 0.0, 1.0]
+        scores = implausibility_map(image)
+        assert np.unravel_index(scores.argmax(), scores.shape) == (3, 4)
+
+    def test_smooth_image_is_flat(self):
+        scores = implausibility_map(gray_image())
+        assert np.allclose(scores, 0.0)
+
+
+class TestDetector:
+    def test_detects_and_heals_an_attack(self):
+        classifier = backdoor()
+        image = gray_image()
+        attack_result = FixedSketchAttack().attack(classifier, image, true_class=0)
+        assert attack_result.success
+        adversarial = image.copy()
+        adversarial[attack_result.location[0], attack_result.location[1]] = (
+            attack_result.perturbation
+        )
+
+        detector = PixelHealingDetector(classifier, top_k=4)
+        verdict = detector.detect(adversarial)
+        assert verdict.adversarial
+        assert verdict.location == attack_result.location
+        assert verdict.original_class == 1  # the attacked prediction
+        assert verdict.restored_class == 0
+        # the healed image classifies as the clean class
+        assert int(np.argmax(classifier(verdict.healed_image))) == 0
+
+    def test_clean_image_passes(self):
+        detector = PixelHealingDetector(backdoor(), top_k=4)
+        verdict = detector.detect(gray_image())
+        assert not verdict.adversarial
+        assert verdict.original_class == 0
+        assert verdict.healed_image is None
+
+    def test_query_cost_bounded(self):
+        counting = CountingClassifier(backdoor())
+        detector = PixelHealingDetector(counting, top_k=5)
+        verdict = detector.detect(gray_image())
+        assert verdict.queries == counting.count
+        assert verdict.queries <= 5 + 1
+
+    def test_top_k_too_small_misses(self):
+        """With top_k=1 and two equally implausible pixels, the detector
+        may test the wrong one -- detection quality degrades gracefully."""
+        classifier = backdoor()
+        adversarial = gray_image()
+        adversarial[2, 3] = 1.0  # the real perturbation
+        adversarial[4, 1] = 0.0  # an innocent but equally odd pixel
+        verdict = PixelHealingDetector(classifier, top_k=2).detect(adversarial)
+        assert verdict.adversarial  # within 2 suspects it is still found
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PixelHealingDetector(backdoor(), top_k=0)
+        detector = PixelHealingDetector(backdoor())
+        with pytest.raises(ValueError):
+            detector.detect(np.zeros((6, 6)))

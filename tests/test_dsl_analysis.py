@@ -1,0 +1,162 @@
+"""Tests for the static corner-domain analysis of conditions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl.analysis import (
+    ALL_CORNERS,
+    analyze_program,
+    corner_support,
+    is_tautology,
+    is_vacuous,
+    lint_program,
+)
+from repro.core.dsl.ast import (
+    Avg,
+    Center,
+    Comparison,
+    Condition,
+    Constant,
+    ConstantCondition,
+    Max,
+    Min,
+    PixelRef,
+    Program,
+    ScoreDiff,
+)
+from repro.core.dsl.grammar import Grammar
+from repro.core.context import EvalContext
+from repro.core.dsl.interpreter import evaluate_condition
+from repro.core.geometry import RGB_CORNERS
+from repro.core.pairs import Pair
+
+
+def pert_condition(function_type, comparison, threshold):
+    return Condition(
+        comparison, function_type(PixelRef.PERTURBATION), Constant(threshold)
+    )
+
+
+class TestCornerSupport:
+    def test_max_gt_half_excludes_black_only(self):
+        # max(p) over corners is 0 only for black (corner 0)
+        support = corner_support(pert_condition(Max, Comparison.GT, 0.5))
+        assert support == frozenset(range(1, 8))
+
+    def test_min_gt_half_is_white_only(self):
+        # min(p) is 1 only for white (corner 7)
+        support = corner_support(pert_condition(Min, Comparison.GT, 0.5))
+        assert support == frozenset({7})
+
+    def test_avg_thresholds(self):
+        # avg(p) in {0, 1/3, 2/3, 1}; > 0.9 leaves only white
+        support = corner_support(pert_condition(Avg, Comparison.GT, 0.9))
+        assert support == frozenset({7})
+        # < 0.2 leaves only black
+        support = corner_support(pert_condition(Avg, Comparison.LT, 0.2))
+        assert support == frozenset({0})
+
+    def test_context_dependent_functions_are_unknown(self):
+        assert corner_support(
+            Condition(Comparison.GT, Max(PixelRef.ORIGINAL), Constant(0.5))
+        ) is None
+        assert corner_support(
+            Condition(Comparison.GT, ScoreDiff(), Constant(0.1))
+        ) is None
+        assert corner_support(
+            Condition(Comparison.LT, Center(), Constant(3.0))
+        ) is None
+
+    def test_literals(self):
+        assert corner_support(ConstantCondition(True)) == ALL_CORNERS
+        assert corner_support(ConstantCondition(False)) == frozenset()
+
+    def test_support_matches_interpreter(self):
+        """The static truth table agrees with dynamic evaluation."""
+        condition = pert_condition(Avg, Comparison.LT, 0.5)
+        support = corner_support(condition)
+        image = np.full((4, 4, 3), 0.3)
+        for corner in range(8):
+            context = EvalContext(
+                image=image,
+                pair=Pair(1, 1, corner),
+                clean_scores=np.array([0.8, 0.2]),
+                perturbed_scores=np.array([0.7, 0.3]),
+                true_class=0,
+            )
+            assert evaluate_condition(condition, context) == (corner in support)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_static_conditions_agree_with_interpreter(self, seed):
+        rng = np.random.default_rng(seed)
+        grammar = Grammar((8, 8))
+        condition = grammar.random_condition(rng)
+        support = corner_support(condition)
+        if support is None:
+            return
+        image = np.full((8, 8, 3), 0.5)
+        for corner in range(8):
+            context = EvalContext(
+                image=image,
+                pair=Pair(2, 2, corner),
+                clean_scores=np.array([0.6, 0.4]),
+                perturbed_scores=np.array([0.5, 0.5]),
+                true_class=0,
+            )
+            assert evaluate_condition(condition, context) == (corner in support)
+
+
+class TestVacuityAndTautology:
+    def test_vacuous(self):
+        condition = pert_condition(Max, Comparison.GT, 1.0)  # max(p) <= 1 always
+        assert is_vacuous(condition) is True
+        assert is_tautology(condition) is False
+
+    def test_tautology(self):
+        condition = pert_condition(Min, Comparison.LT, 1.5)
+        assert is_tautology(condition) is True
+        assert is_vacuous(condition) is False
+
+    def test_unknown(self):
+        condition = Condition(Comparison.GT, ScoreDiff(), Constant(0.0))
+        assert is_vacuous(condition) is None
+        assert is_tautology(condition) is None
+
+
+class TestProgramAnalysis:
+    def test_analyze_slots(self):
+        program = Program(
+            pert_condition(Max, Comparison.GT, 1.0),  # vacuous
+            pert_condition(Min, Comparison.LT, 2.0),  # tautology
+            Condition(Comparison.GT, ScoreDiff(), Constant(0.1)),  # unknown
+            pert_condition(Avg, Comparison.GT, 0.5),  # partial
+        )
+        analyses = analyze_program(program)
+        assert analyses[0].verdict == "vacuous (never fires)"
+        assert analyses[1].verdict == "tautology (always fires)"
+        assert analyses[2].verdict == "context-dependent"
+        assert "corners" in analyses[3].verdict
+
+    def test_lint_flags_degenerate_slots(self):
+        program = Program(
+            pert_condition(Max, Comparison.GT, 1.0),
+            Condition(Comparison.GT, ScoreDiff(), Constant(0.1)),
+            pert_condition(Min, Comparison.LT, 2.0),
+            pert_condition(Avg, Comparison.GT, 0.5),
+        )
+        warnings = lint_program(program)
+        assert any("b1 is vacuous" in w for w in warnings)
+        assert any("b3 is a tautology" in w for w in warnings)
+        assert not any("b4" in w for w in warnings)
+
+    def test_clean_program_has_no_warnings(self):
+        program = Program(
+            pert_condition(Avg, Comparison.GT, 0.5),
+            pert_condition(Avg, Comparison.LT, 0.5),
+            Condition(Comparison.GT, ScoreDiff(), Constant(0.1)),
+            Condition(Comparison.LT, Center(), Constant(2.0)),
+        )
+        assert lint_program(program) == []

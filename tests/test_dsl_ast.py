@@ -1,0 +1,90 @@
+"""Tests for the condition-language AST and its serialization."""
+
+import pytest
+
+from repro.core.dsl.ast import (
+    Avg,
+    Center,
+    Comparison,
+    Condition,
+    Constant,
+    ConstantCondition,
+    Max,
+    Min,
+    PixelRef,
+    Program,
+    ScoreDiff,
+)
+
+
+def sample_program():
+    return Program(
+        Condition(Comparison.LT, ScoreDiff(), Constant(0.21)),
+        Condition(Comparison.GT, Max(PixelRef.ORIGINAL), Constant(0.19)),
+        Condition(Comparison.GT, ScoreDiff(), Constant(0.25)),
+        Condition(Comparison.LT, Center(), Constant(8.0)),
+    )
+
+
+class TestNodes:
+    def test_constant_coerces_to_float(self):
+        assert Constant(8).value == 8.0
+        assert isinstance(Constant(8).value, float)
+
+    def test_constant_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            Constant("0.5")
+
+    def test_nodes_are_hashable_and_comparable(self):
+        assert Max(PixelRef.ORIGINAL) == Max(PixelRef.ORIGINAL)
+        assert Max(PixelRef.ORIGINAL) != Max(PixelRef.PERTURBATION)
+        assert Min(PixelRef.ORIGINAL) != Max(PixelRef.ORIGINAL)
+        assert ScoreDiff() == ScoreDiff()
+        assert hash(Center()) == hash(Center())
+
+    def test_program_conditions_tuple(self):
+        program = sample_program()
+        assert len(program.conditions) == 4
+        assert program.conditions[0] is program.b1
+        assert program.conditions[3] is program.b4
+
+    def test_replace_returns_new_program(self):
+        program = sample_program()
+        replacement = ConstantCondition(True)
+        updated = program.replace(2, replacement)
+        assert updated.b3 == replacement
+        assert program.b3 != replacement  # original untouched
+        assert updated.b1 == program.b1
+
+    def test_constant_program(self):
+        false = Program.constant(False)
+        assert all(
+            isinstance(c, ConstantCondition) and not c.value
+            for c in false.conditions
+        )
+        true = Program.constant(True)
+        assert all(c.value for c in true.conditions)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        program = sample_program()
+        assert Program.from_dict(program.to_dict()) == program
+
+    def test_round_trip_with_literals(self):
+        program = Program.constant(False).replace(
+            1, Condition(Comparison.GT, Avg(PixelRef.PERTURBATION), Constant(0.4))
+        )
+        assert Program.from_dict(program.to_dict()) == program
+
+    def test_from_dict_validates_arity(self):
+        payload = sample_program().to_dict()
+        payload["conditions"].pop()
+        with pytest.raises(ValueError):
+            Program.from_dict(payload)
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        payload = sample_program().to_dict()
+        assert Program.from_dict(json.loads(json.dumps(payload))) == sample_program()

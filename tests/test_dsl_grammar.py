@@ -1,0 +1,131 @@
+"""Tests for typed random generation and mutation of programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl.ast import (
+    Comparison,
+    Condition,
+    ConstantCondition,
+    FunctionKind,
+    Program,
+)
+from repro.core.dsl.grammar import Grammar
+from repro.core.dsl.mutation import NUM_MUTATION_SITES, mutate_program
+
+
+class TestGrammar:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Grammar((0, 5))
+
+    def test_random_program_is_well_typed(self):
+        grammar = Grammar((8, 8))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            program = grammar.random_program(rng)
+            for condition in program.conditions:
+                assert isinstance(condition, Condition)
+                assert grammar.constant_in_range(
+                    condition.function, condition.constant
+                )
+
+    def test_center_constants_bounded_by_image(self):
+        grammar = Grammar((8, 8))  # max center distance 3.5
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            condition = grammar.random_condition(rng)
+            if condition.function.kind is FunctionKind.CENTER:
+                assert 0.0 <= condition.constant.value <= 3.5
+
+    def test_all_function_kinds_reachable(self):
+        grammar = Grammar((8, 8))
+        rng = np.random.default_rng(2)
+        kinds = {grammar.random_function(rng).kind for _ in range(300)}
+        assert kinds == set(FunctionKind)
+
+    def test_both_comparisons_reachable(self):
+        grammar = Grammar((8, 8))
+        rng = np.random.default_rng(3)
+        comparisons = {grammar.random_comparison(rng) for _ in range(100)}
+        assert comparisons == {Comparison.GT, Comparison.LT}
+
+    def test_never_generates_literals(self):
+        grammar = Grammar((8, 8))
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            assert not isinstance(grammar.random_condition(rng), ConstantCondition)
+
+    def test_determinism_by_seed(self):
+        grammar = Grammar((8, 8))
+        a = grammar.random_program(np.random.default_rng(42))
+        b = grammar.random_program(np.random.default_rng(42))
+        assert a == b
+
+
+class TestMutation:
+    def test_mutation_site_count_matches_tree(self):
+        # root + 4 conditions + 4 functions + 4 constants (Figure 2)
+        assert NUM_MUTATION_SITES == 13
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_mutation_closure(self, seed):
+        """Mutation never leaves the typed search space."""
+        grammar = Grammar((10, 12))
+        rng = np.random.default_rng(seed)
+        program = grammar.random_program(rng)
+        mutated = mutate_program(program, grammar, rng)
+        for condition in mutated.conditions:
+            assert isinstance(condition, Condition)
+            assert grammar.constant_in_range(condition.function, condition.constant)
+
+    def test_mutation_changes_at_most_needed(self):
+        """A non-root mutation touches exactly one condition slot."""
+        grammar = Grammar((8, 8))
+        rng = np.random.default_rng(7)
+        program = grammar.random_program(rng)
+        changed_counts = []
+        for _ in range(100):
+            mutated = mutate_program(program, grammar, rng)
+            changed = sum(
+                1
+                for old, new in zip(program.conditions, mutated.conditions)
+                if old != new
+            )
+            changed_counts.append(changed)
+        # root mutations may change up to 4; all others at most 1
+        assert max(changed_counts) <= 4
+        assert any(count <= 1 for count in changed_counts)
+
+    def test_mutating_literal_program_recovers_grammar_conditions(self):
+        """The Sketch+False literal is replaced by a typed condition when
+        its slot is selected, so the chain can leave the baseline."""
+        grammar = Grammar((8, 8))
+        rng = np.random.default_rng(8)
+        program = Program.constant(False)
+        for _ in range(200):
+            program = mutate_program(program, grammar, rng)
+        assert any(
+            isinstance(condition, Condition) for condition in program.conditions
+        )
+
+    def test_constant_mutation_keeps_function(self):
+        grammar = Grammar((8, 8))
+        base = grammar.random_program(np.random.default_rng(9))
+        # force constant-site mutations by trying many seeds and looking
+        # for cases where only the constant changed
+        observed = False
+        for seed in range(200):
+            rng = np.random.default_rng(seed)
+            mutated = mutate_program(base, grammar, rng)
+            for old, new in zip(base.conditions, mutated.conditions):
+                if (
+                    old != new
+                    and old.function == new.function
+                    and old.comparison == new.comparison
+                ):
+                    observed = True
+        assert observed

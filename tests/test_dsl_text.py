@@ -1,0 +1,121 @@
+"""Printer / parser round-trip tests for the condition language."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl.ast import (
+    Center,
+    Comparison,
+    Condition,
+    Constant,
+    ConstantCondition,
+    Max,
+    PixelRef,
+    Program,
+    ScoreDiff,
+)
+from repro.core.dsl.grammar import Grammar
+from repro.core.dsl.parser import ParseError, parse_condition, parse_program
+from repro.core.dsl.printer import format_condition, format_program
+
+
+class TestPrinter:
+    def test_score_diff(self):
+        condition = Condition(Comparison.LT, ScoreDiff(), Constant(0.21))
+        assert (
+            format_condition(condition)
+            == "score_diff(N(x), N(x[l<-p]), c_x) < 0.21"
+        )
+
+    def test_pixel_function(self):
+        condition = Condition(Comparison.GT, Max(PixelRef.ORIGINAL), Constant(0.19))
+        assert format_condition(condition) == "max(x[l]) > 0.19"
+
+    def test_center(self):
+        condition = Condition(Comparison.LT, Center(), Constant(8.0))
+        assert format_condition(condition) == "center(l) < 8"
+
+    def test_literals(self):
+        assert format_condition(ConstantCondition(False)) == "false"
+        assert format_condition(ConstantCondition(True)) == "true"
+
+    def test_program_labels(self):
+        text = format_program(Program.constant(False))
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("[B1]")
+        assert lines[3].startswith("[B4]")
+
+
+class TestParser:
+    def test_parses_paper_example(self):
+        program = parse_program(
+            """
+            [B1] score_diff(N(x), N(x[l<-p]), c_x) < 0.21
+            [B2] max(x_l) > 0.19
+            [B3] score_diff(N(x), N(x[l<-p]), c_x) > 0.25
+            [B4] center(l) < 8
+            """
+        )
+        assert program.b1 == Condition(Comparison.LT, ScoreDiff(), Constant(0.21))
+        assert program.b2 == Condition(
+            Comparison.GT, Max(PixelRef.ORIGINAL), Constant(0.19)
+        )
+        assert program.b4 == Condition(Comparison.LT, Center(), Constant(8.0))
+
+    def test_x_l_spelling_equals_bracket_spelling(self):
+        assert parse_condition("max(x_l) > 0.5") == parse_condition("max(x[l]) > 0.5")
+
+    def test_perturbation_pixel(self):
+        condition = parse_condition("avg(p) < 0.5")
+        assert condition.function.pixel is PixelRef.PERTURBATION
+
+    def test_literals_case_insensitive(self):
+        assert parse_condition("FALSE") == ConstantCondition(False)
+        assert parse_condition("True") == ConstantCondition(True)
+
+    def test_negative_and_scientific_constants(self):
+        assert parse_condition("score_diff(N(x), N(x[l<-p]), c_x) > -0.1").constant.value == -0.1
+        assert parse_condition("center(l) < 1e1").constant.value == 10.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "median(p) > 0.5",
+            "max(x[l]) >= 0.5",
+            "max(x[l]) 0.5",
+            "max(x[l]) > banana",
+            "max(q) > 0.5",
+            "",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            parse_condition(bad)
+
+    def test_program_wrong_arity(self):
+        with pytest.raises(ParseError):
+            parse_program("center(l) < 3\ncenter(l) < 4")
+
+
+class TestRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_programs_round_trip(self, seed):
+        grammar = Grammar((16, 16))
+        rng = np.random.default_rng(seed)
+        program = grammar.random_program(rng)
+        reparsed = parse_program(format_program(program))
+        # constants go through %g formatting; compare with tolerance
+        for original, parsed in zip(program.conditions, reparsed.conditions):
+            assert type(original.function) is type(parsed.function)
+            assert original.comparison == parsed.comparison
+            assert parsed.constant.value == pytest.approx(
+                original.constant.value, rel=1e-4
+            )
+
+    def test_false_program_round_trip(self):
+        program = Program.constant(False)
+        assert parse_program(format_program(program)) == program

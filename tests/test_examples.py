@@ -1,0 +1,54 @@
+"""Smoke tests for the runnable examples.
+
+Only the fast, CPU-light examples run here (the CNN-backed ones train
+models and belong to manual runs); the goal is to catch API drift that
+would break the documented entry points.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, timeout: int = 300) -> str:
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_condition_language_tour(self):
+        output = run_example("condition_language_tour.py")
+        assert "Parsed program" in output
+        assert "[B1]" in output
+        assert "mutations" in output
+
+    def test_all_examples_exist_and_are_documented(self):
+        expected = {
+            "quickstart.py",
+            "condition_language_tour.py",
+            "transfer_programs.py",
+            "attack_trained_cnn.py",
+            "analyze_attacks.py",
+            "detect_and_heal.py",
+        }
+        present = {
+            name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+        }
+        assert expected <= present
+        for name in sorted(expected):
+            with open(os.path.join(EXAMPLES_DIR, name)) as handle:
+                source = handle.read()
+            assert '"""' in source.split("\n", 2)[2 if source.startswith("#!") else 0], (
+                f"{name} lacks a module docstring"
+            )
+            assert "def main()" in source, f"{name} lacks a main()"

@@ -1,0 +1,109 @@
+"""Tests for the experiment orchestration layer."""
+
+import os
+
+import pytest
+
+from repro.core.dsl.ast import Program
+from repro.eval.experiments import (
+    PROFILES,
+    ExperimentContext,
+    ExperimentProfile,
+    active_profile,
+    run_figure3,
+    run_figure4,
+    run_table1,
+    run_table2,
+)
+
+
+@pytest.fixture
+def tiny_profile():
+    """Small enough to run a full experiment inside a unit test."""
+    return ExperimentProfile(
+        name="tiny",
+        cifar_size=8,
+        imagenet_size=8,
+        train_per_class=10,
+        test_per_class=4,
+        epochs=1,
+        test_images=3,
+        cifar_thresholds=(20, 80),
+        imagenet_thresholds=(20, 80),
+        synthesis_train_images=3,
+        synthesis_iterations=2,
+        synthesis_per_image_budget=60,
+        suopa_population=8,
+    )
+
+
+@pytest.fixture
+def context(tiny_profile, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return ExperimentContext(tiny_profile)
+
+
+class TestProfiles:
+    def test_known_profiles(self):
+        assert set(PROFILES) == {"quick", "full"}
+        for profile in PROFILES.values():
+            assert profile.cifar_budget == max(profile.cifar_thresholds)
+            assert profile.imagenet_budget == max(profile.imagenet_thresholds)
+
+    def test_active_profile_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        assert active_profile().name == "quick"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "full")
+        assert active_profile().name == "full"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "huge")
+        with pytest.raises(ValueError):
+            active_profile()
+
+
+class TestContext:
+    def test_zoo_caching(self, context):
+        assert context.zoo("cifar") is context.zoo("cifar")
+        assert context.zoo("cifar") is not context.zoo("imagenet")
+
+    def test_architecture_lists(self, context):
+        assert "vgg16bn" in context.architectures("cifar")
+        assert "resnet50" in context.architectures("imagenet")
+
+    def test_training_pairs_screened_and_cached(self, context):
+        pairs = context.synthesis_training_pairs("cifar", "vgg16bn")
+        assert 0 < len(pairs) <= context.profile.synthesis_train_images
+        assert context.synthesis_training_pairs("cifar", "vgg16bn") is pairs
+
+    def test_program_cached_on_disk(self, context, tmp_path):
+        program = context.program_for("cifar", "vgg16bn")
+        assert isinstance(program, Program)
+        cached_jsons = [
+            name for name in os.listdir(tmp_path) if name.endswith(".json")
+            and "oppsla" in name
+        ]
+        assert cached_jsons, "synthesized program must be persisted"
+        # a fresh context loads the identical program from disk
+        fresh = ExperimentContext(context.profile)
+        assert fresh.program_for("cifar", "vgg16bn") == program
+
+
+class TestExperimentRuns:
+    def test_run_figure3_smoke(self, context):
+        curves = run_figure3(context, "cifar", "vgg16bn")
+        assert set(curves) == {"OPPSLA", "Sparse-RS", "SuOPA"}
+        for curve in curves.values():
+            assert len(curve.rates) == len(context.profile.cifar_thresholds)
+
+    def test_run_table2_smoke(self, context):
+        rows = run_table2(context, "vgg16bn")
+        assert [row.approach for row in rows] == [
+            "OPPSLA", "Sketch+False", "Sketch+Random", "Sparse-RS",
+        ]
+
+    def test_run_figure4_smoke(self, context):
+        study = run_figure4(context, arch="vgg16bn", class_label=0)
+        assert study.points
+
+    def test_run_table1_smoke(self, context):
+        matrix = run_table1(context)
+        assert sorted(matrix.names) == ["googlenet", "resnet18", "vgg16bn"]

@@ -1,0 +1,164 @@
+"""Tests for the extension features: targeted attacks and few-pixel attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fixed_sketch import FixedSketchAttack
+from repro.attacks.multi_pixel import GreedyMultiPixel, MultiPixelResult
+from repro.attacks.sparse_rs import SparseRS, SparseRSConfig, margin
+from repro.attacks.su_opa import SuOPA, SuOPAConfig
+from repro.classifier.blackbox import CountingClassifier
+from repro.core.dsl.ast import Program
+from repro.core.sketch import OnePixelSketch
+from repro.nn.functional import softmax
+
+SHAPE = (6, 6, 3)
+
+
+def gray_image():
+    return np.full(SHAPE, 0.5)
+
+
+class ThreeClassPixelClassifier:
+    """Class 0 by default; pixel (1, 1) white -> class 1; black -> class 2."""
+
+    def __init__(self):
+        self.num_classes = 3
+
+    def __call__(self, image):
+        scores = np.array([0.8, 0.1, 0.1])
+        if np.array_equal(image[1, 1], np.ones(3)):
+            scores = np.array([0.1, 0.8, 0.1])
+        elif np.array_equal(image[1, 1], np.zeros(3)):
+            scores = np.array([0.1, 0.1, 0.8])
+        return scores
+
+
+class TestTargetedSketch:
+    def test_targeted_hits_the_requested_class(self):
+        classifier = ThreeClassPixelClassifier()
+        sketch = OnePixelSketch(Program.constant(False))
+        for target in (1, 2):
+            result = sketch.attack(
+                classifier, gray_image(), true_class=0, target_class=target
+            )
+            assert result.success
+            assert result.adversarial_class == target
+
+    def test_targeted_costs_at_least_untargeted(self):
+        classifier = ThreeClassPixelClassifier()
+        sketch = OnePixelSketch(Program.constant(False))
+        untargeted = sketch.attack(classifier, gray_image(), true_class=0)
+        targeted = sketch.attack(
+            classifier, gray_image(), true_class=0, target_class=2
+        )
+        assert targeted.queries >= untargeted.queries
+
+    def test_target_equal_true_class_rejected(self):
+        sketch = OnePixelSketch(Program.constant(False))
+        with pytest.raises(ValueError):
+            sketch.attack(
+                ThreeClassPixelClassifier(), gray_image(),
+                true_class=0, target_class=0,
+            )
+
+    def test_targeted_failure_when_target_unreachable(self):
+        """Only classes 1 and 2 are reachable; target class 0 from class 1."""
+        classifier = ThreeClassPixelClassifier()
+        image = gray_image()
+        image[1, 1] = 1.0  # classified as 1
+        sketch = OnePixelSketch(Program.constant(False))
+        # perturbing (1,1) away from white restores class 0: reachable
+        result = sketch.attack(classifier, image, true_class=1, target_class=0)
+        assert result.success
+        # but class 2 needs the same pixel black: also reachable
+        result2 = sketch.attack(classifier, image, true_class=1, target_class=2)
+        assert result2.success
+
+
+class TestTargetedBaselines:
+    def test_targeted_margin_sign(self):
+        scores = np.array([0.6, 0.3, 0.1])
+        assert margin(scores, 0, target_class=1) > 0  # not yet class 1
+        assert margin(np.array([0.2, 0.7, 0.1]), 0, target_class=1) < 0
+
+    def test_sparse_rs_targeted(self):
+        classifier = ThreeClassPixelClassifier()
+        attack = SparseRS(SparseRSConfig(seed=0, max_steps=5000))
+        result = attack.attack(
+            classifier, gray_image(), true_class=0, target_class=2
+        )
+        assert result.success
+        assert result.adversarial_class == 2
+
+    def test_suopa_targeted(self):
+        # continuous colors need a tolerant trigger; use a soft classifier
+        class SoftClassifier:
+            def __call__(self, image):
+                brightness = image[1, 1].sum()
+                return softmax(
+                    np.array([1.0, brightness - 1.0, 2.0 - brightness]) * 4
+                )
+
+        classifier = SoftClassifier()
+        attack = SuOPA(SuOPAConfig(population_size=20, max_generations=50, seed=0))
+        result = attack.attack(
+            classifier, gray_image(), true_class=0, target_class=1
+        )
+        assert result.success
+        assert result.adversarial_class == 1
+
+
+class TwoPixelBackdoorClassifier:
+    """Needs BOTH (1, 1) and (2, 2) white to flip -- one pixel cannot win."""
+
+    def __call__(self, image):
+        first = np.array_equal(image[1, 1], np.ones(3))
+        second = np.array_equal(image[2, 2], np.ones(3))
+        if first and second:
+            return np.array([0.1, 0.9])
+        # partial trigger: confidence dips, which guides the greedy probe
+        if first or second:
+            return np.array([0.6, 0.4])
+        return np.array([0.9, 0.1])
+
+
+class TestGreedyMultiPixel:
+    def test_one_pixel_insufficient(self):
+        classifier = TwoPixelBackdoorClassifier()
+        result = FixedSketchAttack().attack(classifier, gray_image(), true_class=0)
+        assert not result.success
+
+    def test_two_pixels_succeed(self):
+        classifier = TwoPixelBackdoorClassifier()
+        attack = GreedyMultiPixel(FixedSketchAttack(), max_pixels=2, round_budget=288)
+        result = attack.attack(classifier, gray_image(), true_class=0)
+        assert isinstance(result, MultiPixelResult)
+        assert result.success
+        assert result.num_pixels == 2
+        locations = {pixel[0] for pixel in result.pixels}
+        assert locations == {(1, 1), (2, 2)}
+
+    def test_max_pixels_one_equals_base_attack(self):
+        classifier = TwoPixelBackdoorClassifier()
+        attack = GreedyMultiPixel(FixedSketchAttack(), max_pixels=1, round_budget=288)
+        result = attack.attack(classifier, gray_image(), true_class=0)
+        assert not result.success
+
+    def test_budget_respected(self):
+        classifier = TwoPixelBackdoorClassifier()
+        counting = CountingClassifier(classifier)
+        attack = GreedyMultiPixel(FixedSketchAttack(), max_pixels=3, round_budget=288)
+        result = attack.attack(counting, gray_image(), true_class=0, budget=50)
+        assert result.queries <= 50
+        assert not result.success
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreedyMultiPixel(FixedSketchAttack(), max_pixels=0)
+        with pytest.raises(ValueError):
+            GreedyMultiPixel(FixedSketchAttack(), round_budget=0)
+
+    def test_name(self):
+        attack = GreedyMultiPixel(FixedSketchAttack(), max_pixels=2)
+        assert attack.name == "Greedy-2px[Sketch+False]"

@@ -1,0 +1,139 @@
+"""Tests for the distance metrics and RGB-corner machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    NUM_CORNERS,
+    RGB_CORNERS,
+    center_distance,
+    corner_distances,
+    corner_ranking,
+    image_center,
+    location_distance,
+    max_center_distance,
+    pixel_distance,
+)
+
+
+class TestRGBCorners:
+    def test_eight_corners(self):
+        assert RGB_CORNERS.shape == (8, 3)
+        assert NUM_CORNERS == 8
+
+    def test_corners_are_cube_vertices(self):
+        as_tuples = {tuple(corner) for corner in RGB_CORNERS}
+        expected = {(r, g, b) for r in (0.0, 1.0) for g in (0.0, 1.0) for b in (0.0, 1.0)}
+        assert as_tuples == expected
+
+    def test_corner_bit_encoding(self):
+        # corner k has channel c equal to bit c of k
+        for k in range(8):
+            assert RGB_CORNERS[k][0] == (k >> 0) & 1
+            assert RGB_CORNERS[k][1] == (k >> 1) & 1
+            assert RGB_CORNERS[k][2] == (k >> 2) & 1
+
+
+class TestPixelDistance:
+    def test_l1(self):
+        assert pixel_distance([0, 0, 0], [1, 1, 1]) == pytest.approx(3.0)
+        assert pixel_distance([0.5, 0.5, 0.5], [0.5, 0.5, 0.5]) == 0.0
+        assert pixel_distance([0.2, 0.0, 0.9], [0.5, 0.1, 0.4]) == pytest.approx(0.9)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            pixel_distance([0, 0], [1, 1, 1])
+
+    @given(
+        st.lists(st.floats(0, 1), min_size=3, max_size=3),
+        st.lists(st.floats(0, 1), min_size=3, max_size=3),
+    )
+    def test_symmetry(self, p1, p2):
+        assert pixel_distance(p1, p2) == pytest.approx(pixel_distance(p2, p1))
+
+    @given(
+        st.lists(st.floats(0, 1), min_size=3, max_size=3),
+        st.lists(st.floats(0, 1), min_size=3, max_size=3),
+        st.lists(st.floats(0, 1), min_size=3, max_size=3),
+    )
+    def test_triangle_inequality(self, p1, p2, p3):
+        direct = pixel_distance(p1, p3)
+        detour = pixel_distance(p1, p2) + pixel_distance(p2, p3)
+        assert direct <= detour + 1e-12
+
+
+class TestLocationDistance:
+    def test_linf(self):
+        assert location_distance((0, 0), (3, 1)) == 3
+        assert location_distance((2, 2), (2, 2)) == 0
+        assert location_distance((5, 0), (4, 7)) == 7
+
+    @given(
+        st.tuples(st.integers(0, 50), st.integers(0, 50)),
+        st.tuples(st.integers(0, 50), st.integers(0, 50)),
+    )
+    def test_symmetry_and_nonnegativity(self, l1, l2):
+        assert location_distance(l1, l2) == location_distance(l2, l1)
+        assert location_distance(l1, l2) >= 0
+        assert (location_distance(l1, l2) == 0) == (l1 == l2)
+
+
+class TestCornerRanking:
+    def test_black_pixel_farthest_is_white(self):
+        ranking = corner_ranking(np.zeros(3))
+        # white = corner 7 (all bits set)
+        assert ranking[0] == 7
+        # black = corner 0 is closest, so ranked last
+        assert ranking[-1] == 0
+
+    def test_ranking_is_permutation(self):
+        ranking = corner_ranking(np.array([0.3, 0.7, 0.2]))
+        assert sorted(ranking) == list(range(8))
+
+    def test_descending_distances(self):
+        pixel = np.array([0.1, 0.8, 0.45])
+        ranking = corner_ranking(pixel)
+        distances = corner_distances(pixel)[ranking]
+        assert all(distances[i] >= distances[i + 1] for i in range(7))
+
+    def test_tie_break_deterministic(self):
+        # a gray pixel is equidistant from every corner
+        ranking = corner_ranking(np.full(3, 0.5))
+        assert list(ranking) == list(range(8))
+
+    @given(st.lists(st.floats(0, 1), min_size=3, max_size=3))
+    def test_always_a_permutation(self, pixel):
+        ranking = corner_ranking(np.array(pixel))
+        assert sorted(ranking) == list(range(8))
+
+
+class TestCenterDistance:
+    def test_odd_grid_center_is_zero(self):
+        assert center_distance((1, 1), (3, 3)) == 0.0
+
+    def test_even_grid_fractional_center(self):
+        assert image_center((4, 4)) == (1.5, 1.5)
+        assert center_distance((0, 0), (4, 4)) == pytest.approx(1.5)
+        assert center_distance((2, 2), (4, 4)) == pytest.approx(0.5)
+
+    def test_corner_attains_max(self):
+        shape = (7, 5)
+        assert center_distance((0, 0), shape) == pytest.approx(
+            max_center_distance(shape)
+        )
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            image_center((0, 4))
+
+    @given(
+        st.integers(1, 30),
+        st.integers(1, 30),
+        st.data(),
+    )
+    def test_bounded_by_max(self, d1, d2, data):
+        i = data.draw(st.integers(0, d1 - 1))
+        j = data.draw(st.integers(0, d2 - 1))
+        assert 0 <= center_distance((i, j), (d1, d2)) <= max_center_distance((d1, d2))

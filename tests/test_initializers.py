@@ -1,0 +1,59 @@
+"""Tests for weight initializers and dtype casting."""
+
+import numpy as np
+import pytest
+
+from repro.models.vgg import MiniVGG
+from repro.nn.initializers import kaiming_normal, ones, xavier_uniform, zeros
+
+
+class TestInitializers:
+    def test_kaiming_scale(self):
+        rng = np.random.default_rng(0)
+        weights = kaiming_normal(rng, (2000, 50), fan_in=50)
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 50), rel=0.05)
+        assert abs(weights.mean()) < 0.01
+
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(1)
+        weights = xavier_uniform(rng, (100, 100), fan_in=100, fan_out=100)
+        bound = np.sqrt(6.0 / 200)
+        assert weights.min() >= -bound
+        assert weights.max() <= bound
+
+    def test_deterministic_given_rng(self):
+        a = kaiming_normal(np.random.default_rng(7), (4, 4), fan_in=4)
+        b = kaiming_normal(np.random.default_rng(7), (4, 4), fan_in=4)
+        assert np.array_equal(a, b)
+
+    def test_constant_initializers(self):
+        assert np.array_equal(zeros((2, 3)), np.zeros((2, 3)))
+        assert np.array_equal(ones((4,)), np.ones(4))
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            kaiming_normal(rng, (2, 2), fan_in=0)
+        with pytest.raises(ValueError):
+            xavier_uniform(rng, (2, 2), fan_in=0, fan_out=2)
+
+
+class TestAstype:
+    def test_casts_parameters_and_buffers(self):
+        model = MiniVGG(num_classes=3, stage_channels=(4,), seed=0)
+        model.astype(np.float32)
+        for param in model.parameters():
+            assert param.data.dtype == np.float32
+        for _, buffer in model.named_buffers():
+            assert buffer.dtype == np.float32
+
+    def test_float32_forward_close_to_float64(self):
+        model64 = MiniVGG(num_classes=3, stage_channels=(4,), seed=1)
+        model32 = MiniVGG(num_classes=3, stage_channels=(4,), seed=1)
+        model32.astype(np.float32)
+        model64.eval()
+        model32.eval()
+        x = np.random.default_rng(2).uniform(size=(2, 3, 8, 8))
+        out64 = model64(x)
+        out32 = model32(x.astype(np.float32))
+        assert np.allclose(out64, out32, atol=1e-4)

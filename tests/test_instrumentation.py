@@ -1,0 +1,113 @@
+"""Tests for sketch execution statistics."""
+
+import numpy as np
+import pytest
+
+from repro.classifier.toy import SinglePixelBackdoorClassifier
+from repro.core.dsl.ast import (
+    Comparison,
+    Condition,
+    Constant,
+    Center,
+    Program,
+)
+from repro.core.instrumentation import SketchStats
+from repro.core.sketch import OnePixelSketch
+
+SHAPE = (6, 6, 3)
+FULL_SPACE = 8 * 6 * 6
+
+
+def gray_image():
+    return np.full(SHAPE, 0.5)
+
+
+def no_adversarial_classifier():
+    """No corner write ever flips this classifier."""
+    return SinglePixelBackdoorClassifier(SHAPE, (2, 3), np.array([0.5, 0.3, 0.7]))
+
+
+class TestSketchStats:
+    def test_false_program_never_fires(self):
+        stats = SketchStats()
+        OnePixelSketch(Program.constant(False)).attack(
+            no_adversarial_classifier(), gray_image(), true_class=0, stats=stats
+        )
+        assert stats.main_loop_pops == FULL_SPACE
+        assert stats.eager_checks == 0
+        assert stats.eager_fraction == 0.0
+        for name in ("b1", "b2", "b3", "b4"):
+            assert stats.condition_fired[name] == 0
+            assert stats.condition_evaluated[name] == FULL_SPACE
+            assert stats.fire_rate(name) == 0.0
+
+    def test_true_program_fires_everywhere(self):
+        stats = SketchStats()
+        OnePixelSketch(Program.constant(True)).attack(
+            no_adversarial_classifier(), gray_image(), true_class=0, stats=stats
+        )
+        assert stats.total_queries == FULL_SPACE
+        assert stats.eager_checks > 0
+        assert stats.fire_rate("b1") == 1.0
+        # pushed-back counters reflect real reordering activity
+        assert stats.pushed_back_location > 0
+        assert stats.pushed_back_perturbation > 0
+
+    def test_total_queries_matches_result(self):
+        stats = SketchStats()
+        result = OnePixelSketch(Program.constant(True)).attack(
+            no_adversarial_classifier(), gray_image(), true_class=0, stats=stats
+        )
+        assert stats.total_queries == result.queries
+
+    def test_eager_only_b4(self):
+        always_b4 = Program.constant(False).replace(
+            3, Condition(Comparison.LT, Center(), Constant(100.0))
+        )
+        stats = SketchStats()
+        OnePixelSketch(always_b4).attack(
+            no_adversarial_classifier(), gray_image(), true_class=0, stats=stats
+        )
+        assert stats.eager_checks > 0
+        assert stats.condition_fired["b3"] == 0
+        assert stats.condition_fired["b4"] > 0
+        # eager checks consume queue entries, so main pops + eager = space
+        assert stats.total_queries == FULL_SPACE
+
+    def test_merge(self):
+        a = SketchStats()
+        b = SketchStats()
+        OnePixelSketch(Program.constant(True)).attack(
+            no_adversarial_classifier(), gray_image(), true_class=0, stats=a
+        )
+        OnePixelSketch(Program.constant(False)).attack(
+            no_adversarial_classifier(), gray_image(), true_class=0, stats=b
+        )
+        total = SketchStats().merge(a).merge(b)
+        assert total.total_queries == a.total_queries + b.total_queries
+        assert (
+            total.condition_evaluated["b1"]
+            == a.condition_evaluated["b1"] + b.condition_evaluated["b1"]
+        )
+
+    def test_summary_is_readable(self):
+        stats = SketchStats()
+        OnePixelSketch(Program.constant(True)).attack(
+            no_adversarial_classifier(), gray_image(), true_class=0, stats=stats
+        )
+        text = stats.summary()
+        assert "eager fraction" in text
+        assert "B1" in text and "B4" in text
+
+    def test_stats_accumulate_across_runs(self):
+        stats = SketchStats()
+        sketch = OnePixelSketch(Program.constant(False))
+        for _ in range(2):
+            sketch.attack(
+                no_adversarial_classifier(), gray_image(), true_class=0, stats=stats
+            )
+        assert stats.main_loop_pops == 2 * FULL_SPACE
+
+    def test_fire_rate_zero_when_never_evaluated(self):
+        assert SketchStats().fire_rate("b1") == 0.0
+        assert SketchStats().eager_fraction == 0.0

@@ -1,0 +1,105 @@
+"""End-to-end integration: train a CNN, synthesize, attack, evaluate.
+
+These tests exercise the full paper pipeline against a genuinely trained
+(tiny) convolutional network rather than a toy classifier.  The model is
+trained once per test session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fixed_sketch import FixedSketchAttack
+from repro.attacks.sketch_attack import SketchAttack
+from repro.attacks.sparse_rs import SparseRS, SparseRSConfig
+from repro.attacks.su_opa import SuOPA, SuOPAConfig
+from repro.classifier.blackbox import CountingClassifier
+from repro.core.synthesis.oppsla import Oppsla, OppslaConfig
+from repro.eval.runner import attack_dataset
+from repro.models.zoo import ModelZoo, ZooConfig
+
+IMAGE_SIZE = 10
+FULL_SPACE = 8 * IMAGE_SIZE * IMAGE_SIZE
+
+
+@pytest.fixture(scope="module")
+def zoo(tmp_path_factory):
+    config = ZooConfig(
+        dataset="cifar",
+        image_size=IMAGE_SIZE,
+        train_per_class=40,
+        test_per_class=10,
+        epochs=3,
+        cache_dir=str(tmp_path_factory.mktemp("zoo_cache")),
+    )
+    return ModelZoo(config)
+
+
+@pytest.fixture(scope="module")
+def trained(zoo):
+    return zoo.get("vgg16bn")
+
+
+@pytest.fixture(scope="module")
+def test_pairs(zoo, trained):
+    return zoo.correctly_classified("vgg16bn", split="test", limit=8).pairs()
+
+
+class TestPipeline:
+    def test_model_learned_something(self, trained):
+        assert trained.train_accuracy > 0.4  # 10 classes, 4x chance
+
+    def test_sketch_attack_runs_under_budget(self, trained, test_pairs):
+        attack = FixedSketchAttack()
+        summary = attack_dataset(attack, trained.classifier, test_pairs, budget=200)
+        assert summary.total_images == len(test_pairs)
+        for result in summary.results:
+            assert result.queries <= 200
+
+    def test_full_space_exhaustion_bound(self, trained, test_pairs):
+        image, label = test_pairs[0]
+        counting = CountingClassifier(trained.classifier)
+        result = FixedSketchAttack().attack(counting, image, label)
+        # the sketch may pose at most the whole space plus the clean query
+        assert counting.count <= FULL_SPACE + 1
+        assert result.queries <= FULL_SPACE
+
+    def test_synthesis_end_to_end(self, zoo, trained):
+        pairs = zoo.correctly_classified("vgg16bn", split="train", limit=4).pairs()
+        config = OppslaConfig(
+            max_iterations=2, beta=0.01, per_image_budget=120, seed=0
+        )
+        result = Oppsla(config).synthesize(trained.classifier, pairs)
+        assert result.trace.iterations <= 2
+        assert result.total_queries <= 3 * 4 * 120  # (initial + 2) * images * budget
+        # the synthesized program runs as an attack
+        image, label = pairs[0]
+        outcome = SketchAttack(result.program).attack(
+            trained.classifier, image, label, budget=120
+        )
+        assert outcome.queries <= 120
+
+    def test_baselines_run_against_cnn(self, trained, test_pairs):
+        image, label = test_pairs[0]
+        for attack in (
+            SparseRS(SparseRSConfig(seed=0)),
+            SuOPA(SuOPAConfig(population_size=10, max_generations=2, seed=0)),
+        ):
+            result = attack.attack(trained.classifier, image, label, budget=60)
+            assert result.queries <= 60
+
+    def test_attack_determinism(self, trained, test_pairs):
+        image, label = test_pairs[0]
+        first = FixedSketchAttack().attack(trained.classifier, image, label, budget=150)
+        second = FixedSketchAttack().attack(trained.classifier, image, label, budget=150)
+        assert first.queries == second.queries
+        assert first.success == second.success
+
+    def test_completeness_on_cnn(self, trained, test_pairs):
+        """An exhaustive run and a budgeted-but-complete run agree."""
+        image, label = test_pairs[0]
+        exhaustive = FixedSketchAttack().attack(trained.classifier, image, label)
+        capped = FixedSketchAttack().attack(
+            trained.classifier, image, label, budget=FULL_SPACE
+        )
+        assert exhaustive.success == capped.success
+        assert exhaustive.queries == capped.queries

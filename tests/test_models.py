@@ -1,0 +1,134 @@
+"""Tests for the scaled paper architectures."""
+
+import numpy as np
+import pytest
+
+from repro.models.densenet import DenseBlock, DenseLayer, MiniDenseNet, transition
+from repro.models.googlenet import MiniGoogLeNet, inception_module
+from repro.models.registry import ARCHITECTURES, build_model
+from repro.models.resnet import MiniResNet, MiniResNetBottleneck
+from repro.models.vgg import MiniVGG
+
+RNG = np.random.default_rng(0)
+
+
+def tiny_batch(size=8):
+    return RNG.uniform(size=(2, 3, size, size))
+
+
+TINY_KWARGS = {
+    "vgg16bn": dict(stage_channels=(4, 8), convs_per_stage=1),
+    "resnet18": dict(stage_channels=(4, 8), blocks_per_stage=1),
+    "resnet50": dict(stage_channels=(4, 8), blocks_per_stage=1),
+    "googlenet": dict(stem_channels=4, module_specs=((2, 4, 2, 2),)),
+    "densenet121": dict(stem_channels=4, block_layers=(2, 2), growth=4),
+}
+
+
+@pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+class TestAllArchitectures:
+    def build(self, arch, num_classes=5):
+        return ARCHITECTURES[arch](num_classes=num_classes, seed=0, **TINY_KWARGS[arch])
+
+    def test_forward_shape(self, arch):
+        model = self.build(arch)
+        out = model(tiny_batch())
+        assert out.shape == (2, 5)
+        assert np.isfinite(out).all()
+
+    def test_backward_runs_and_populates_grads(self, arch):
+        model = self.build(arch)
+        out = model(tiny_batch())
+        model.zero_grad()
+        model.backward(np.ones_like(out))
+        grads = [np.abs(p.grad).sum() for p in model.parameters()]
+        assert sum(g > 0 for g in grads) > len(grads) * 0.5, (
+            "most parameters should receive gradient"
+        )
+
+    def test_deterministic_construction(self, arch):
+        a = self.build(arch)
+        b = self.build(arch)
+        x = tiny_batch()
+        assert np.allclose(a(x), b(x))
+
+    def test_resolution_agnostic(self, arch):
+        """GAP heads make every model work at both benchmark resolutions."""
+        model = self.build(arch)
+        small = model(tiny_batch(8))
+        large = model(tiny_batch(16))
+        assert small.shape == large.shape == (2, 5)
+
+    def test_state_dict_round_trip(self, arch):
+        model = self.build(arch)
+        state = model.state_dict()
+        clone = self.build(arch)
+        clone.load_state_dict(state)
+        x = tiny_batch()
+        model.eval()
+        clone.eval()
+        assert np.allclose(model(x), clone(x))
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(ARCHITECTURES) == {
+            "vgg16bn",
+            "resnet18",
+            "googlenet",
+            "densenet121",
+            "resnet50",
+        }
+
+    def test_build_model(self):
+        model = build_model("vgg16bn", num_classes=7, seed=1)
+        assert isinstance(model, MiniVGG)
+        out = model(tiny_batch(16))
+        assert out.shape == (2, 7)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            build_model("alexnet", num_classes=10)
+
+    def test_family_types(self):
+        assert isinstance(build_model("resnet18", 10), MiniResNet)
+        assert isinstance(build_model("resnet50", 10), MiniResNetBottleneck)
+        assert isinstance(build_model("googlenet", 10), MiniGoogLeNet)
+        assert isinstance(build_model("densenet121", 10), MiniDenseNet)
+
+
+class TestBuildingBlocks:
+    def test_dense_layer_concatenates(self):
+        rng = np.random.default_rng(1)
+        layer = DenseLayer(4, growth=3, rng=rng)
+        x = rng.normal(size=(2, 4, 6, 6))
+        out = layer(x)
+        assert out.shape == (2, 7, 6, 6)
+        assert np.allclose(out[:, :4], x)  # input channels pass through
+
+    def test_dense_block_growth(self):
+        rng = np.random.default_rng(2)
+        block = DenseBlock(4, num_layers=3, growth=2, rng=rng)
+        assert block.out_channels == 10
+        out = block(rng.normal(size=(1, 4, 6, 6)))
+        assert out.shape == (1, 10, 6, 6)
+
+    def test_transition_halves_spatial(self):
+        rng = np.random.default_rng(3)
+        layer = transition(8, 4, rng=rng)
+        out = layer(rng.normal(size=(1, 8, 6, 6)))
+        assert out.shape == (1, 4, 3, 3)
+
+    def test_inception_concatenates_branches(self):
+        rng = np.random.default_rng(4)
+        module = inception_module(6, (2, 3, 2, 1), rng=rng)
+        out = module(rng.normal(size=(1, 6, 8, 8)))
+        assert out.shape == (1, 8, 8, 8)
+
+    def test_dense_layer_gradient_splits_correctly(self):
+        rng = np.random.default_rng(5)
+        layer = DenseLayer(2, growth=2, rng=rng)
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(out))
+        assert grad.shape == x.shape

@@ -1,0 +1,118 @@
+"""Tests for dropout, LR schedulers, and model summaries."""
+
+import numpy as np
+import pytest
+
+from repro.models.vgg import MiniVGG
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.linear import Linear
+from repro.nn.optim import SGD
+from repro.nn.module import Parameter
+from repro.nn.schedulers import CosineAnnealing, StepDecay, WarmupWrapper
+from repro.nn.summary import describe, parameter_table
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        layer = Dropout(0.5)
+        layer.training = False
+        x = np.random.default_rng(0).normal(size=(4, 8))
+        assert np.array_equal(layer(x), x)
+
+    def test_zeroes_and_rescales_in_training(self):
+        layer = Dropout(0.5, seed=1)
+        x = np.ones((1000,))
+        out = layer(x)
+        zeros = (out == 0).mean()
+        assert 0.35 < zeros < 0.65
+        # survivors are scaled by 1/keep
+        assert np.allclose(out[out != 0], 2.0)
+        # expectation preserved
+        assert abs(out.mean() - 1.0) < 0.15
+
+    def test_backward_masks_gradient(self):
+        layer = Dropout(0.5, seed=2)
+        x = np.ones((100,))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(out))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_p_zero_is_identity(self):
+        layer = Dropout(0.0)
+        x = np.random.default_rng(3).normal(size=(5, 5))
+        assert np.array_equal(layer(x), x)
+        assert np.array_equal(layer.backward(x), x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+def make_optimizer(lr=0.1):
+    return SGD([Parameter(np.zeros(2))], lr=lr)
+
+
+class TestSchedulers:
+    def test_step_decay(self):
+        optimizer = make_optimizer(0.1)
+        scheduler = StepDecay(optimizer, period=2, factor=0.1)
+        rates = [scheduler.step() for _ in range(4)]
+        assert rates == pytest.approx([0.1, 0.01, 0.01, 0.001])
+
+    def test_cosine_annealing_endpoints(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = CosineAnnealing(optimizer, total_epochs=10, min_lr=0.1)
+        rates = [scheduler.step() for _ in range(10)]
+        assert rates[0] < 1.0
+        assert rates[-1] == pytest.approx(0.1)
+        assert rates == sorted(rates, reverse=True)
+
+    def test_cosine_clamps_past_horizon(self):
+        optimizer = make_optimizer(1.0)
+        scheduler = CosineAnnealing(optimizer, total_epochs=2, min_lr=0.0)
+        for _ in range(5):
+            rate = scheduler.step()
+        assert rate == pytest.approx(0.0)
+
+    def test_warmup(self):
+        optimizer = make_optimizer(1.0)
+        inner = CosineAnnealing(optimizer, total_epochs=4)
+        scheduler = WarmupWrapper(inner, warmup_epochs=2)
+        first = scheduler.step()
+        second = scheduler.step()
+        assert first == pytest.approx(0.5)
+        assert second == pytest.approx(1.0)
+        third = scheduler.step()
+        assert third < 1.0  # cosine has taken over
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(make_optimizer(), period=0)
+        with pytest.raises(ValueError):
+            CosineAnnealing(make_optimizer(), total_epochs=0)
+        with pytest.raises(ValueError):
+            WarmupWrapper(CosineAnnealing(make_optimizer(), 2), warmup_epochs=-1)
+
+
+class TestSummary:
+    def test_describe_contains_tree(self):
+        model = MiniVGG(num_classes=5, stage_channels=(4,), seed=0)
+        text = describe(model)
+        assert "MiniVGG" in text
+        assert "features" in text
+        assert "head" in text
+        assert "params" in text
+
+    def test_describe_respects_depth(self):
+        model = MiniVGG(num_classes=5, stage_channels=(4,), seed=0)
+        shallow = describe(model, max_depth=1)
+        deep = describe(model, max_depth=4)
+        assert len(deep.splitlines()) > len(shallow.splitlines())
+
+    def test_parameter_table_totals(self):
+        model = Linear(3, 4, rng=np.random.default_rng(0))
+        table = parameter_table(model)
+        assert "weight" in table and "bias" in table
+        assert "16" in table  # 12 + 4 total

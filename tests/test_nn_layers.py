@@ -1,0 +1,279 @@
+"""Numerical gradient checks and shape tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.activation import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.container import Residual, Sequential
+from repro.nn.layers.conv import Conv2d
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.norm import BatchNorm2d
+from repro.nn.layers.pool import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.layers.shape import Concat, Flatten
+
+RNG = np.random.default_rng(0)
+
+
+def numerical_input_grad(layer, x, grad_out, eps=1e-6):
+    """Central-difference gradient of sum(out * grad_out) w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = float((layer.forward(x) * grad_out).sum())
+        flat[index] = original - eps
+        minus = float((layer.forward(x) * grad_out).sum())
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, atol=1e-6):
+    rng = np.random.default_rng(1)
+    out = layer.forward(x)
+    grad_out = rng.normal(size=out.shape)
+    analytic = layer.backward(grad_out)
+    layer.zero_grad() if hasattr(layer, "zero_grad") else None
+    numeric = numerical_input_grad(layer, x, grad_out)
+    # re-run forward so the layer cache matches x again
+    layer.forward(x)
+    assert np.allclose(analytic, numeric, atol=atol), (
+        f"max err {np.abs(analytic - numeric).max()}"
+    )
+
+
+def check_param_gradient(layer, x, atol=1e-5):
+    rng = np.random.default_rng(2)
+    out = layer.forward(x)
+    grad_out = rng.normal(size=out.shape)
+    layer.zero_grad()
+    layer.backward(grad_out)
+    for param in layer.parameters():
+        analytic = param.grad.copy()
+        numeric = np.zeros_like(param.data)
+        flat = param.data.reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        eps = 1e-6
+        for index in range(flat.size):
+            original = flat[index]
+            flat[index] = original + eps
+            plus = float((layer.forward(x) * grad_out).sum())
+            flat[index] = original - eps
+            minus = float((layer.forward(x) * grad_out).sum())
+            flat[index] = original
+            numeric_flat[index] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=atol), (
+            f"param grad max err {np.abs(analytic - numeric).max()}"
+        )
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = Conv2d(3, 5, 3, stride=2, padding=1, rng=RNG)
+        out = conv.forward(RNG.normal(size=(2, 3, 8, 8)))
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_input_gradient(self):
+        conv = Conv2d(2, 3, 3, padding=1, rng=np.random.default_rng(3))
+        check_input_gradient(conv, np.random.default_rng(4).normal(size=(2, 2, 5, 5)))
+
+    def test_param_gradient(self):
+        conv = Conv2d(2, 2, 3, stride=2, padding=1, rng=np.random.default_rng(5))
+        check_param_gradient(conv, np.random.default_rng(6).normal(size=(1, 2, 5, 5)))
+
+    def test_known_convolution(self):
+        # identity kernel passes the input through
+        conv = Conv2d(1, 1, 1, bias=False, rng=RNG)
+        conv.weight.data[...] = 1.0
+        x = RNG.normal(size=(1, 1, 4, 4))
+        assert np.allclose(conv.forward(x), x)
+
+    def test_bias_disabled(self):
+        conv = Conv2d(2, 3, 3, bias=False, rng=RNG)
+        assert conv.bias is None
+        assert len(conv.parameters()) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Conv2d(0, 3, 3)
+        with pytest.raises(ValueError):
+            Conv2d(3, 3, 3, stride=0)
+        conv = Conv2d(3, 4, 3, rng=RNG)
+        with pytest.raises(ValueError):
+            conv.forward(np.zeros((1, 2, 8, 8)))
+
+
+class TestLinear:
+    def test_affine_map(self):
+        linear = Linear(3, 2, rng=RNG)
+        linear.weight.data = np.array([[1.0, 0.0, 0.0], [0.0, 2.0, 0.0]])
+        linear.bias.data = np.array([1.0, -1.0])
+        out = linear.forward(np.array([[1.0, 2.0, 3.0]]))
+        assert np.allclose(out, [[2.0, 3.0]])
+
+    def test_gradients(self):
+        linear = Linear(4, 3, rng=np.random.default_rng(7))
+        x = np.random.default_rng(8).normal(size=(3, 4))
+        check_input_gradient(linear, x)
+        check_param_gradient(linear, x)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "layer", [ReLU(), LeakyReLU(0.1), Sigmoid(), Tanh()]
+    )
+    def test_gradient(self, layer):
+        x = np.random.default_rng(9).normal(size=(2, 3, 4)) + 0.1
+        check_input_gradient(layer, x)
+
+    def test_relu_zeroes_negatives(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        assert np.array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_stable_for_large_inputs(self):
+        out = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+        assert np.allclose(out, [0.0, 1.0])
+        assert np.isfinite(out).all()
+
+    def test_leaky_relu_validation(self):
+        with pytest.raises(ValueError):
+            LeakyReLU(-0.5)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self):
+        bn = BatchNorm2d(3)
+        x = np.random.default_rng(10).normal(2.0, 3.0, size=(8, 3, 4, 4))
+        out = bn.forward(x)
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_running_stats_used_in_eval(self):
+        bn = BatchNorm2d(2)
+        x = np.random.default_rng(11).normal(1.0, 2.0, size=(16, 2, 3, 3))
+        for _ in range(50):
+            bn.forward(x)
+        bn.training = False
+        out = bn.forward(x)
+        # running stats converge to batch stats, so eval output is normalized
+        assert np.allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=0.05)
+
+    def test_input_gradient_training(self):
+        bn = BatchNorm2d(2)
+        bn.gamma.data = np.array([1.5, 0.5])
+        bn.beta.data = np.array([0.1, -0.2])
+        x = np.random.default_rng(12).normal(size=(4, 2, 3, 3))
+        check_input_gradient(bn, x, atol=1e-5)
+
+    def test_param_gradient(self):
+        bn = BatchNorm2d(2)
+        x = np.random.default_rng(13).normal(size=(4, 2, 3, 3))
+        check_param_gradient(bn, x)
+
+    def test_input_gradient_eval(self):
+        bn = BatchNorm2d(2)
+        bn.forward(np.random.default_rng(14).normal(size=(8, 2, 3, 3)))
+        bn.training = False
+        x = np.random.default_rng(15).normal(size=(4, 2, 3, 3))
+        check_input_gradient(bn, x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(0)
+        with pytest.raises(ValueError):
+            BatchNorm2d(3, momentum=0.0)
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        pool = MaxPool2d(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        assert np.array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool_values(self):
+        pool = AvgPool2d(2)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = pool.forward(x)
+        assert np.array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_maxpool_gradient(self):
+        pool = MaxPool2d(2)
+        # unique values so argmax ties cannot break the numerical check
+        x = np.random.default_rng(16).permutation(64).astype(float).reshape(
+            (1, 4, 4, 4)
+        )
+        check_input_gradient(pool, x)
+
+    def test_avgpool_gradient(self):
+        pool = AvgPool2d(2)
+        check_input_gradient(
+            pool, np.random.default_rng(17).normal(size=(2, 2, 4, 4))
+        )
+
+    def test_maxpool_with_stride_and_padding(self):
+        pool = MaxPool2d(3, stride=1, padding=1)
+        x = np.random.default_rng(18).normal(size=(1, 2, 5, 5))
+        assert pool.forward(x).shape == (1, 2, 5, 5)
+
+    def test_global_avgpool(self):
+        pool = GlobalAvgPool2d()
+        x = np.random.default_rng(19).normal(size=(2, 3, 4, 5))
+        out = pool.forward(x)
+        assert out.shape == (2, 3)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+        check_input_gradient(pool, x)
+
+
+class TestContainers:
+    def test_sequential_composes(self):
+        rng = np.random.default_rng(20)
+        model = Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+        x = rng.normal(size=(3, 4))
+        out = model.forward(x)
+        assert out.shape == (3, 2)
+        assert len(model) == 3
+        assert isinstance(model[1], ReLU)
+
+    def test_sequential_gradient(self):
+        rng = np.random.default_rng(21)
+        model = Sequential(Linear(4, 6, rng=rng), Tanh(), Linear(6, 3, rng=rng))
+        check_input_gradient(model, rng.normal(size=(2, 4)))
+
+    def test_residual_identity_shortcut(self):
+        rng = np.random.default_rng(22)
+        body = Sequential(Conv2d(2, 2, 3, padding=1, rng=rng))
+        block = Residual(body)
+        x = rng.normal(size=(1, 2, 4, 4))
+        assert np.allclose(block.forward(x), body.forward(x) + x)
+        check_input_gradient(block, x)
+
+    def test_residual_shape_mismatch_raises(self):
+        rng = np.random.default_rng(23)
+        body = Sequential(Conv2d(2, 4, 3, padding=1, rng=rng))
+        with pytest.raises(ValueError):
+            Residual(body).forward(rng.normal(size=(1, 2, 4, 4)))
+
+    def test_flatten_round_trip(self):
+        flatten = Flatten()
+        x = np.random.default_rng(24).normal(size=(2, 3, 4, 5))
+        out = flatten.forward(x)
+        assert out.shape == (2, 60)
+        assert flatten.backward(out).shape == x.shape
+
+    def test_concat_branches(self):
+        rng = np.random.default_rng(25)
+        concat = Concat(
+            [Conv2d(2, 3, 1, rng=rng), Conv2d(2, 5, 1, rng=rng)]
+        )
+        x = rng.normal(size=(1, 2, 4, 4))
+        out = concat.forward(x)
+        assert out.shape == (1, 8, 4, 4)
+        check_input_gradient(concat, x)
+
+    def test_parameters_found_in_containers(self):
+        rng = np.random.default_rng(26)
+        model = Sequential(Linear(3, 4, rng=rng), Sequential(Linear(4, 5, rng=rng)))
+        assert len(model.parameters()) == 4  # two weights, two biases

@@ -1,0 +1,82 @@
+"""Tests for the uniform-random baseline attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.random_search import UniformRandomAttack, UniformRandomConfig
+from repro.classifier.blackbox import CountingClassifier
+from repro.classifier.toy import SinglePixelBackdoorClassifier
+
+SHAPE = (6, 6, 3)
+FULL_SPACE = 8 * 6 * 6
+
+
+def gray_image():
+    return np.full(SHAPE, 0.5)
+
+
+class TestUniformRandomAttack:
+    def test_finds_backdoor(self):
+        classifier = SinglePixelBackdoorClassifier(SHAPE, (2, 3), np.ones(3))
+        result = UniformRandomAttack(UniformRandomConfig(seed=0)).attack(
+            classifier, gray_image(), true_class=0
+        )
+        assert result.success
+        assert result.location == (2, 3)
+        assert result.queries <= FULL_SPACE
+
+    def test_exhaustive_without_example(self):
+        classifier = SinglePixelBackdoorClassifier(
+            SHAPE, (2, 3), np.array([0.5, 0.3, 0.7])
+        )
+        result = UniformRandomAttack().attack(classifier, gray_image(), true_class=0)
+        assert not result.success
+        assert result.queries == FULL_SPACE
+
+    def test_no_pair_repeated(self):
+        seen = set()
+
+        class Recorder:
+            def __call__(self, image):
+                delta = np.argwhere(np.abs(image - gray_image()).sum(axis=2) > 0)
+                key = (tuple(delta[0]), tuple(image[tuple(delta[0])]))
+                assert key not in seen
+                seen.add(key)
+                return np.array([0.9, 0.1])
+
+        UniformRandomAttack().attack(Recorder(), gray_image(), true_class=0)
+        assert len(seen) == FULL_SPACE
+
+    def test_budget_respected(self):
+        classifier = SinglePixelBackdoorClassifier(
+            SHAPE, (2, 3), np.array([0.5, 0.3, 0.7])
+        )
+        counting = CountingClassifier(classifier)
+        result = UniformRandomAttack().attack(
+            counting, gray_image(), true_class=0, budget=17
+        )
+        assert result.queries == 17
+        assert counting.count == 17
+
+    def test_seed_changes_order(self):
+        classifier = SinglePixelBackdoorClassifier(SHAPE, (2, 3), np.ones(3))
+        a = UniformRandomAttack(UniformRandomConfig(seed=1)).attack(
+            classifier, gray_image(), true_class=0
+        )
+        b = UniformRandomAttack(UniformRandomConfig(seed=2)).attack(
+            classifier, gray_image(), true_class=0
+        )
+        # both succeed; almost surely at different query counts
+        assert a.success and b.success
+        assert a.queries != b.queries
+
+    def test_targeted(self):
+        classifier = SinglePixelBackdoorClassifier(
+            SHAPE, (2, 3), np.ones(3), default_class=0, backdoor_class=1,
+            num_classes=3,
+        )
+        result = UniformRandomAttack().attack(
+            classifier, gray_image(), true_class=0, target_class=1
+        )
+        assert result.success
+        assert result.adversarial_class == 1

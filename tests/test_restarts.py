@@ -1,0 +1,58 @@
+"""Tests for multi-restart synthesis."""
+
+import pytest
+
+from repro.core.synthesis.oppsla import OppslaConfig
+from repro.core.synthesis.restarts import RestartSummary, synthesize_with_restarts
+
+
+class TestRestarts:
+    def test_returns_best_of_chains(self, linear_classifier, toy_pairs):
+        config = OppslaConfig(max_iterations=3, per_image_budget=60, seed=10)
+        summary = synthesize_with_restarts(
+            linear_classifier, toy_pairs, config=config, restarts=3
+        )
+        assert isinstance(summary, RestartSummary)
+        assert len(summary.all_results) == 3
+        assert summary.best in summary.all_results
+        # best is at least as good as every chain by the declared ordering
+        best_eval = summary.best.best_evaluation
+        for result in summary.all_results:
+            other = result.best_evaluation
+            assert (best_eval.successes, -best_eval.penalized_avg_queries) >= (
+                other.successes,
+                -other.penalized_avg_queries,
+            )
+
+    def test_chains_use_distinct_seeds(self, linear_classifier, toy_pairs):
+        config = OppslaConfig(max_iterations=2, per_image_budget=60, seed=0)
+        summary = synthesize_with_restarts(
+            linear_classifier, toy_pairs, config=config, restarts=2
+        )
+        seeds = {result.config.seed for result in summary.all_results}
+        assert seeds == {0, 1}
+
+    def test_total_queries_accumulates(self, linear_classifier, toy_pairs):
+        config = OppslaConfig(max_iterations=2, per_image_budget=60, seed=0)
+        summary = synthesize_with_restarts(
+            linear_classifier, toy_pairs, config=config, restarts=2
+        )
+        assert summary.total_queries == sum(
+            result.total_queries for result in summary.all_results
+        )
+
+    def test_single_restart_equals_oppsla(self, linear_classifier, toy_pairs):
+        from repro.core.synthesis.oppsla import Oppsla
+
+        config = OppslaConfig(max_iterations=3, per_image_budget=60, seed=4)
+        summary = synthesize_with_restarts(
+            linear_classifier, toy_pairs, config=config, restarts=1
+        )
+        direct = Oppsla(config).synthesize(linear_classifier, toy_pairs)
+        assert summary.best.best_program == direct.best_program
+
+    def test_validation(self, linear_classifier, toy_pairs):
+        with pytest.raises(ValueError):
+            synthesize_with_restarts(
+                linear_classifier, toy_pairs, restarts=0
+            )

@@ -1,0 +1,106 @@
+"""Tests for the run-summary metrics, focusing on the penalized average."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.base import AttackResult
+from repro.classifier.toy import SinglePixelBackdoorClassifier
+from repro.core.dsl.ast import Program
+from repro.core.dsl.grammar import Grammar
+from repro.core.sketch import OnePixelSketch
+from repro.eval.runner import AttackRunSummary
+
+
+def ok(queries):
+    return AttackResult(
+        success=True, queries=queries, location=(0, 0), perturbation=np.ones(3)
+    )
+
+
+def fail(queries):
+    return AttackResult(success=False, queries=queries)
+
+
+class TestPenalizedAverage:
+    def test_counts_failures_at_their_cost(self):
+        summary = AttackRunSummary("t", [ok(10), fail(100)], budget=100)
+        assert summary.penalized_avg_queries == pytest.approx(55.0)
+        # the successes-only average hides the failure entirely
+        assert summary.avg_queries == pytest.approx(10.0)
+
+    def test_equals_plain_average_when_all_succeed(self):
+        summary = AttackRunSummary("t", [ok(10), ok(30)], budget=100)
+        assert summary.penalized_avg_queries == summary.avg_queries
+
+    def test_comparable_across_different_success_sets(self):
+        """The motivating case: attack A succeeds only on the easy image,
+        attack B on both.  Per-success averages rank A first; penalized
+        averages rank B first, which is the meaningful ordering."""
+        a = AttackRunSummary("a", [ok(5), fail(1000)], budget=1000)
+        b = AttackRunSummary("b", [ok(5), ok(400)], budget=1000)
+        assert a.avg_queries < b.avg_queries  # misleading
+        assert b.penalized_avg_queries < a.penalized_avg_queries  # honest
+
+    def test_empty(self):
+        summary = AttackRunSummary("t", [], budget=None)
+        assert math.isinf(summary.penalized_avg_queries)
+
+    def test_all_failures(self):
+        summary = AttackRunSummary("t", [fail(50), fail(50)], budget=50)
+        assert summary.penalized_avg_queries == 50.0
+        assert math.isinf(summary.avg_queries)
+
+
+class TestSketchDeterminismProperty:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_same_program_same_result(self, seed):
+        """The sketch is fully deterministic: identical runs agree."""
+        grammar = Grammar((5, 5))
+        program = grammar.random_program(np.random.default_rng(seed))
+        classifier = SinglePixelBackdoorClassifier(
+            (5, 5, 3), (1, 2), np.ones(3)
+        )
+        image = np.full((5, 5, 3), 0.4)
+        sketch = OnePixelSketch(program)
+        first = sketch.attack(classifier, image, true_class=0)
+        second = sketch.attack(classifier, image, true_class=0)
+        assert first.queries == second.queries
+        assert first.pair == second.pair
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(1, 50))
+    def test_budget_prefix_property(self, seed, budget):
+        """A budgeted run behaves like a prefix of the unbudgeted run:
+        if it succeeds within the budget, the unbudgeted run succeeds
+        with the identical query count."""
+        grammar = Grammar((5, 5))
+        program = grammar.random_program(np.random.default_rng(seed))
+        classifier = SinglePixelBackdoorClassifier(
+            (5, 5, 3), (1, 2), np.ones(3)
+        )
+        image = np.full((5, 5, 3), 0.4)
+        sketch = OnePixelSketch(program)
+        capped = sketch.attack(classifier, image, true_class=0, budget=budget)
+        free = sketch.attack(classifier, image, true_class=0)
+        if capped.success:
+            assert free.queries == capped.queries
+            assert free.pair == capped.pair
+        else:
+            assert free.queries >= capped.queries
+
+
+class TestTransferOverheadEdge:
+    def test_zero_diagonal_gives_inf(self):
+        from repro.eval.transfer import TransferMatrix
+
+        matrix = TransferMatrix(
+            names=["a"],
+            avg_queries={"a": {"a": 0.0}},
+            summaries={"a": {"a": None}},
+        )
+        assert matrix.transfer_overhead("a", "a") == float("inf")

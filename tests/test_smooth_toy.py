@@ -1,0 +1,73 @@
+"""Tests for the smooth / hotspot toy classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifier.toy import SmoothLinearClassifier
+
+SHAPE = (10, 10, 3)
+
+
+class TestSmoothLinearClassifier:
+    def test_scores_are_probabilities(self):
+        classifier = SmoothLinearClassifier(SHAPE, num_classes=4, seed=0)
+        scores = classifier(np.full(SHAPE, 0.5))
+        assert scores.shape == (4,)
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_weights_are_spatially_correlated(self):
+        """Adjacent pixels' weights correlate positively on average (an
+        i.i.d. random weight map would average ~0); individual channels
+        can dip negative when a high-frequency component dominates, so
+        the check aggregates over classes, channels and seeds."""
+        correlations = []
+        for seed in range(4):
+            classifier = SmoothLinearClassifier(SHAPE, num_classes=3, seed=seed)
+            weights = classifier.weight.reshape(3, 10, 10, 3)
+            for class_index in range(3):
+                for channel in range(3):
+                    field = weights[class_index, :, :, channel]
+                    correlations.append(
+                        np.corrcoef(
+                            field[:, :-1].ravel(), field[:, 1:].ravel()
+                        )[0, 1]
+                    )
+        assert np.mean(correlations) > 0.1
+
+    def test_hotspot_concentrates_leverage(self):
+        """With a corner hotspot, per-pixel weight energy peaks there."""
+        classifier = SmoothLinearClassifier(
+            SHAPE, num_classes=3, seed=2, hotspot=(0.9, -0.9), hotspot_width=0.3
+        )
+        weights = classifier.weight.reshape(3, 10, 10, 3)
+        energy = (weights**2).sum(axis=(0, 3))
+        peak = np.unravel_index(energy.argmax(), energy.shape)
+        # hotspot (x=0.9, y=-0.9) maps near the top-right corner
+        assert peak[0] <= 2 and peak[1] >= 7
+        # the opposite corner is nearly dead
+        assert energy[9, 0] < energy[peak] * 0.05
+
+    def test_deterministic(self):
+        a = SmoothLinearClassifier(SHAPE, num_classes=3, seed=3)
+        b = SmoothLinearClassifier(SHAPE, num_classes=3, seed=3)
+        image = np.random.default_rng(0).uniform(size=SHAPE)
+        assert np.array_equal(a(image), b(image))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmoothLinearClassifier((10, 10, 2), num_classes=3)
+        with pytest.raises(ValueError):
+            SmoothLinearClassifier(SHAPE, num_classes=1)
+        with pytest.raises(ValueError):
+            SmoothLinearClassifier(SHAPE, num_classes=3, temperature=0.0)
+        classifier = SmoothLinearClassifier(SHAPE, num_classes=3)
+        with pytest.raises(ValueError):
+            classifier(np.zeros((8, 8, 3)))
+
+    def test_single_pixel_changes_scores(self):
+        classifier = SmoothLinearClassifier(SHAPE, num_classes=3, seed=4,
+                                            temperature=0.05)
+        image = np.full(SHAPE, 0.5)
+        perturbed = image.copy()
+        perturbed[5, 5] = [1.0, 0.0, 1.0]
+        assert not np.allclose(classifier(image), classifier(perturbed))

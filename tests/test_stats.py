@@ -1,0 +1,86 @@
+"""Tests for the bootstrap statistics utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import (
+    ConfidenceInterval,
+    bootstrap_mean,
+    bootstrap_mean_difference,
+    bootstrap_success_rate,
+)
+
+
+class TestBootstrapMean:
+    def test_interval_contains_estimate(self):
+        values = np.random.default_rng(0).exponential(100.0, size=60)
+        ci = bootstrap_mean(values, seed=1)
+        assert ci.lower <= ci.estimate <= ci.upper
+        assert ci.estimate == pytest.approx(values.mean())
+
+    def test_constant_sample_has_zero_width(self):
+        ci = bootstrap_mean([5.0] * 10)
+        assert ci.lower == ci.upper == ci.estimate == 5.0
+
+    def test_wider_at_higher_confidence(self):
+        values = np.random.default_rng(1).normal(size=50)
+        narrow = bootstrap_mean(values, confidence=0.8, seed=2)
+        wide = bootstrap_mean(values, confidence=0.99, seed=2)
+        assert (wide.upper - wide.lower) >= (narrow.upper - narrow.lower)
+
+    def test_deterministic_given_seed(self):
+        values = np.random.default_rng(2).normal(size=30)
+        assert bootstrap_mean(values, seed=5) == bootstrap_mean(values, seed=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean([])
+        with pytest.raises(ValueError):
+            bootstrap_mean([1.0], confidence=1.0)
+
+    def test_contains_protocol(self):
+        ci = ConfidenceInterval(5.0, 4.0, 6.0, 0.95)
+        assert 5.5 in ci
+        assert 7.0 not in ci
+
+    def test_str_rendering(self):
+        text = str(ConfidenceInterval(5.0, 4.0, 6.0, 0.95))
+        assert "5.00" in text and "95%" in text
+
+
+class TestSuccessRate:
+    def test_estimate(self):
+        ci = bootstrap_success_rate(30, 100)
+        assert ci.estimate == pytest.approx(0.3)
+        assert 0.0 <= ci.lower <= 0.3 <= ci.upper <= 1.0
+
+    def test_extremes(self):
+        assert bootstrap_success_rate(0, 10).estimate == 0.0
+        assert bootstrap_success_rate(10, 10).estimate == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_success_rate(5, 0)
+        with pytest.raises(ValueError):
+            bootstrap_success_rate(11, 10)
+
+
+class TestMeanDifference:
+    def test_clear_difference_excludes_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(10.0, 1.0, size=80)
+        b = rng.normal(5.0, 1.0, size=80)
+        ci = bootstrap_mean_difference(a, b, seed=4)
+        assert 0.0 not in ci
+        assert ci.estimate == pytest.approx(a.mean() - b.mean())
+
+    def test_identical_samples_include_zero(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(size=50)
+        b = rng.normal(size=50)
+        ci = bootstrap_mean_difference(a, b, seed=6)
+        assert 0.0 in ci
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_difference([], [1.0])

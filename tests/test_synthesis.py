@@ -1,0 +1,213 @@
+"""Tests for the score function, the MH search, and the OPPSLA facade."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dsl.ast import Program
+from repro.core.dsl.grammar import Grammar
+from repro.core.synthesis.mh import MetropolisHastings
+from repro.core.synthesis.oppsla import Oppsla, OppslaConfig, SynthesisResult
+from repro.core.synthesis.score import (
+    ProgramEvaluation,
+    evaluate_program,
+    score,
+)
+from repro.core.synthesis.trace import SynthesisTrace
+
+
+def make_eval(avg, successes=1, total_images=2, total_queries=10):
+    return ProgramEvaluation(
+        avg_queries=avg,
+        successes=successes,
+        total_images=total_images,
+        total_queries=total_queries,
+        results=(),
+    )
+
+
+class TestScore:
+    def test_monotonically_decreasing(self):
+        beta = 0.05
+        scores = [score(make_eval(q), beta) for q in (0, 10, 100, 1000)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_zero_queries_gives_max_score(self):
+        assert score(make_eval(0.0), beta=0.1) == 1.0
+
+    def test_no_success_gives_zero(self):
+        assert score(make_eval(math.inf, successes=0), beta=0.1) == 0.0
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            score(make_eval(5.0), beta=0.0)
+
+    def test_exact_form(self):
+        assert score(make_eval(50.0), beta=0.02) == pytest.approx(math.exp(-1.0))
+
+
+class TestEvaluateProgram:
+    def test_counts_only_successes_in_average(self, linear_classifier, toy_pairs):
+        evaluation = evaluate_program(
+            Program.constant(False),
+            linear_classifier,
+            toy_pairs,
+            per_image_budget=50,
+        )
+        successes = [r for r in evaluation.results if r.success]
+        failures = [r for r in evaluation.results if not r.success]
+        if successes:
+            expected = sum(r.queries for r in successes) / len(successes)
+            assert evaluation.avg_queries == pytest.approx(expected)
+        # failures hit the budget exactly
+        for failure in failures:
+            assert failure.queries == 50
+        assert evaluation.total_queries == sum(
+            r.queries for r in evaluation.results
+        )
+        assert evaluation.total_images == len(toy_pairs)
+
+    def test_success_rate(self, linear_classifier, toy_pairs):
+        evaluation = evaluate_program(
+            Program.constant(False), linear_classifier, toy_pairs
+        )
+        assert evaluation.success_rate == evaluation.successes / len(toy_pairs)
+
+    def test_all_sketch_programs_same_success_set(
+        self, linear_classifier, toy_pairs
+    ):
+        """Completeness: success does not depend on the conditions."""
+        grammar = Grammar((6, 6))
+        rng = np.random.default_rng(0)
+        reference = evaluate_program(
+            Program.constant(False), linear_classifier, toy_pairs
+        )
+        for _ in range(3):
+            program = grammar.random_program(rng)
+            evaluation = evaluate_program(program, linear_classifier, toy_pairs)
+            assert [r.success for r in evaluation.results] == [
+                r.success for r in reference.results
+            ]
+
+
+class TestMetropolisHastings:
+    def test_accept_probability(self):
+        grammar = Grammar((6, 6))
+        chain = MetropolisHastings(
+            grammar, lambda p: make_eval(1.0), beta=0.1,
+            rng=np.random.default_rng(0),
+        )
+        assert chain.accept_probability(0.5, 1.0) == 1.0
+        assert chain.accept_probability(1.0, 0.5) == 0.5
+        assert chain.accept_probability(0.0, 0.3) == 1.0
+        assert chain.accept_probability(0.0, 0.0) == 1.0
+
+    def test_greedy_improvement_always_accepted(self):
+        """With strictly improving proposals the chain accepts everything."""
+        grammar = Grammar((6, 6))
+        counter = {"n": 200}
+
+        def improving(_program):
+            counter["n"] -= 1
+            return make_eval(float(counter["n"]), total_queries=1)
+
+        chain = MetropolisHastings(
+            grammar, improving, beta=0.5, rng=np.random.default_rng(1)
+        )
+        state, trace = chain.run(10)
+        assert trace.proposals_accepted == 10
+        assert trace.proposals_rejected == 0
+        assert len(trace.accepted) == 11  # initial + 10
+
+    def test_query_budget_stops_early(self):
+        grammar = Grammar((6, 6))
+        chain = MetropolisHastings(
+            grammar,
+            lambda p: make_eval(5.0, total_queries=100),
+            beta=0.1,
+            rng=np.random.default_rng(2),
+        )
+        _, trace = chain.run(50, query_budget=350)
+        # initial (100) + proposals until >= 350
+        assert trace.total_queries <= 450
+        assert trace.iterations < 50
+
+    def test_trace_accounting(self):
+        grammar = Grammar((6, 6))
+        chain = MetropolisHastings(
+            grammar,
+            lambda p: make_eval(5.0, total_queries=7),
+            beta=0.1,
+            rng=np.random.default_rng(3),
+        )
+        _, trace = chain.run(20)
+        assert trace.total_queries == 7 * 21
+        assert trace.proposals_accepted + trace.proposals_rejected == 20
+        assert 0.0 <= trace.acceptance_rate <= 1.0
+
+    def test_validation(self):
+        grammar = Grammar((6, 6))
+        with pytest.raises(ValueError):
+            MetropolisHastings(
+                grammar, lambda p: make_eval(1.0), beta=0.0,
+                rng=np.random.default_rng(0),
+            )
+
+
+class TestOppsla:
+    def test_synthesis_improves_over_time(self, linear_classifier, toy_pairs):
+        config = OppslaConfig(
+            max_iterations=15, beta=0.05, per_image_budget=100, seed=5
+        )
+        result = Oppsla(config).synthesize(linear_classifier, toy_pairs)
+        assert isinstance(result, SynthesisResult)
+        assert result.best_evaluation.successes >= 1
+        # the best program is at least as good as the initial one
+        initial = result.trace.accepted[0]
+        assert (
+            result.best_evaluation.successes,
+            -result.best_evaluation.avg_queries,
+        ) >= (initial.evaluation.successes, -initial.evaluation.avg_queries)
+
+    def test_deterministic_given_seed(self, linear_classifier, toy_pairs):
+        config = OppslaConfig(max_iterations=5, per_image_budget=60, seed=11)
+        a = Oppsla(config).synthesize(linear_classifier, toy_pairs)
+        b = Oppsla(config).synthesize(linear_classifier, toy_pairs)
+        assert a.best_program == b.best_program
+        assert a.total_queries == b.total_queries
+
+    def test_rejects_empty_training_set(self, linear_classifier):
+        with pytest.raises(ValueError):
+            Oppsla().synthesize(linear_classifier, [])
+
+    def test_rejects_mixed_shapes(self, linear_classifier):
+        pairs = [
+            (np.zeros((6, 6, 3)), 0),
+            (np.zeros((5, 5, 3)), 0),
+        ]
+        with pytest.raises(ValueError):
+            Oppsla().synthesize(linear_classifier, pairs)
+
+    def test_attacker_uses_best_program(self, linear_classifier, toy_pairs):
+        config = OppslaConfig(max_iterations=5, per_image_budget=60, seed=1)
+        result = Oppsla(config).synthesize(linear_classifier, toy_pairs)
+        attacker = result.attacker()
+        assert attacker.program == result.best_program
+
+    def test_save_and_load(self, tmp_path, linear_classifier, toy_pairs):
+        config = OppslaConfig(max_iterations=3, per_image_budget=60, seed=2)
+        result = Oppsla(config).synthesize(linear_classifier, toy_pairs)
+        path = str(tmp_path / "program.json")
+        result.save(path)
+        loaded = SynthesisResult.load_program(path)
+        assert loaded == result.best_program
+
+
+class TestSynthesisTrace:
+    def test_record_accept_carries_cumulative_queries(self):
+        trace = SynthesisTrace()
+        trace.total_queries = 123
+        trace.record_accept(4, Program.constant(False), make_eval(9.0))
+        assert trace.accepted[0].cumulative_queries == 123
+        assert trace.accepted[0].iteration == 4

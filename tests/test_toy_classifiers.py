@@ -1,0 +1,101 @@
+"""Tests for the toy classifiers (the test substrate itself)."""
+
+import numpy as np
+import pytest
+
+from repro.classifier.toy import (
+    LinearPixelClassifier,
+    MarginRampClassifier,
+    SinglePixelBackdoorClassifier,
+    make_toy_images,
+)
+
+
+class TestLinearPixelClassifier:
+    def test_scores_are_probabilities(self):
+        classifier = LinearPixelClassifier((4, 4, 3), num_classes=4, seed=0)
+        scores = classifier(np.zeros((4, 4, 3)))
+        assert scores.shape == (4,)
+        assert scores.sum() == pytest.approx(1.0)
+
+    def test_linear_in_pixels(self):
+        # two images differing in one pixel give different scores
+        classifier = LinearPixelClassifier((4, 4, 3), num_classes=3, seed=0)
+        a = np.full((4, 4, 3), 0.5)
+        b = a.copy()
+        b[1, 2] = [1.0, 0.0, 1.0]
+        assert not np.allclose(classifier(a), classifier(b))
+
+    def test_temperature_sharpens(self):
+        image = np.random.default_rng(0).uniform(size=(4, 4, 3))
+        soft = LinearPixelClassifier((4, 4, 3), 3, seed=1, temperature=1.0)(image)
+        sharp = LinearPixelClassifier((4, 4, 3), 3, seed=1, temperature=0.01)(image)
+        assert sharp.max() > soft.max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearPixelClassifier((4, 4, 2), num_classes=3)
+        with pytest.raises(ValueError):
+            LinearPixelClassifier((4, 4, 3), num_classes=1)
+        classifier = LinearPixelClassifier((4, 4, 3), num_classes=3)
+        with pytest.raises(ValueError):
+            classifier(np.zeros((5, 5, 3)))
+
+
+class TestBackdoorClassifier:
+    def test_trigger_flips(self):
+        classifier = SinglePixelBackdoorClassifier(
+            (4, 4, 3), (1, 1), np.ones(3)
+        )
+        clean = np.zeros((4, 4, 3))
+        assert np.argmax(classifier(clean)) == 0
+        triggered = clean.copy()
+        triggered[1, 1] = 1.0
+        assert np.argmax(classifier(triggered)) == 1
+
+    def test_wrong_location_does_not_trigger(self):
+        classifier = SinglePixelBackdoorClassifier((4, 4, 3), (1, 1), np.ones(3))
+        image = np.zeros((4, 4, 3))
+        image[2, 2] = 1.0
+        assert np.argmax(classifier(image)) == 0
+
+    def test_same_class_rejected(self):
+        with pytest.raises(ValueError):
+            SinglePixelBackdoorClassifier(
+                (4, 4, 3), (0, 0), np.ones(3), default_class=1, backdoor_class=1
+            )
+
+
+class TestMarginRampClassifier:
+    def test_flips_above_threshold(self):
+        classifier = MarginRampClassifier((4, 4, 3), (1, 1), threshold=2.5)
+        dark = np.zeros((4, 4, 3))
+        assert np.argmax(classifier(dark)) == 0
+        bright = dark.copy()
+        bright[1, 1] = 1.0  # brightness 3.0 > 2.5
+        assert np.argmax(classifier(bright)) == 1
+
+    def test_confidence_decreases_with_brightness(self):
+        classifier = MarginRampClassifier((4, 4, 3), (1, 1), threshold=2.5)
+        image = np.zeros((4, 4, 3))
+        confidences = []
+        for value in (0.0, 0.4, 0.8):
+            image[1, 1] = value
+            confidences.append(classifier(image)[0])
+        assert confidences == sorted(confidences, reverse=True)
+
+
+class TestMakeToyImages:
+    def test_shape_and_range(self):
+        images = make_toy_images(5, (4, 6, 3), seed=0)
+        assert images.shape == (5, 4, 6, 3)
+        assert images.min() >= 0.0 and images.max() <= 1.0
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            make_toy_images(3, seed=7), make_toy_images(3, seed=7)
+        )
+
+    def test_smooth_avoids_extremes(self):
+        smooth = make_toy_images(50, seed=1, smooth=True)
+        assert 0.2 < smooth.mean() < 0.8

@@ -1,0 +1,101 @@
+"""Tests for the program type-checker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dsl.ast import (
+    Center,
+    Comparison,
+    Condition,
+    Constant,
+    Max,
+    PixelRef,
+    Program,
+    ScoreDiff,
+)
+from repro.core.dsl.grammar import Grammar
+from repro.core.dsl.library import (
+    eager_locality_program,
+    fixed_program,
+    paper_example_program,
+)
+from repro.core.dsl.typecheck import check_condition, check_program
+
+GRAMMAR_32 = Grammar((32, 32))
+GRAMMAR_8 = Grammar((8, 8))
+
+
+class TestCheckProgram:
+    def test_paper_example_is_valid_at_32(self):
+        result = check_program(paper_example_program(), GRAMMAR_32)
+        assert result.ok
+        assert not result.errors
+
+    def test_paper_example_fails_at_8(self):
+        # center(l) < 8 is out of range on an 8x8 image (max distance 3.5)
+        result = check_program(paper_example_program(), GRAMMAR_8)
+        assert not result.ok
+        assert any("center" in str(d) for d in result.errors)
+        assert any(d.slot == "b4" for d in result.errors)
+
+    def test_fixed_program_warns_but_passes(self):
+        result = check_program(fixed_program(), GRAMMAR_32)
+        assert result.ok
+        assert len(result.warnings) == 4
+
+    def test_locality_program_is_valid(self):
+        result = check_program(eager_locality_program(), GRAMMAR_32)
+        assert result.ok
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_programs_always_check(self, seed):
+        grammar = Grammar((12, 20))
+        program = grammar.random_program(np.random.default_rng(seed))
+        assert check_program(program, grammar).ok
+
+
+class TestCheckCondition:
+    def test_out_of_range_pixel_constant(self):
+        condition = Condition(
+            Comparison.GT, Max(PixelRef.ORIGINAL), Constant(1.5)
+        )
+        diagnostics = check_condition(condition, GRAMMAR_32, "b1")
+        assert any("outside the typed range" in d.message for d in diagnostics)
+
+    def test_out_of_range_score_diff(self):
+        condition = Condition(Comparison.LT, ScoreDiff(), Constant(0.9))
+        diagnostics = check_condition(condition, GRAMMAR_32, "b2")
+        assert diagnostics and diagnostics[0].severity == "error"
+
+    def test_valid_center_at_boundary(self):
+        condition = Condition(Comparison.LT, Center(), Constant(15.5))
+        assert not check_condition(condition, GRAMMAR_32, "b4")
+
+    def test_non_condition_rejected(self):
+        diagnostics = check_condition("not a condition", GRAMMAR_32, "b3")
+        assert diagnostics[0].severity == "error"
+
+    def test_diagnostic_str(self):
+        condition = Condition(Comparison.LT, ScoreDiff(), Constant(0.9))
+        diagnostic = check_condition(condition, GRAMMAR_32, "b2")[0]
+        text = str(diagnostic)
+        assert "b2" in text and "error" in text
+
+
+class TestLibraryPrograms:
+    def test_paper_example_matches_paper_text(self):
+        program = paper_example_program()
+        from repro.core.dsl.printer import format_program
+
+        text = format_program(program)
+        assert "score_diff(N(x), N(x[l<-p]), c_x) < 0.21" in text
+        assert "max(x[l]) > 0.19" in text
+        assert "center(l) < 8" in text
+
+    def test_locality_program_thresholds(self):
+        program = eager_locality_program(push_back_below=0.05, eager_above=0.2)
+        assert program.b1.constant.value == 0.05
+        assert program.b3.constant.value == 0.2
