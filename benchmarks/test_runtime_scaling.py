@@ -1,0 +1,86 @@
+"""Runtime scaling: sequential vs. parallel attack execution.
+
+Real black-box attacks query a remote oracle, so per-query wall time is
+latency-bound rather than compute-bound -- the regime the execution
+engine targets.  This benchmark attacks the same image set sequentially
+and through a 4-worker :class:`~repro.runtime.pool.WorkerPool` over a
+latency-simulating classifier, asserts the results are bit-identical,
+and records the wall-clock speedup.
+
+Latency-bound tasks parallelize across processes even on one CPU, so
+the >1.5x speedup bar is enforced whenever the host grants us at least
+one CPU; the measured numbers land in ``benchmarks/results/``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from conftest import write_result
+from repro.attacks.fixed_sketch import FixedSketchAttack
+from repro.classifier.toy import (
+    LatencyClassifier,
+    LinearPixelClassifier,
+    make_toy_images,
+)
+from repro.eval.runner import attack_dataset
+from repro.runtime import FaultPolicy, RunLog, WorkerPool
+
+#: Simulated oracle round-trip; large enough to dominate pool overhead.
+QUERY_LATENCY = 0.003
+WORKERS = 4
+BUDGET = 64
+IMAGES = 16
+
+
+def _signature(summary):
+    return [
+        (
+            result.success,
+            result.queries,
+            result.location,
+            None if result.perturbation is None else result.perturbation.tobytes(),
+        )
+        for result in summary.results
+    ]
+
+
+def test_runtime_scaling(results_dir):
+    shape = (8, 8, 3)
+    base = LinearPixelClassifier(shape, num_classes=4, seed=3, temperature=0.05)
+    classifier = LatencyClassifier(base, latency=QUERY_LATENCY)
+    images = make_toy_images(IMAGES, shape, seed=5)
+    pairs = [(image, int(np.argmax(base(image)))) for image in images]
+    attack = FixedSketchAttack()
+
+    started = time.perf_counter()
+    sequential = attack_dataset(attack, classifier, pairs, budget=BUDGET)
+    sequential_time = time.perf_counter() - started
+
+    log = RunLog()
+    pool = WorkerPool(workers=WORKERS, policy=FaultPolicy(retries=1), run_log=log)
+    started = time.perf_counter()
+    parallel = attack_dataset(
+        attack, classifier, pairs, budget=BUDGET, executor=pool
+    )
+    parallel_time = time.perf_counter() - started
+
+    assert _signature(sequential) == _signature(parallel)
+    speedup = sequential_time / parallel_time if parallel_time > 0 else float("inf")
+    total_queries = sequential.total_queries
+
+    lines = [
+        "runtime scaling (latency-bound oracle, "
+        f"{QUERY_LATENCY * 1000:.0f}ms/query, {os.cpu_count()} CPU(s))",
+        f"  images {IMAGES}, budget {BUDGET}, total queries {total_queries}",
+        f"  sequential: {sequential_time:.2f}s",
+        f"  parallel ({WORKERS} workers): {parallel_time:.2f}s",
+        f"  speedup: {speedup:.2f}x",
+        f"  results bit-identical: True",
+    ]
+    write_result(results_dir, "runtime_scaling", "\n".join(lines))
+
+    run_end = log.of_type("run_end")
+    assert run_end and run_end[0]["failed"] == 0
+    assert speedup > 1.5

@@ -30,6 +30,9 @@ class AttackResult:
     (for failures under a budget, the number posed before giving up).
     ``location`` / ``perturbation`` describe the successful pixel write
     when ``success``; the perturbation is the full RGB value written.
+    ``error`` tags degraded results the execution engine recorded on the
+    attack's behalf (escaped budget exhaustion, worker timeout/crash);
+    it is always ``None`` on well-behaved attack outcomes.
     """
 
     success: bool
@@ -37,12 +40,15 @@ class AttackResult:
     location: Optional[Tuple[int, int]] = None
     perturbation: Optional[np.ndarray] = None
     adversarial_class: Optional[int] = None
+    error: Optional[str] = None
 
     def __post_init__(self):
         if self.queries < 0:
             raise ValueError("queries must be non-negative")
         if self.success and (self.location is None or self.perturbation is None):
             raise ValueError("successful results must carry location and perturbation")
+        if self.success and self.error is not None:
+            raise ValueError("successful results cannot carry an error tag")
 
 
 class OnePixelAttack(abc.ABC):

@@ -24,6 +24,32 @@ from repro.nn.module import Module
 Classifier = Callable[[np.ndarray], np.ndarray]
 
 
+class _Unchanged:
+    """Sentinel type for :meth:`CountingClassifier.reset`'s default."""
+
+    def __repr__(self) -> str:
+        return "<budget unchanged>"
+
+
+#: Default for ``CountingClassifier.reset(budget=...)``: keep the current
+#: budget.  A dedicated object (not a string or ``None``) so every actual
+#: budget value -- including odd user-supplied ones -- stays expressible.
+_UNCHANGED = _Unchanged()
+
+
+def _validated_budget(budget: Optional[int]) -> Optional[int]:
+    """``budget`` as a plain non-negative int, or ``None`` for uncapped."""
+    if budget is None:
+        return None
+    if isinstance(budget, bool) or not isinstance(budget, (int, np.integer)):
+        raise TypeError(
+            f"budget must be an int or None, got {type(budget).__name__}"
+        )
+    if budget < 0:
+        raise ValueError("budget must be non-negative")
+    return int(budget)
+
+
 class QueryBudgetExceeded(Exception):
     """Raised when a query would exceed the configured budget.
 
@@ -95,10 +121,8 @@ class CountingClassifier:
     """
 
     def __init__(self, classifier: Classifier, budget: Optional[int] = None):
-        if budget is not None and budget < 0:
-            raise ValueError("budget must be non-negative")
         self._classifier = classifier
-        self.budget = budget
+        self.budget = _validated_budget(budget)
         self.count = 0
 
     def __call__(self, image: np.ndarray) -> np.ndarray:
@@ -114,13 +138,16 @@ class CountingClassifier:
             return None
         return max(self.budget - self.count, 0)
 
-    def reset(self, budget: Optional[int] = "unchanged") -> None:
-        """Zero the counter; optionally install a new budget."""
+    def reset(self, budget=_UNCHANGED) -> None:
+        """Zero the counter; optionally install a new budget.
+
+        Without ``budget`` the current budget is kept (the
+        :data:`_UNCHANGED` sentinel, not a magic string, marks that
+        case); ``budget=None`` removes the cap.
+        """
         self.count = 0
-        if budget != "unchanged":
-            if budget is not None and budget < 0:
-                raise ValueError("budget must be non-negative")
-            self.budget = budget
+        if budget is not _UNCHANGED:
+            self.budget = _validated_budget(budget)
 
     def classify(self, image: np.ndarray) -> int:
         """Convenience: the argmax class of one (counted) query."""

@@ -10,11 +10,34 @@ networks.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.nn.functional import softmax
+
+
+class LatencyClassifier:
+    """Add a fixed per-query delay to any classifier.
+
+    Real black-box attacks query a *remote* oracle, so wall-clock cost is
+    dominated by round-trip latency rather than compute.  Wrapping a toy
+    classifier in this simulates that regime, which is what the runtime
+    scaling benchmark measures: latency-bound queries parallelize across
+    worker processes even on a single CPU.
+    """
+
+    def __init__(self, classifier, latency: float = 0.001):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self._classifier = classifier
+        self.latency = latency
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        if self.latency:
+            time.sleep(self.latency)
+        return self._classifier(image)
 
 
 class LinearPixelClassifier:

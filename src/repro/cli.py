@@ -43,6 +43,9 @@ from repro.eval.reporting import (
 from repro.eval.runner import attack_dataset
 from repro.models.registry import ARCHITECTURES
 from repro.models.zoo import ModelZoo, ZooConfig
+from repro.runtime.events import RunLog
+from repro.runtime.faults import FaultPolicy
+from repro.runtime.pool import WorkerPool
 
 
 def _add_zoo_arguments(parser: argparse.ArgumentParser) -> None:
@@ -53,6 +56,52 @@ def _add_zoo_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epochs", type=int, default=5)
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=0,
+        help="worker processes for parallel execution (0 = sequential)",
+    )
+    parser.add_argument(
+        "--run-log",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL run telemetry to this file",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-task wall-clock timeout in seconds (parallel runs only)",
+    )
+    parser.add_argument(
+        "--task-retries",
+        type=_nonnegative_int,
+        default=1,
+        help="retries per faulted task before recording a degraded result",
+    )
+
+
+def _runtime(args: argparse.Namespace):
+    """(executor, run_log) from the runtime flags; both may be ``None``."""
+    run_log = RunLog(args.run_log) if args.run_log else None
+    executor = None
+    if args.workers > 0:
+        policy = FaultPolicy(timeout=args.task_timeout, retries=args.task_retries)
+        executor = WorkerPool(
+            workers=args.workers, policy=policy, run_log=run_log
+        )
+    return executor, run_log
 
 
 def _zoo(args: argparse.Namespace) -> ModelZoo:
@@ -90,7 +139,18 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         per_image_budget=args.per_image_budget,
         seed=args.seed,
     )
-    result = Oppsla(config).synthesize(trained.classifier, pairs)
+    executor, run_log = _runtime(args)
+    result = Oppsla(config).synthesize(trained.classifier, pairs, executor=executor)
+    if run_log is not None:
+        run_log.emit(
+            "synthesis_summary",
+            total_queries=result.total_queries,
+            iterations=result.trace.iterations,
+            acceptance_rate=result.trace.acceptance_rate,
+            best_successes=result.best_evaluation.successes,
+            total_images=result.best_evaluation.total_images,
+        )
+        run_log.close()
     print(format_program(result.program))
     print(
         f"# synthesis queries: {result.total_queries}, "
@@ -122,7 +182,18 @@ def cmd_attack(args: argparse.Namespace) -> int:
         attack = SparseRS(SparseRSConfig(seed=args.seed))
     else:
         attack = FixedSketchAttack()
-    summary = attack_dataset(attack, trained.classifier, pairs, budget=args.budget)
+    executor, run_log = _runtime(args)
+    summary = attack_dataset(
+        attack,
+        trained.classifier,
+        pairs,
+        budget=args.budget,
+        executor=executor,
+        run_log=run_log,
+        cache_size=args.cache_size if args.cache_size > 0 else None,
+    )
+    if run_log is not None:
+        run_log.close()
     print(
         f"{summary.attack_name}: success {summary.success_rate:.1%}, "
         f"avg queries {summary.avg_queries:.1f}, "
@@ -176,6 +247,7 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument("--train-images", type=int, default=16)
     synthesize.add_argument("--label", type=int, default=None)
     synthesize.add_argument("--out", default=None, help="save program JSON here")
+    _add_runtime_arguments(synthesize)
     synthesize.set_defaults(func=cmd_synthesize)
 
     attack = subparsers.add_parser("attack", help="attack test images")
@@ -190,6 +262,14 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--images", type=int, default=20)
     attack.add_argument("--label", type=int, default=None)
     attack.add_argument("--budget", type=int, default=2048)
+    attack.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="LRU query-cache entries per worker (0 = no cache); caching "
+        "sits inside the counting boundary so query counts stay faithful",
+    )
+    _add_runtime_arguments(attack)
     attack.set_defaults(func=cmd_attack)
 
     experiment = subparsers.add_parser(

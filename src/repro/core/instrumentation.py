@@ -64,6 +64,27 @@ class SketchStats:
             self.condition_evaluated[name] += other.condition_evaluated[name]
         return self
 
+    def to_dict(self) -> dict:
+        """JSON-safe counters for run logs and result collection.
+
+        Every value is a plain int/float (rates are always finite), so
+        the dict can go straight into a
+        :class:`~repro.runtime.events.RunLog` event or a results file.
+        """
+        return {
+            "main_loop_pops": self.main_loop_pops,
+            "eager_checks": self.eager_checks,
+            "total_queries": self.total_queries,
+            "eager_fraction": self.eager_fraction,
+            "pushed_back_location": self.pushed_back_location,
+            "pushed_back_perturbation": self.pushed_back_perturbation,
+            "condition_fired": dict(self.condition_fired),
+            "condition_evaluated": dict(self.condition_evaluated),
+            "fire_rates": {
+                name: self.fire_rate(name) for name in self.condition_fired
+            },
+        }
+
     def summary(self) -> str:
         lines = [
             f"queries: {self.total_queries} "

@@ -140,11 +140,20 @@ class Oppsla:
         classifier: Callable[[np.ndarray], np.ndarray],
         training_pairs: Sequence[TrainingPair],
         initial: Optional[Program] = None,
+        executor=None,
     ) -> SynthesisResult:
         """Synthesize an adversarial program for ``classifier``.
 
         ``training_pairs`` are (image, true_class) tuples; images must all
         share one shape (the grammar is typed by it).
+
+        ``executor`` (a :class:`~repro.runtime.pool.WorkerPool`)
+        parallelizes each candidate's per-image evaluation across worker
+        processes.  The MH chain itself stays sequential -- each proposal
+        depends on the previous accept decision -- but candidate
+        evaluation dominates the cost, and its parallel aggregation is
+        bit-identical to the sequential one, so the synthesized program
+        and query accounting do not depend on the worker count.
         """
         training_pairs = list(training_pairs)
         if not training_pairs:
@@ -162,6 +171,7 @@ class Oppsla:
                 classifier,
                 training_pairs,
                 per_image_budget=self.config.per_image_budget,
+                executor=executor,
             )
 
         chain = MetropolisHastings(

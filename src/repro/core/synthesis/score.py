@@ -70,23 +70,12 @@ class ProgramEvaluation:
         return self.total_queries / self.total_images
 
 
-def evaluate_program(
-    program: Program,
-    classifier: Callable[[np.ndarray], np.ndarray],
-    training_pairs: Sequence[TrainingPair],
-    per_image_budget: Optional[int] = None,
-) -> ProgramEvaluation:
-    """Run ``program`` on every training input and aggregate query counts."""
-    sketch = OnePixelSketch(program)
-    results: List[SketchResult] = []
+def _aggregate_results(results: Sequence[SketchResult]) -> ProgramEvaluation:
+    """Fold per-input sketch results into one :class:`ProgramEvaluation`."""
     success_queries = 0
     successes = 0
     total_queries = 0
-    for image, true_class in training_pairs:
-        result = sketch.attack(
-            classifier, image, true_class, budget=per_image_budget
-        )
-        results.append(result)
+    for result in results:
         total_queries += result.queries
         if result.success:
             successes += 1
@@ -99,6 +88,55 @@ def evaluate_program(
         total_queries=total_queries,
         results=tuple(results),
     )
+
+
+def evaluate_program(
+    program: Program,
+    classifier: Callable[[np.ndarray], np.ndarray],
+    training_pairs: Sequence[TrainingPair],
+    per_image_budget: Optional[int] = None,
+    executor=None,
+) -> ProgramEvaluation:
+    """Run ``program`` on every training input and aggregate query counts.
+
+    With an ``executor`` (a :class:`~repro.runtime.pool.WorkerPool`) the
+    per-image attacks fan out across worker processes; the sketch is
+    deterministic per image, so the aggregated evaluation is identical
+    to the sequential one.  A per-image task lost to a worker fault is
+    scored as a failure at the per-image budget (0 queries when
+    unbudgeted), mirroring :func:`repro.eval.runner.attack_dataset`.
+    """
+    if executor is not None:
+        # Imported here so the synthesis core never depends on the
+        # runtime package unless parallel evaluation is requested.
+        from repro.runtime.tasks import PairEvaluationRunner
+
+        runner = PairEvaluationRunner(
+            program, classifier, per_image_budget=per_image_budget
+        )
+        outcomes = executor.map(
+            runner,
+            [(image, true_class) for image, true_class in training_pairs],
+            task_name="evaluate_candidate",
+        )
+        results: List[SketchResult] = [
+            outcome.value
+            if outcome.ok
+            else SketchResult(
+                success=False,
+                queries=per_image_budget if per_image_budget is not None else 0,
+            )
+            for outcome in outcomes
+        ]
+        return _aggregate_results(results)
+
+    sketch = OnePixelSketch(program)
+    results = []
+    for image, true_class in training_pairs:
+        results.append(
+            sketch.attack(classifier, image, true_class, budget=per_image_budget)
+        )
+    return _aggregate_results(results)
 
 
 def score(

@@ -7,6 +7,7 @@ is the shared backbone of Figures 3-4 and Tables 1-2.
 
 from __future__ import annotations
 
+import math
 import statistics
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -14,9 +15,20 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.attacks.base import AttackResult, OnePixelAttack
+from repro.runtime.cache import CachedClassifier
+from repro.runtime.events import NullRunLog, RunLog, ensure_log
+from repro.runtime.pool import WorkerPool
+from repro.runtime.tasks import AttackTaskRunner, run_single_attack
 
 Classifier = Callable[[np.ndarray], np.ndarray]
 TestPair = Tuple[np.ndarray, int]
+
+
+def _json_safe(value: float) -> Optional[float]:
+    """Map the infinities our metrics use for "undefined" to ``None``."""
+    if math.isinf(value):
+        return None
+    return value
 
 
 @dataclass
@@ -93,16 +105,139 @@ class AttackRunSummary:
         """Success rate at each query threshold."""
         return [self.success_rate_at(threshold) for threshold in thresholds]
 
+    @property
+    def total_queries(self) -> int:
+        return sum(result.queries for result in self.results)
+
+    def error_counts(self) -> dict:
+        """How many degraded results carry each error tag."""
+        counts: dict = {}
+        for result in self.results:
+            if result.error is not None:
+                counts[result.error] = counts.get(result.error, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        """JSON-safe aggregate view (``inf`` averages become ``None``).
+
+        This is the serialization contract shared by
+        :class:`~repro.runtime.events.RunLog` events and
+        ``benchmarks/collect_results.py``; per-image results are reduced
+        to aggregates so the dict stays log-line sized.
+        """
+        return {
+            "attack": self.attack_name,
+            "budget": self.budget,
+            "total_images": self.total_images,
+            "successes": self.successes,
+            "success_rate": self.success_rate,
+            "avg_queries": _json_safe(self.avg_queries),
+            "median_queries": _json_safe(self.median_queries),
+            "penalized_avg_queries": _json_safe(self.penalized_avg_queries),
+            "total_queries": self.total_queries,
+            "errors": self.error_counts(),
+        }
+
+
+def _degraded_result(outcome, budget: Optional[int]) -> AttackResult:
+    """A budget-exhausted failure standing in for a faulted task."""
+    return AttackResult(
+        success=False,
+        queries=budget if budget is not None else 0,
+        error=outcome.error.tag if outcome.error is not None else "unknown",
+    )
+
 
 def attack_dataset(
     attack: OnePixelAttack,
     classifier: Classifier,
     test_pairs: Sequence[TestPair],
     budget: Optional[int] = None,
+    executor: Optional[WorkerPool] = None,
+    run_log: Optional[RunLog] = None,
+    cache_size: Optional[int] = None,
 ) -> AttackRunSummary:
-    """Attack every (image, true_class) pair and collect the results."""
-    results = [
-        attack.attack(classifier, image, true_class, budget=budget)
-        for image, true_class in test_pairs
-    ]
-    return AttackRunSummary(attack_name=attack.name, results=results, budget=budget)
+    """Attack every (image, true_class) pair and collect the results.
+
+    Parameters
+    ----------
+    executor:
+        A :class:`~repro.runtime.pool.WorkerPool` to fan the per-image
+        attacks out across processes.  Results are returned in dataset
+        order and are bit-identical to the sequential path; a task lost
+        to a worker fault is recorded as a failed
+        :class:`AttackResult` at full budget with an error tag.
+    run_log:
+        Structured telemetry sink; defaults to the executor's log.
+    cache_size:
+        If set, wrap the classifier in a bounded LRU
+        :class:`~repro.runtime.cache.CachedClassifier` *inside* the
+        attack's counting boundary -- repeated forward passes are served
+        from memory while reported query counts stay paper-faithful
+        (see :mod:`repro.runtime.cache`).
+    """
+    if run_log is None and executor is not None:
+        if not isinstance(executor.run_log, NullRunLog):
+            run_log = executor.run_log
+    log = ensure_log(run_log)
+
+    if executor is None:
+        effective = classifier
+        cached = None
+        if cache_size is not None:
+            cached = CachedClassifier(classifier, maxsize=cache_size)
+            effective = cached
+        results = []
+        for index, (image, true_class) in enumerate(test_pairs):
+            result = run_single_attack(attack, effective, image, true_class, budget)
+            results.append(result)
+            log.emit(
+                "attack_result",
+                index=index,
+                success=result.success,
+                queries=result.queries,
+                error=result.error,
+            )
+        if cached is not None:
+            log.emit("cache_stats", **cached.stats())
+    else:
+        runner = AttackTaskRunner(
+            attack, classifier, budget=budget, cache_size=cache_size
+        )
+        outcomes = executor.map(
+            runner,
+            [(image, true_class) for image, true_class in test_pairs],
+            task_name=f"attack:{attack.name}",
+        )
+        results = []
+        hits = misses = 0
+        for outcome in outcomes:
+            if outcome.ok:
+                envelope = outcome.value
+                results.append(envelope.result)
+                hits += envelope.cache_hits
+                misses += envelope.cache_misses
+            else:
+                results.append(_degraded_result(outcome, budget))
+            log.emit(
+                "attack_result",
+                index=outcome.index,
+                success=results[-1].success,
+                queries=results[-1].queries,
+                error=results[-1].error,
+            )
+        if cache_size is not None:
+            total = hits + misses
+            log.emit(
+                "cache_stats",
+                hits=hits,
+                misses=misses,
+                hit_rate=hits / total if total else 0.0,
+                scope="per-worker",
+            )
+
+    summary = AttackRunSummary(
+        attack_name=attack.name, results=results, budget=budget
+    )
+    log.emit("attack_summary", **summary.to_dict())
+    return summary

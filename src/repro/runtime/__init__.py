@@ -1,0 +1,48 @@
+"""The execution engine: parallel, cached, fault-tolerant, observable.
+
+Every experiment in the paper is embarrassingly parallel -- "attack
+hundreds of images", "evaluate a candidate on dozens of training
+images" -- and this package is the layer the rest of the repo submits
+that work to:
+
+- :class:`WorkerPool` (:mod:`repro.runtime.pool`): process-based fan-out
+  with deterministic ordering, so parallel runs are bit-identical to
+  sequential ones.
+- :class:`QueryCache` / :class:`CachedClassifier`
+  (:mod:`repro.runtime.cache`): bounded LRU over image digests, with the
+  cache-versus-query-count threat model made explicit.
+- :class:`FaultPolicy` (:mod:`repro.runtime.faults`): per-task timeouts,
+  bounded retries with backoff, and crash containment that degrades a
+  run instead of killing it.
+- :class:`RunLog` (:mod:`repro.runtime.events`): structured JSONL
+  telemetry for tasks, workers, caches and summaries.
+"""
+
+from repro.runtime.cache import CachedClassifier, QueryCache, image_digest
+from repro.runtime.events import NullRunLog, RunLog, ensure_log
+from repro.runtime.faults import FaultPolicy, TaskError, TaskOutcome
+from repro.runtime.pool import WorkerPool, task_seed
+from repro.runtime.tasks import (
+    AttackTaskResult,
+    AttackTaskRunner,
+    PairEvaluationRunner,
+    run_single_attack,
+)
+
+__all__ = [
+    "AttackTaskResult",
+    "AttackTaskRunner",
+    "CachedClassifier",
+    "FaultPolicy",
+    "NullRunLog",
+    "PairEvaluationRunner",
+    "QueryCache",
+    "RunLog",
+    "TaskError",
+    "TaskOutcome",
+    "WorkerPool",
+    "ensure_log",
+    "image_digest",
+    "run_single_attack",
+    "task_seed",
+]

@@ -1,0 +1,146 @@
+"""Query caching for deterministic black-box classifiers.
+
+One-pixel attacks resubmit identical images surprisingly often: the
+sketch's push-back semantics re-check pairs, synthesis evaluates related
+programs on the same training images, and restarts replay whole prefixes.
+For a *deterministic* classifier those repeats are pure waste, so a
+bounded LRU cache keyed on the image bytes can serve them locally.
+
+Threat-model note (this distinction is pinned by tests and matters for
+paper fidelity): the paper's query count measures *submissions to the
+oracle*.  Where the cache sits relative to the
+:class:`~repro.classifier.blackbox.CountingClassifier` boundary decides
+what the count means:
+
+- ``CachedClassifier(CountingClassifier(model))`` -- the cache is on the
+  attacker's side of the boundary.  A hit is served without touching the
+  counting classifier, so ``count`` does **not** increment.  This models
+  an attacker smart enough never to pay twice for the same submission;
+  it changes the reported query counts relative to a cache-less run.
+- ``CountingClassifier(CachedClassifier(model))`` -- the cache is behind
+  the boundary.  Every submission is counted (paper-faithful numbers,
+  bit-identical to a cache-less run) and the cache only saves wall-clock
+  time on the repeated forward passes.
+
+The execution engine's attack integration uses the second arrangement so
+parallel, cached runs reproduce the paper's sequential numbers exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+Classifier = Callable[[np.ndarray], np.ndarray]
+
+DEFAULT_CACHE_SIZE = 4096
+
+
+def image_digest(image: np.ndarray) -> bytes:
+    """A collision-resistant key for an image: shape, dtype and bytes."""
+    array = np.ascontiguousarray(image)
+    hasher = hashlib.sha1()
+    hasher.update(str(array.shape).encode())
+    hasher.update(str(array.dtype).encode())
+    hasher.update(array.tobytes())
+    return hasher.digest()
+
+
+class QueryCache:
+    """A bounded LRU mapping image digests to score vectors.
+
+    Eviction is least-recently-*used*: both hits and inserts refresh an
+    entry's recency.  Stored scores are copied on the way in and out so
+    callers can never corrupt the cache by mutating a returned array.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: bytes) -> Optional[np.ndarray]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.copy()
+
+    def put(self, key: bytes, scores: np.ndarray) -> None:
+        self._entries[key] = np.array(scores, copy=True)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def stats(self) -> Dict[str, float]:
+        """JSON-safe counters for :class:`~repro.runtime.events.RunLog`."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class CachedClassifier:
+    """Serve repeated queries of a deterministic classifier from a cache.
+
+    Wraps *any* classifier callable.  See the module docstring for where
+    to place it relative to ``CountingClassifier`` -- outside the
+    boundary to deduplicate paid submissions (hits do not increment the
+    count), inside to speed up forward passes without touching the
+    paper-faithful accounting.
+
+    The wrapped classifier must be deterministic; caching a stochastic
+    classifier silently freezes its answers.
+    """
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        cache: Optional[QueryCache] = None,
+        maxsize: int = DEFAULT_CACHE_SIZE,
+    ):
+        self._classifier = classifier
+        self.cache = cache if cache is not None else QueryCache(maxsize)
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        key = image_digest(image)
+        scores = self.cache.get(key)
+        if scores is not None:
+            return scores
+        scores = self._classifier(image)
+        self.cache.put(key, scores)
+        return scores
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache.hit_rate
+
+    def stats(self) -> Dict[str, float]:
+        return self.cache.stats()

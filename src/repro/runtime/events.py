@@ -1,0 +1,111 @@
+"""Structured run telemetry as append-only JSONL.
+
+Every noteworthy moment of a run -- task start/end, retries, worker
+restarts, cache statistics, final summaries -- becomes one JSON object on
+one line.  The format is deliberately boring: it can be tailed while a
+run is live, grepped afterwards, and loaded back with :meth:`RunLog.read`
+for assertions in tests.
+
+A :class:`RunLog` always keeps its events in memory too, so callers that
+never give it a path (unit tests, ad-hoc scripts) still get the full
+record via :attr:`RunLog.events`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+
+class RunLog:
+    """A thread-safe structured event log.
+
+    Parameters
+    ----------
+    path:
+        JSONL file to append events to; parent directories are created.
+        ``None`` keeps events in memory only.
+    clock:
+        Timestamp source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self, path: Optional[str] = None, clock: Callable[[], float] = time.time
+    ):
+        self.path = path
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.events: List[dict] = []
+        self._handle = None
+        if path is not None:
+            directory = os.path.dirname(path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            self._handle = open(path, "a")
+
+    def emit(self, event_type: str, **fields) -> dict:
+        """Record one event; returns the event dict (timestamp included)."""
+        event = {"ts": self._clock(), "event": event_type}
+        event.update(fields)
+        with self._lock:
+            self.events.append(event)
+            if self._handle is not None:
+                self._handle.write(json.dumps(event) + "\n")
+                self._handle.flush()
+        return event
+
+    def counts(self) -> Dict[str, int]:
+        """How many events of each type were emitted."""
+        totals: Dict[str, int] = {}
+        with self._lock:
+            for event in self.events:
+                totals[event["event"]] = totals.get(event["event"], 0) + 1
+        return totals
+
+    def of_type(self, event_type: str) -> List[dict]:
+        with self._lock:
+            return [e for e in self.events if e["event"] == event_type]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def read(path: str) -> List[dict]:
+        """Load a JSONL event file back into a list of dicts."""
+        events = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    events.append(json.loads(line))
+        return events
+
+
+class NullRunLog(RunLog):
+    """A do-nothing log so callers never need ``if log is not None``."""
+
+    def __init__(self):
+        super().__init__(path=None)
+
+    def emit(self, event_type: str, **fields) -> dict:  # noqa: D102
+        return {}
+
+
+def ensure_log(run_log: Optional[RunLog]) -> RunLog:
+    """``run_log`` itself, or a shared inert stand-in."""
+    return run_log if run_log is not None else _NULL_LOG
+
+
+_NULL_LOG = NullRunLog()

@@ -1,0 +1,123 @@
+"""Fault policy and outcome types for the execution engine.
+
+The runtime treats every unit of work as an *attempt* that can end one of
+four ways: a value, a Python exception inside the task, a per-task
+timeout (the worker was killed), or a worker crash (the process died
+without reporting).  :class:`FaultPolicy` says how many attempts a task
+gets and how long each may run; :class:`TaskOutcome` is the uniform
+record the pool hands back, success or not, so callers can degrade
+gracefully instead of losing a whole run to one bad input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Error kinds recorded in :attr:`TaskError.kind`.
+ERROR_EXCEPTION = "exception"
+ERROR_TIMEOUT = "timeout"
+ERROR_CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the pool responds when a task misbehaves.
+
+    Attributes
+    ----------
+    timeout:
+        Wall-clock seconds one attempt may run before its worker is
+        terminated and the attempt recorded as a timeout.  ``None``
+        disables the deadline.  Only enforced under process-based
+        execution (an inline run cannot preempt itself).
+    retries:
+        Extra attempts after the first; ``retries=2`` means at most
+        three attempts total.
+    backoff:
+        Delay in seconds before the first retry is re-enqueued.
+    backoff_factor:
+        Multiplier applied to the delay for each further retry
+        (exponential backoff).
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 0
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+    def retry_delay(self, attempt: int) -> float:
+        """Seconds to wait before re-enqueueing after failed ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class TaskError:
+    """Why an attempt (or a whole task) failed.
+
+    ``kind`` is one of :data:`ERROR_EXCEPTION`, :data:`ERROR_TIMEOUT`,
+    :data:`ERROR_CRASH`.  ``type`` and ``message`` describe the original
+    exception for ``exception`` errors; ``traceback`` carries the
+    worker-side formatted traceback when one exists.
+    """
+
+    kind: str
+    type: str
+    message: str
+    traceback: Optional[str] = None
+
+    @property
+    def tag(self) -> str:
+        """A compact ``kind:Type`` label for logs and degraded results."""
+        return f"{self.kind}:{self.type}"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "type": self.type,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """The pool's final word on one task.
+
+    ``value`` is the task function's return value when ``ok``; ``error``
+    is the *last* attempt's :class:`TaskError` otherwise.  ``attempts``
+    counts attempts actually made and ``duration`` the seconds the final
+    attempt ran (0.0 for crashes detected before a start report).
+    """
+
+    index: int
+    ok: bool
+    value: object = None
+    error: Optional[TaskError] = None
+    attempts: int = 1
+    duration: float = 0.0
+
+    def unwrap(self):
+        """The value, or raise ``RuntimeError`` describing the failure."""
+        if self.ok:
+            return self.value
+        assert self.error is not None
+        raise RuntimeError(
+            f"task {self.index} failed after {self.attempts} attempt(s): "
+            f"{self.error.tag}: {self.error.message}"
+        )

@@ -1,0 +1,528 @@
+"""A fault-tolerant process pool that preserves result ordering.
+
+The engine behind parallel attack runs and parallel synthesis-candidate
+evaluation.  Design choices, in decreasing order of importance:
+
+1. **Bit-identical to sequential.**  Tasks are independent (each carries
+   or derives everything it needs; task functions are pure up to their
+   own worker-local state) and results are returned *in submission
+   order*, so a run with ``workers=4`` produces exactly the results of
+   the inline loop, whatever the scheduling interleaving was.
+2. **One bad task cannot kill a run.**  Each worker owns a private task
+   queue and is dispatched one task at a time, so the supervisor always
+   knows which task a dead or deadline-blown worker was holding.  The
+   task is retried per the :class:`~repro.runtime.faults.FaultPolicy`
+   and, if it keeps failing, recorded as a failed
+   :class:`~repro.runtime.faults.TaskOutcome` while the rest of the run
+   proceeds on a replacement worker.
+3. **Spawn-safe.**  Task functions and payloads cross process boundaries
+   by pickling, so they must be module-level functions or instances of
+   module-level classes (see :mod:`repro.runtime.tasks`).  Both the
+   ``fork`` and ``spawn`` start methods work.
+
+Workers are started per :meth:`WorkerPool.map` call and torn down at the
+end, which keeps crash containment simple and leaks nothing between
+phases; task payloads should therefore be coarse (a whole image attack,
+a whole candidate evaluation) so process lifetime is amortized.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.events import RunLog, ensure_log
+from repro.runtime.faults import (
+    ERROR_CRASH,
+    ERROR_EXCEPTION,
+    ERROR_TIMEOUT,
+    FaultPolicy,
+    TaskError,
+    TaskOutcome,
+)
+
+#: How long the supervisor blocks on the result queue per tick (seconds).
+_POLL_INTERVAL = 0.02
+#: Grace period for a worker to exit after its shutdown sentinel.
+_JOIN_TIMEOUT = 2.0
+
+
+def task_seed(base_seed: int, index: int) -> int:
+    """A deterministic per-task seed, independent of scheduling order.
+
+    Derived via :class:`numpy.random.SeedSequence` so nearby ``(base,
+    index)`` pairs still yield statistically independent streams; task
+    functions that need randomness should seed from this rather than a
+    global generator, which is what keeps parallel runs reproducible.
+    """
+    return int(np.random.SeedSequence([base_seed, index]).generate_state(1)[0])
+
+
+class _ResultChannel:
+    """A many-writers, one-reader message channel over a pipe.
+
+    ``multiprocessing.Queue`` is deliberately avoided here: its feeder
+    *thread* writes asynchronously, so a worker dying via ``os._exit``
+    (or a ``terminate()``) can leave a half-written frame in the pipe
+    and wedge the supervisor's next read forever.  Here ``put`` sends
+    the complete message synchronously under a cross-process lock before
+    returning, so a worker that dies inside task code can never corrupt
+    the channel -- the supervisor's poll-with-timeout stays safe.
+    """
+
+    def __init__(self, context):
+        self._reader, self._writer = context.Pipe(duplex=False)
+        self._lock = context.Lock()
+
+    def put(self, message) -> None:
+        with self._lock:
+            self._writer.send(message)
+
+    def poll_get(self, timeout: float):
+        """The next message, or ``None`` if nothing arrives in time."""
+        if self._reader.poll(timeout):
+            return self._reader.recv()
+        return None
+
+    def close(self) -> None:
+        self._reader.close()
+        self._writer.close()
+
+
+def _worker_loop(worker_id, fn, task_conn, results: _ResultChannel):
+    """Body of one worker process: pull a task, run it, report."""
+    while True:
+        try:
+            item = task_conn.recv()
+        except (EOFError, OSError):  # supervisor went away
+            break
+        if item is None:
+            break
+        index, payload = item
+        try:
+            value = fn(payload)
+        except BaseException as exc:  # contain *everything*; report upward
+            results.put(
+                (
+                    "error",
+                    worker_id,
+                    index,
+                    (type(exc).__name__, str(exc), traceback.format_exc()),
+                )
+            )
+        else:
+            try:
+                results.put(("done", worker_id, index, value))
+            except Exception as exc:  # e.g. an unpicklable return value
+                results.put(
+                    (
+                        "error",
+                        worker_id,
+                        index,
+                        (type(exc).__name__, str(exc), traceback.format_exc()),
+                    )
+                )
+
+
+@dataclass
+class _Worker:
+    """Supervisor-side handle for one worker process."""
+
+    worker_id: int
+    process: multiprocessing.Process
+    task_conn: object  # supervisor's send-end of the worker's task pipe
+    assigned: Optional[int] = None  # task index currently dispatched
+    assigned_at: float = 0.0
+    attempts: int = 0  # attempt number of the dispatched task
+
+
+@dataclass
+class _TaskState:
+    """Supervisor-side bookkeeping for one task."""
+
+    index: int
+    attempts: int = 0
+    outcome: Optional[TaskOutcome] = None
+    ready_at: float = 0.0  # backoff gate for retries
+
+
+class WorkerPool:
+    """Fan tasks out across processes; degrade, don't die.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes.  ``0`` runs tasks inline in the
+        calling process (same fault handling minus preemptive timeouts).
+    policy:
+        Timeout/retry behaviour; defaults to no timeout, no retries.
+    run_log:
+        Optional :class:`~repro.runtime.events.RunLog` receiving
+        structured events for every task and worker incident.
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``, ...);
+        ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        policy: Optional[FaultPolicy] = None,
+        run_log: Optional[RunLog] = None,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = workers
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.run_log = ensure_log(run_log)
+        self._context = multiprocessing.get_context(start_method)
+        self._next_worker_id = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def map(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        task_name: str = "task",
+    ) -> List[TaskOutcome]:
+        """Run ``fn`` over every payload; outcomes in submission order.
+
+        ``fn`` must be picklable when ``workers > 0``.  The returned list
+        always has one :class:`TaskOutcome` per payload; inspect
+        :attr:`TaskOutcome.ok` (or call :meth:`TaskOutcome.unwrap`) to
+        distinguish values from contained failures.
+        """
+        payloads = list(payloads)
+        started = time.monotonic()
+        self.run_log.emit(
+            "run_start",
+            task=task_name,
+            tasks=len(payloads),
+            workers=self.workers,
+            timeout=self.policy.timeout,
+            retries=self.policy.retries,
+        )
+        if self.workers == 0:
+            outcomes = self._map_inline(fn, payloads, task_name)
+        else:
+            outcomes = self._map_processes(fn, payloads, task_name)
+        wall = time.monotonic() - started
+        self.run_log.emit(
+            "run_end",
+            task=task_name,
+            wall_time=wall,
+            ok=sum(1 for o in outcomes if o.ok),
+            failed=sum(1 for o in outcomes if not o.ok),
+        )
+        return outcomes
+
+    def map_values(self, fn, payloads, task_name: str = "task") -> List:
+        """:meth:`map`, unwrapping values and raising on any failure."""
+        return [outcome.unwrap() for outcome in self.map(fn, payloads, task_name)]
+
+    # ------------------------------------------------------------------
+    # inline execution (workers == 0)
+    # ------------------------------------------------------------------
+
+    def _map_inline(self, fn, payloads, task_name) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        for index, payload in enumerate(payloads):
+            attempts = 0
+            while True:
+                attempts += 1
+                self.run_log.emit(
+                    "task_start", task=task_name, index=index, attempt=attempts
+                )
+                begun = time.monotonic()
+                try:
+                    value = fn(payload)
+                except Exception as exc:
+                    duration = time.monotonic() - begun
+                    error = TaskError(
+                        kind=ERROR_EXCEPTION,
+                        type=type(exc).__name__,
+                        message=str(exc),
+                        traceback=traceback.format_exc(),
+                    )
+                    if attempts < self.policy.max_attempts:
+                        self.run_log.emit(
+                            "task_retry",
+                            task=task_name,
+                            index=index,
+                            attempt=attempts,
+                            error=error.to_dict(),
+                        )
+                        time.sleep(self.policy.retry_delay(attempts))
+                        continue
+                    outcome = TaskOutcome(
+                        index=index,
+                        ok=False,
+                        error=error,
+                        attempts=attempts,
+                        duration=duration,
+                    )
+                else:
+                    duration = time.monotonic() - begun
+                    outcome = TaskOutcome(
+                        index=index,
+                        ok=True,
+                        value=value,
+                        attempts=attempts,
+                        duration=duration,
+                    )
+                break
+            self._emit_task_end(task_name, outcome, worker=None)
+            outcomes.append(outcome)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    # process-based execution
+    # ------------------------------------------------------------------
+
+    def _spawn_worker(self, fn, results: _ResultChannel) -> _Worker:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_reader, task_writer = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_loop,
+            args=(worker_id, fn, task_reader, results),
+            daemon=True,
+        )
+        process.start()
+        task_reader.close()  # the worker holds the read end now
+        return _Worker(worker_id=worker_id, process=process, task_conn=task_writer)
+
+    def _map_processes(self, fn, payloads, task_name) -> List[TaskOutcome]:
+        states = [_TaskState(index=i) for i in range(len(payloads))]
+        pending: List[int] = list(range(len(payloads)))
+        results = _ResultChannel(self._context)
+        crew: List[_Worker] = [
+            self._spawn_worker(fn, results)
+            for _ in range(min(self.workers, max(len(payloads), 1)))
+        ]
+        done = 0
+        try:
+            while done < len(states):
+                now = time.monotonic()
+                self._dispatch(crew, pending, states, payloads, task_name, now)
+                message = results.poll_get(_POLL_INTERVAL)
+                if message is not None:
+                    done += self._handle_message(
+                        message, crew, states, pending, task_name
+                    )
+                now = time.monotonic()
+                done += self._reap_deadline_blown(
+                    crew, states, pending, task_name, fn, results, now
+                )
+                done += self._reap_crashed(
+                    crew, states, pending, task_name, fn, results
+                )
+        finally:
+            self._shutdown(crew, results)
+        return [state.outcome for state in states]
+
+    def _dispatch(self, crew, pending, states, payloads, task_name, now):
+        """Hand ready tasks to idle workers, one task per worker."""
+        for worker in crew:
+            if worker.assigned is not None or not worker.process.is_alive():
+                continue
+            index = self._pop_ready(pending, states, now)
+            if index is None:
+                return
+            state = states[index]
+            state.attempts += 1
+            worker.assigned = index
+            worker.assigned_at = now
+            worker.attempts = state.attempts
+            self.run_log.emit(
+                "task_start",
+                task=task_name,
+                index=index,
+                attempt=state.attempts,
+                worker=worker.worker_id,
+            )
+            worker.task_conn.send((index, payloads[index]))
+
+    @staticmethod
+    def _pop_ready(pending, states, now) -> Optional[int]:
+        for position, index in enumerate(pending):
+            if states[index].ready_at <= now:
+                return pending.pop(position)
+        return None
+
+    def _handle_message(self, message, crew, states, pending, task_name) -> int:
+        kind, worker_id, index = message[0], message[1], message[2]
+        worker = next((w for w in crew if w.worker_id == worker_id), None)
+        if worker is None or worker.assigned != index:
+            # Stale report from a worker we already gave up on (e.g. a
+            # terminate() racing completion); its task was re-routed.
+            return 0
+        duration = time.monotonic() - worker.assigned_at
+        worker.assigned = None
+        state = states[index]
+        if kind == "done":
+            state.outcome = TaskOutcome(
+                index=index,
+                ok=True,
+                value=message[3],
+                attempts=state.attempts,
+                duration=duration,
+            )
+            self._emit_task_end(task_name, state.outcome, worker=worker_id)
+            return 1
+        error_type, error_message, error_traceback = message[3]
+        error = TaskError(
+            kind=ERROR_EXCEPTION,
+            type=error_type,
+            message=error_message,
+            traceback=error_traceback,
+        )
+        return self._record_failure(
+            state, error, duration, pending, task_name, worker_id
+        )
+
+    def _record_failure(
+        self, state, error, duration, pending, task_name, worker_id
+    ) -> int:
+        """Retry the task or finalize it as failed; returns tasks completed."""
+        if state.attempts < self.policy.max_attempts:
+            state.ready_at = time.monotonic() + self.policy.retry_delay(
+                state.attempts
+            )
+            pending.append(state.index)
+            self.run_log.emit(
+                "task_retry",
+                task=task_name,
+                index=state.index,
+                attempt=state.attempts,
+                worker=worker_id,
+                error=error.to_dict(),
+            )
+            return 0
+        state.outcome = TaskOutcome(
+            index=state.index,
+            ok=False,
+            error=error,
+            attempts=state.attempts,
+            duration=duration,
+        )
+        self._emit_task_end(task_name, state.outcome, worker=worker_id)
+        return 1
+
+    def _reap_deadline_blown(
+        self, crew, states, pending, task_name, fn, results, now
+    ) -> int:
+        if self.policy.timeout is None:
+            return 0
+        completed = 0
+        for position, worker in enumerate(crew):
+            if worker.assigned is None:
+                continue
+            elapsed = now - worker.assigned_at
+            if elapsed <= self.policy.timeout:
+                continue
+            index = worker.assigned
+            self.run_log.emit(
+                "task_timeout",
+                task=task_name,
+                index=index,
+                worker=worker.worker_id,
+                elapsed=elapsed,
+            )
+            self._terminate(worker)
+            crew[position] = self._replace_worker(worker, fn, results, task_name)
+            error = TaskError(
+                kind=ERROR_TIMEOUT,
+                type="TaskTimeout",
+                message=f"exceeded {self.policy.timeout:.3f}s deadline",
+            )
+            completed += self._record_failure(
+                states[index], error, elapsed, pending, task_name, worker.worker_id
+            )
+        return completed
+
+    def _reap_crashed(self, crew, states, pending, task_name, fn, results) -> int:
+        completed = 0
+        for position, worker in enumerate(crew):
+            if worker.process.is_alive() or worker.assigned is None:
+                continue
+            # The process died without reporting: its exception machinery
+            # never ran (hard crash, os._exit, kill signal).
+            index = worker.assigned
+            duration = time.monotonic() - worker.assigned_at
+            self.run_log.emit(
+                "worker_crash",
+                task=task_name,
+                index=index,
+                worker=worker.worker_id,
+                exitcode=worker.process.exitcode,
+            )
+            self._terminate(worker)
+            crew[position] = self._replace_worker(worker, fn, results, task_name)
+            error = TaskError(
+                kind=ERROR_CRASH,
+                type="WorkerCrashed",
+                message=f"worker exited with code {worker.process.exitcode}",
+            )
+            completed += self._record_failure(
+                states[index], error, duration, pending, task_name, worker.worker_id
+            )
+        return completed
+
+    def _replace_worker(self, dead: _Worker, fn, results, task_name) -> _Worker:
+        replacement = self._spawn_worker(fn, results)
+        self.run_log.emit(
+            "worker_restart",
+            task=task_name,
+            old_worker=dead.worker_id,
+            new_worker=replacement.worker_id,
+        )
+        return replacement
+
+    @staticmethod
+    def _terminate(worker: _Worker) -> None:
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(_JOIN_TIMEOUT)
+        worker.task_conn.close()
+
+    def _shutdown(self, crew, results: _ResultChannel) -> None:
+        for worker in crew:
+            if worker.process.is_alive():
+                try:
+                    worker.task_conn.send(None)
+                except (BrokenPipeError, OSError):  # worker already gone
+                    pass
+        deadline = time.monotonic() + _JOIN_TIMEOUT
+        for worker in crew:
+            worker.process.join(max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(_JOIN_TIMEOUT)
+            try:
+                worker.task_conn.close()
+            except OSError:
+                pass
+        results.close()
+
+    def _emit_task_end(self, task_name, outcome: TaskOutcome, worker) -> None:
+        fields = dict(
+            task=task_name,
+            index=outcome.index,
+            ok=outcome.ok,
+            attempts=outcome.attempts,
+            duration=outcome.duration,
+            worker=worker,
+        )
+        if outcome.error is not None:
+            fields["error"] = outcome.error.to_dict()
+        self.run_log.emit("task_end", **fields)

@@ -52,6 +52,23 @@ class TestCountingClassifier:
         counting.reset(budget=None)
         assert counting.budget is None
 
+    def test_reset_rejects_non_int_budget(self, toy):
+        """The keep-budget default is a sentinel object, so a stray
+        string (including the old ``"unchanged"`` magic value) is a type
+        error rather than silently meaning "keep"."""
+        counting = CountingClassifier(toy, budget=5)
+        with pytest.raises(TypeError):
+            counting.reset(budget="unchanged")
+        with pytest.raises(TypeError):
+            counting.reset(budget=2.5)
+        assert counting.budget == 5
+
+    def test_numpy_integer_budget_accepted(self, toy):
+        counting = CountingClassifier(toy, budget=np.int64(3))
+        assert counting.budget == 3
+        counting.reset(budget=np.int32(7))
+        assert counting.budget == 7
+
     def test_zero_budget_rejects_first_query(self, toy):
         counting = CountingClassifier(toy, budget=0)
         with pytest.raises(QueryBudgetExceeded):

@@ -88,6 +88,31 @@ class TestCommands:
         ) == 0
         assert "Sparse-RS" in capsys.readouterr().out
 
+    def test_attack_parallel_with_run_log(self, cache_dir, tmp_path, capsys):
+        """--workers N prints the same summary as a sequential run and
+        --run-log captures the structured event stream."""
+        main(["train", *TINY, "--cache-dir", cache_dir])
+        capsys.readouterr()
+        log_path = str(tmp_path / "run.jsonl")
+        assert main(
+            ["attack", *TINY, "--cache-dir", cache_dir,
+             "--images", "3", "--budget", "50",
+             "--workers", "2", "--run-log", log_path, "--cache-size", "64"]
+        ) == 0
+        parallel_output = capsys.readouterr().out
+        assert main(
+            ["attack", *TINY, "--cache-dir", cache_dir,
+             "--images", "3", "--budget", "50"]
+        ) == 0
+        assert capsys.readouterr().out == parallel_output
+
+        with open(log_path) as handle:
+            events = [json.loads(line) for line in handle]
+        names = {event["event"] for event in events}
+        assert {"run_start", "run_end", "attack_summary"} <= names
+        summary = next(e for e in events if e["event"] == "attack_summary")
+        assert summary["total_images"] == 3
+
     def test_experiment_table2_with_tiny_profile(
         self, tmp_path, monkeypatch, capsys
     ):

@@ -77,6 +77,68 @@ class TestAttackRunSummary:
             assert result.queries <= 60
 
 
+class _BudgetLeakingAttack:
+    """A non-compliant attack that lets QueryBudgetExceeded escape.
+
+    Compliant attacks wrap the classifier in their own
+    ``CountingClassifier`` and catch the exhaustion signal; this one
+    hammers the classifier raw until the caller-supplied cap trips, the
+    failure mode the dataset runner must degrade gracefully around.
+    """
+
+    name = "BudgetLeaker"
+
+    def attack(self, classifier, image, true_class, budget=None, target_class=None):
+        from repro.classifier.blackbox import CountingClassifier
+
+        counting = CountingClassifier(classifier, budget=budget)
+        while True:  # no exception handling on purpose
+            counting(image)
+
+
+class TestBudgetExhaustionGracefulness:
+    def test_escaping_budget_exception_degrades_one_image(
+        self, linear_classifier, toy_pairs
+    ):
+        """A QueryBudgetExceeded escaping one attack must not kill the
+        dataset run: the image is recorded as a failure at full budget
+        with an error tag and the remaining images still run."""
+        summary = attack_dataset(
+            _BudgetLeakingAttack(), linear_classifier, toy_pairs, budget=25
+        )
+        assert summary.total_images == len(toy_pairs)
+        assert summary.successes == 0
+        for result in summary.results:
+            assert not result.success
+            assert result.queries == 25
+            assert result.error == "QueryBudgetExceeded"
+        assert summary.to_dict()["errors"] == {
+            "QueryBudgetExceeded": len(toy_pairs)
+        }
+
+    def test_unbudgeted_escape_uses_exception_budget(self, linear_classifier):
+        """Without a caller budget the degraded result reports the
+        budget the exception itself carried."""
+        from repro.attacks.base import AttackResult
+        from repro.classifier.blackbox import QueryBudgetExceeded
+        from repro.runtime.tasks import run_single_attack
+
+        class _Raises:
+            name = "Raises"
+
+            def attack(self, classifier, image, true_class, budget=None,
+                       target_class=None):
+                raise QueryBudgetExceeded(17)
+
+        result = run_single_attack(
+            _Raises(), linear_classifier, np.zeros((6, 6, 3)), 0, None
+        )
+        assert isinstance(result, AttackResult)
+        assert not result.success
+        assert result.queries == 17
+        assert result.error == "QueryBudgetExceeded"
+
+
 class TestSuccessCurves:
     def test_runs_all_attacks(self, linear_classifier, toy_pairs):
         attacks = [

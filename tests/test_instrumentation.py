@@ -111,3 +111,26 @@ class TestSketchStats:
     def test_fire_rate_zero_when_never_evaluated(self):
         assert SketchStats().fire_rate("b1") == 0.0
         assert SketchStats().eager_fraction == 0.0
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        stats = SketchStats()
+        OnePixelSketch(Program.constant(True)).attack(
+            no_adversarial_classifier(), gray_image(), true_class=0, stats=stats
+        )
+        payload = stats.to_dict()
+        assert payload["total_queries"] == stats.total_queries
+        assert payload["eager_fraction"] == stats.eager_fraction
+        assert payload["fire_rates"]["b1"] == stats.fire_rate("b1")
+        # round-trips through JSON without custom encoders
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_to_dict_of_empty_stats_has_finite_values(self):
+        import json
+
+        payload = SketchStats().to_dict()
+        assert payload["total_queries"] == 0
+        assert payload["eager_fraction"] == 0.0
+        assert set(payload["fire_rates"]) == {"b1", "b2", "b3", "b4"}
+        assert json.dumps(payload)  # no inf/nan anywhere

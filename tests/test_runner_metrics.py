@@ -55,6 +55,44 @@ class TestPenalizedAverage:
         assert math.isinf(summary.avg_queries)
 
 
+class TestSummaryToDict:
+    def test_json_safe_round_trip(self):
+        import json
+
+        summary = AttackRunSummary("t", [ok(10), fail(100)], budget=100)
+        payload = summary.to_dict()
+        assert payload["attack"] == "t"
+        assert payload["successes"] == 1
+        assert payload["avg_queries"] == pytest.approx(10.0)
+        assert payload["total_queries"] == 110
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_infinite_averages_become_null(self):
+        import json
+
+        summary = AttackRunSummary("t", [fail(50)], budget=50)
+        payload = summary.to_dict()
+        assert payload["avg_queries"] is None
+        assert payload["median_queries"] is None
+        assert json.dumps(payload)  # inf would break strict JSON consumers
+
+    def test_error_tags_are_counted(self):
+        from repro.attacks.base import AttackResult
+
+        degraded = AttackResult(
+            success=False, queries=100, error="timeout:TaskTimeout"
+        )
+        summary = AttackRunSummary("t", [ok(5), degraded, degraded], budget=100)
+        assert summary.error_counts() == {"timeout:TaskTimeout": 2}
+        assert summary.to_dict()["errors"] == {"timeout:TaskTimeout": 2}
+
+    def test_empty_run(self):
+        payload = AttackRunSummary("t", [], budget=None).to_dict()
+        assert payload["total_images"] == 0
+        assert payload["avg_queries"] is None
+        assert payload["errors"] == {}
+
+
 class TestSketchDeterminismProperty:
     @settings(max_examples=15, deadline=None)
     @given(st.integers(0, 10_000))
