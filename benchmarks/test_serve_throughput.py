@@ -1,0 +1,140 @@
+"""Serving throughput: micro-batched broker vs. per-query dispatch.
+
+The serving claim: when many attack sessions run concurrently against a
+latency-bound model (a remote oracle, a batched accelerator), coalescing
+their queries into batched forward passes multiplies throughput, because
+a batch of N costs roughly one round trip instead of N.
+
+This benchmark drives the same set of concurrent sessions twice through
+the identical threaded serving stack -- once with ``max_batch_size=1``
+(the broker degrades to per-query dispatch: every query pays its own
+round trip under the model lock) and once with real micro-batching --
+and asserts the batched configuration clears 2x the throughput with at
+least 8 concurrent sessions.  Per-session attack results are also
+checked bit-identical to direct (unserved) runs: batching changes
+scheduling, never scores.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import write_result
+from repro.attacks.fixed_sketch import FixedSketchAttack
+from repro.attacks.random_search import UniformRandomAttack, UniformRandomConfig
+from repro.classifier.toy import (
+    LatencyClassifier,
+    LinearPixelClassifier,
+    make_toy_images,
+)
+from repro.core.stepping import drive_steps
+from repro.serve.broker import BatchPolicy, MicroBatchBroker
+from repro.serve.sessions import SessionManager
+
+#: Simulated oracle round trip, paid once per *batch* by the model.
+QUERY_LATENCY = 0.003
+SESSIONS = 8
+BUDGET = 96
+SHAPE = (8, 8, 3)
+
+
+def _jobs():
+    base = LinearPixelClassifier(SHAPE, num_classes=4, seed=3, temperature=0.05)
+    images = make_toy_images(SESSIONS, SHAPE, seed=9)
+    jobs = []
+    for index, image in enumerate(images):
+        if index % 2 == 0:
+            attack = FixedSketchAttack()
+        else:
+            attack = UniformRandomAttack(UniformRandomConfig(seed=index))
+        jobs.append((attack, image, int(np.argmax(base(image)))))
+    return base, jobs
+
+
+def _run_served(base, jobs, max_batch_size):
+    classifier = LatencyClassifier(base, latency=QUERY_LATENCY)
+    policy = BatchPolicy(max_batch_size=max_batch_size, max_wait=0.002)
+    with MicroBatchBroker(classifier, policy=policy) as broker:
+        manager = SessionManager(broker, max_workers=SESSIONS)
+        sessions = [
+            manager.create(attack, image, label, budget=BUDGET)
+            for attack, image, label in jobs
+        ]
+        started = time.perf_counter()
+        futures = [manager.start(session) for session in sessions]
+        for future in futures:
+            future.result(timeout=300)
+        elapsed = time.perf_counter() - started
+        stats = broker.stats()
+        manager.shutdown()
+    return sessions, elapsed, stats
+
+
+def _signature(sessions):
+    return [
+        (
+            session.result.success,
+            session.result.queries,
+            session.result.location,
+            None
+            if session.result.perturbation is None
+            else session.result.perturbation.tobytes(),
+        )
+        for session in sessions
+    ]
+
+
+def test_serve_throughput(results_dir):
+    base, jobs = _jobs()
+
+    # ground truth: each attack run directly, no serving stack
+    direct = [
+        (
+            lambda r: (
+                r.success,
+                r.queries,
+                r.location,
+                None if r.perturbation is None else r.perturbation.tobytes(),
+            )
+        )(drive_steps(attack.steps(image, label, budget=BUDGET), base))
+        for attack, image, label in _jobs()[1]
+    ]
+
+    unbatched_sessions, unbatched_time, unbatched_stats = _run_served(
+        base, jobs, max_batch_size=1
+    )
+    base2, jobs2 = _jobs()
+    batched_sessions, batched_time, batched_stats = _run_served(
+        base2, jobs2, max_batch_size=SESSIONS
+    )
+
+    # correctness first: serving must not change what the paper measures
+    assert _signature(unbatched_sessions) == direct
+    assert _signature(batched_sessions) == direct
+
+    total_queries = sum(s.result.queries for s in batched_sessions)
+    unbatched_qps = unbatched_stats["submitted"] / unbatched_time
+    batched_qps = batched_stats["submitted"] / batched_time
+    speedup = batched_qps / unbatched_qps
+
+    lines = [
+        "serving throughput (micro-batched broker vs. per-query dispatch, "
+        f"{QUERY_LATENCY * 1000:.0f}ms/query)",
+        f"  sessions {SESSIONS}, budget {BUDGET}, "
+        f"counted queries {total_queries}",
+        f"  per-query dispatch: {unbatched_time:.2f}s "
+        f"({unbatched_qps:.0f} q/s, mean batch "
+        f"{unbatched_stats['batch_sizes']['mean']:.2f})",
+        f"  micro-batched:      {batched_time:.2f}s "
+        f"({batched_qps:.0f} q/s, mean batch "
+        f"{batched_stats['batch_sizes']['mean']:.2f}, "
+        f"max {batched_stats['batch_sizes']['max']:.0f})",
+        f"  throughput gain: {speedup:.2f}x",
+        "  per-session results bit-identical to direct runs: True",
+    ]
+    write_result(results_dir, "serve_throughput", "\n".join(lines))
+
+    assert batched_stats["batch_sizes"]["max"] >= 2, "broker never batched"
+    assert speedup >= 2.0, (
+        f"micro-batching gained only {speedup:.2f}x over per-query dispatch"
+    )

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Load-generate the attack service and watch micro-batching work.
+
+Starts an in-process ``repro.serve`` server on a loopback port, fires N
+concurrent HTTP clients -- each submitting its own one-pixel attack and
+polling until it finishes -- then prints per-client outcomes, aggregate
+throughput, and the broker's batch-size distribution.  With enough
+concurrent clients the distribution shifts visibly away from
+batch-of-1: that shift is the serving layer's whole reason to exist.
+
+Run with::
+
+    python examples/serve_clients.py [num_clients]
+
+Point it at an external server instead by exporting
+``REPRO_SERVE_URL=http://host:port`` (start one with ``repro-serve``).
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+import urllib.request
+
+import numpy as np
+
+from repro.serve.server import ServeConfig, ServerHandle
+
+SHAPE = (8, 8, 3)
+BUDGET = 200
+POLL_INTERVAL = 0.02
+
+
+def submit_and_poll(base, image, true_class, seed, outcomes, position):
+    """One client: POST an attack, poll until it resolves."""
+    body = json.dumps(
+        {
+            "attack": "random" if seed % 2 else "fixed",
+            "image": image.tolist(),
+            "true_class": true_class,
+            "budget": BUDGET,
+            "params": {"seed": seed},
+        }
+    ).encode()
+    request = urllib.request.Request(
+        base + "/attacks",
+        data=body,
+        headers={"Content-Type": "application/json", "X-Client-Id": f"client-{seed}"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        session_id = json.load(response)["id"]
+    while True:
+        with urllib.request.urlopen(
+            f"{base}/attacks/{session_id}", timeout=30
+        ) as response:
+            status = json.load(response)
+        if status["state"] in ("done", "failed"):
+            outcomes[position] = status
+            return
+        time.sleep(POLL_INTERVAL)
+
+
+def main():
+    clients = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    external = os.environ.get("REPRO_SERVE_URL")
+
+    handle = None
+    if external:
+        base = external.rstrip("/")
+        print(f"using external server at {base}")
+    else:
+        config = ServeConfig(
+            port=0, height=SHAPE[0], width=SHAPE[1], num_classes=4, seed=2,
+            max_batch_size=clients, max_wait=0.002,
+            rate=1000.0, burst=float(clients * 2),
+        )
+        handle = ServerHandle(config).start()
+        host, port = handle.address
+        base = f"http://{host}:{port}"
+        print(f"started in-process server at {base}")
+
+    health = json.load(urllib.request.urlopen(base + "/healthz", timeout=10))
+    print(f"serving model: {health['model']}\n")
+
+    # every client gets its own image; true class read off the model's
+    # clean prediction (the usual untargeted threat model)
+    rng = np.random.default_rng(11)
+    jobs = []
+    for seed in range(clients):
+        image = rng.random(SHAPE)
+        if handle is not None:
+            true_class = int(np.argmax(handle.server.classifier(image)))
+        else:
+            true_class = 0
+        jobs.append((image, true_class, seed))
+
+    outcomes = [None] * clients
+    threads = [
+        threading.Thread(
+            target=submit_and_poll, args=(base, image, label, seed, outcomes, seed)
+        )
+        for image, label, seed in jobs
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    print(f"{'client':>8} {'attack':>14} {'state':>7} {'success':>8} {'queries':>8}")
+    for seed, status in enumerate(outcomes):
+        result = status.get("result") or {}
+        print(
+            f"{seed:>8} {status['attack']:>14} {status['state']:>7} "
+            f"{str(result.get('success')):>8} {status['queries']:>8}"
+        )
+
+    metrics = json.load(urllib.request.urlopen(base + "/metrics", timeout=10))
+    broker = metrics["broker"]
+    total_queries = sum(status["queries"] for status in outcomes)
+    print(
+        f"\n{clients} concurrent clients, {total_queries} counted queries "
+        f"in {elapsed:.2f}s -> {broker['submitted'] / elapsed:.0f} submissions/s"
+    )
+    print(
+        f"broker: {broker['flushes']} flushes, mean batch "
+        f"{broker['batch_sizes']['mean']:.2f}, max {broker['batch_sizes']['max']:.0f}"
+    )
+    print("batch-size distribution (queries answered per flush):")
+    for label, count in broker["batch_sizes"]["buckets"].items():
+        if count:
+            print(f"  {label:>6}: {'#' * min(count, 60)} {count}")
+    cache = broker.get("cache")
+    if cache:
+        print(f"cache: {cache['hits']} hits / {cache['misses']} misses")
+
+    if handle is not None:
+        handle.stop()
+
+
+if __name__ == "__main__":
+    main()

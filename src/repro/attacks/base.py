@@ -52,7 +52,22 @@ class AttackResult:
 
 
 class OnePixelAttack(abc.ABC):
-    """Abstract base for all one-pixel attacks."""
+    """Abstract base for all one-pixel attacks.
+
+    Two complementary entry points share one search implementation:
+
+    - :meth:`attack` -- the classic synchronous call used throughout the
+      evaluation harness;
+    - :meth:`steps` -- the same attack as a *generator* that yields
+      :class:`~repro.core.stepping.Query` objects and receives score
+      vectors, letting an external executor (e.g. the serving layer's
+      micro-batching broker) own the forward passes.
+
+    Attacks with incremental structure implement ``steps`` natively and
+    define ``attack`` as ``drive_steps(self.steps(...), classifier)``;
+    the default ``steps`` here adapts any remaining direct-call
+    ``attack`` via a helper thread, so *every* attack is steppable.
+    """
 
     @abc.abstractmethod
     def attack(
@@ -69,6 +84,26 @@ class OnePixelAttack(abc.ABC):
         misclassification; a concrete target requires the classifier to
         output exactly that class.
         """
+
+    def steps(
+        self,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        target_class: Optional[int] = None,
+    ):
+        """The attack as a query-yielding generator.
+
+        Yields :class:`~repro.core.stepping.Query`, expects the score
+        vector via ``send``, and returns the :class:`AttackResult` as
+        the generator's return value.  Driven generators are
+        bit-identical to :meth:`attack` against the same classifier.
+        """
+        from repro.core.stepping import threaded_steps
+
+        return threaded_steps(
+            self, image, true_class, budget=budget, target_class=target_class
+        )
 
     @property
     def name(self) -> str:

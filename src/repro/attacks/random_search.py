@@ -15,7 +15,8 @@ from typing import Optional
 import numpy as np
 
 from repro.attacks.base import AttackResult, Classifier, OnePixelAttack
-from repro.classifier.blackbox import CountingClassifier, QueryBudgetExceeded
+from repro.core.stepping import AttackSteps, StepCounter, drive_steps
+from repro.classifier.blackbox import QueryBudgetExceeded
 from repro.core.geometry import NUM_CORNERS, RGB_CORNERS
 
 
@@ -42,9 +43,21 @@ class UniformRandomAttack(OnePixelAttack):
         budget: Optional[int] = None,
         target_class: Optional[int] = None,
     ) -> AttackResult:
+        return drive_steps(
+            self.steps(image, true_class, budget=budget, target_class=target_class),
+            classifier,
+        )
+
+    def steps(
+        self,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        target_class: Optional[int] = None,
+    ) -> AttackSteps:
         self._validate(image)
         rng = np.random.default_rng(self.config.seed)
-        counting = CountingClassifier(classifier, budget=budget)
+        counter = StepCounter(budget)
         d1, d2 = image.shape[:2]
         order = rng.permutation(d1 * d2 * NUM_CORNERS)
         try:
@@ -54,7 +67,7 @@ class UniformRandomAttack(OnePixelAttack):
                 row, col = location_index // d2, location_index % d2
                 perturbed = image.copy()
                 perturbed[row, col] = RGB_CORNERS[corner]
-                scores = counting(perturbed)
+                scores = yield counter.submit(perturbed)
                 winner = int(np.argmax(scores))
                 won = (
                     winner != true_class
@@ -64,11 +77,11 @@ class UniformRandomAttack(OnePixelAttack):
                 if won:
                     return AttackResult(
                         success=True,
-                        queries=counting.count,
+                        queries=counter.count,
                         location=(row, col),
                         perturbation=RGB_CORNERS[corner],
                         adversarial_class=winner,
                     )
         except QueryBudgetExceeded:
             pass
-        return AttackResult(success=False, queries=counting.count)
+        return AttackResult(success=False, queries=counter.count)

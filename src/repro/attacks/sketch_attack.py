@@ -9,6 +9,7 @@ import numpy as np
 from repro.attacks.base import AttackResult, Classifier, OnePixelAttack
 from repro.core.dsl.ast import Program
 from repro.core.sketch import OnePixelSketch
+from repro.core.stepping import AttackSteps, drive_steps
 
 
 class SketchAttack(OnePixelAttack):
@@ -31,9 +32,21 @@ class SketchAttack(OnePixelAttack):
         budget: Optional[int] = None,
         target_class: Optional[int] = None,
     ) -> AttackResult:
+        return drive_steps(
+            self.steps(image, true_class, budget=budget, target_class=target_class),
+            classifier,
+        )
+
+    def steps(
+        self,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        target_class: Optional[int] = None,
+    ) -> AttackSteps:
         self._validate(image)
-        result = self.sketch.attack(
-            classifier, image, true_class, budget=budget, target_class=target_class
+        result = yield from self.sketch.steps(
+            image, true_class, budget=budget, target_class=target_class
         )
         if result.success:
             return AttackResult(

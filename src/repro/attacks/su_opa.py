@@ -21,7 +21,8 @@ from typing import Optional
 import numpy as np
 
 from repro.attacks.base import AttackResult, Classifier, OnePixelAttack
-from repro.classifier.blackbox import CountingClassifier, QueryBudgetExceeded
+from repro.core.stepping import AttackSteps, StepCounter, drive_steps
+from repro.classifier.blackbox import QueryBudgetExceeded
 
 
 @dataclass(frozen=True)
@@ -60,14 +61,26 @@ class SuOPA(OnePixelAttack):
         budget: Optional[int] = None,
         target_class: Optional[int] = None,
     ) -> AttackResult:
+        return drive_steps(
+            self.steps(image, true_class, budget=budget, target_class=target_class),
+            classifier,
+        )
+
+    def steps(
+        self,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        target_class: Optional[int] = None,
+    ) -> AttackSteps:
         self._validate(image)
         config = self.config
         rng = np.random.default_rng(config.seed)
-        counting = CountingClassifier(classifier, budget=budget)
+        counter = StepCounter(budget)
         d1, d2 = image.shape[:2]
 
         def evaluate(candidate: np.ndarray):
-            """Fitness to minimize, or a success result.
+            """Fitness to minimize, or a success result (subgenerator).
 
             Untargeted fitness is the true class's confidence; targeted
             fitness is the target's negated confidence.
@@ -75,13 +88,13 @@ class SuOPA(OnePixelAttack):
             row, col = int(round(candidate[0])), int(round(candidate[1]))
             perturbed = image.copy()
             perturbed[row, col] = candidate[2:5]
-            scores = counting(perturbed)
+            scores = yield counter.submit(perturbed)
             winner = int(np.argmax(scores))
             won = winner != true_class if target_class is None else winner == target_class
             if won:
                 return None, AttackResult(
                     success=True,
-                    queries=counting.count,
+                    queries=counter.count,
                     location=(row, col),
                     perturbation=candidate[2:5].copy(),
                     adversarial_class=winner,
@@ -107,7 +120,7 @@ class SuOPA(OnePixelAttack):
 
         try:
             for index in range(size):
-                value, result = evaluate(population[index])
+                value, result = yield from evaluate(population[index])
                 if result is not None:
                     return result
                 fitness[index] = value
@@ -118,7 +131,7 @@ class SuOPA(OnePixelAttack):
                         population[r2] - population[r3]
                     )
                     mutant = clip(mutant)
-                    value, result = evaluate(mutant)
+                    value, result = yield from evaluate(mutant)
                     if result is not None:
                         return result
                     if value < fitness[index]:
@@ -126,7 +139,7 @@ class SuOPA(OnePixelAttack):
                         fitness[index] = value
         except QueryBudgetExceeded:
             pass
-        return AttackResult(success=False, queries=counting.count)
+        return AttackResult(success=False, queries=counter.count)
 
 
 def _distinct_indices(rng: np.random.Generator, size: int, exclude: int):

@@ -4,6 +4,12 @@ from repro.classifier.blackbox import (
     CountingClassifier,
     NetworkClassifier,
     QueryBudgetExceeded,
+    batch_scores,
 )
 
-__all__ = ["CountingClassifier", "NetworkClassifier", "QueryBudgetExceeded"]
+__all__ = [
+    "CountingClassifier",
+    "NetworkClassifier",
+    "QueryBudgetExceeded",
+    "batch_scores",
+]

@@ -24,6 +24,30 @@ from repro.nn.module import Module
 Classifier = Callable[[np.ndarray], np.ndarray]
 
 
+def batch_scores(classifier: Classifier, images) -> np.ndarray:
+    """Score many images through any classifier, batched when possible.
+
+    Uses the classifier's native ``batch`` method when it has one;
+    otherwise falls back to stacking per-image calls.  The fallback
+    guarantees *bit-identical* scores to sequential single-image queries,
+    which is what the serving determinism tests rely on; a native batch
+    path may differ in the last float ulps (different BLAS reduction
+    order) while remaining semantically equivalent.
+
+    ``images`` may be a list of (H, W, 3) arrays or an (N, H, W, 3)
+    array; an empty input yields a ``(0, 0)``-or-wider empty array
+    without querying the model.
+    """
+    if not isinstance(images, np.ndarray):
+        images = list(images)
+    if len(images) == 0:
+        return np.zeros((0, 0), dtype=np.float64)
+    batch_method = getattr(classifier, "batch", None)
+    if batch_method is not None:
+        return np.asarray(batch_method(np.asarray(images)))
+    return np.stack([np.asarray(classifier(image)) for image in images])
+
+
 class _Unchanged:
     """Sentinel type for :meth:`CountingClassifier.reset`'s default."""
 
@@ -77,6 +101,7 @@ class NetworkClassifier:
         self.model = model
         self.model.eval()
         self.dtype = dtype
+        self._num_classes: Optional[int] = None
         if dtype is not None:
             self.model.astype(dtype)
 
@@ -87,21 +112,36 @@ class NetworkClassifier:
         if self.dtype is not None:
             batch = batch.astype(self.dtype)
         logits = self.model(np.ascontiguousarray(batch))
-        return softmax(logits.astype(np.float64), axis=1)[0]
+        scores = softmax(logits.astype(np.float64), axis=1)[0]
+        self._num_classes = scores.shape[0]
+        return scores
 
     def batch(self, images: np.ndarray) -> np.ndarray:
-        """Score a batch of (N, H, W, 3) images at once.
+        """Score a batch of (N, H, W, 3) images in one forward pass.
 
-        This is a *white-box convenience* for training-side evaluation
-        (e.g. filtering misclassified test images); attacks must go
-        through the single-image call so queries are counted faithfully.
+        Used by training-side evaluation (e.g. filtering misclassified
+        test images) and by the serving layer's micro-batching broker.
+        Attacks themselves still see only the single-image call; when a
+        broker batches on their behalf it counts each image in the batch
+        as one submission (see :meth:`CountingClassifier.batch`), so
+        query accounting matches the sequential path.
+
+        An empty ``(0, H, W, 3)`` batch returns an empty ``(0, C)`` score
+        array without touching the model (whose layers may not tolerate
+        zero-length batches).
         """
+        images = np.asarray(images)
         if images.ndim != 4 or images.shape[3] != 3:
             raise ValueError(f"expected (N, H, W, 3) images, got {images.shape}")
+        if images.shape[0] == 0:
+            width = self._num_classes if self._num_classes is not None else 0
+            return np.zeros((0, width), dtype=np.float64)
         batch = np.ascontiguousarray(images.transpose(0, 3, 1, 2))
         if self.dtype is not None:
             batch = batch.astype(self.dtype)
-        return softmax(self.model(batch).astype(np.float64), axis=1)
+        scores = softmax(self.model(batch).astype(np.float64), axis=1)
+        self._num_classes = scores.shape[1]
+        return scores
 
 
 class CountingClassifier:
@@ -130,6 +170,26 @@ class CountingClassifier:
             raise QueryBudgetExceeded(self.budget)
         self.count += 1
         return self._classifier(image)
+
+    def batch(self, images) -> np.ndarray:
+        """Score a batch, counting every image as one submission.
+
+        Accounting matches the sequential path exactly: submitting N
+        images costs N queries, and a batch that would cross the budget
+        raises :class:`QueryBudgetExceeded` *after* consuming the
+        remaining allowance (a sequential loop would have posed exactly
+        ``remaining`` queries before tripping).  This is what keeps
+        broker-batched runs and per-query runs reporting identical
+        counts.
+        """
+        if not isinstance(images, np.ndarray):
+            images = list(images)
+        size = len(images)
+        if self.budget is not None and self.count + size > self.budget:
+            self.count = self.budget
+            raise QueryBudgetExceeded(self.budget)
+        self.count += size
+        return batch_scores(self._classifier, images)
 
     @property
     def remaining(self) -> Optional[int]:

@@ -39,6 +39,22 @@ class LatencyClassifier:
             time.sleep(self.latency)
         return self._classifier(image)
 
+    def batch(self, images) -> np.ndarray:
+        """Score a whole batch for a *single* round trip.
+
+        A remote oracle charges latency per request, not per image, so a
+        batched submission pays the delay once -- exactly the economics
+        the serving layer's micro-batching broker exploits.  Scores come
+        from per-image calls on the wrapped classifier (via
+        :func:`~repro.classifier.blackbox.batch_scores`), so they are
+        bit-identical to sequential single-image queries.
+        """
+        from repro.classifier.blackbox import batch_scores
+
+        if len(images) and self.latency:
+            time.sleep(self.latency)
+        return batch_scores(self._classifier, images)
+
 
 class LinearPixelClassifier:
     """Scores are a fixed random linear map of the flattened image.

@@ -280,10 +280,34 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["fig3-cifar", "fig3-imagenet", "table1", "fig4", "table2"],
     )
     experiment.set_defaults(func=cmd_experiment)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve attacks over HTTP with a micro-batching query broker "
+        "(see repro-serve --help for flags)",
+        add_help=False,
+    )
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 
+def cmd_serve(args) -> int:  # pragma: no cover - dispatch happens in main()
+    from repro.serve.server import main as serve_main
+
+    return serve_main([])
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # ``serve`` forwards its flags verbatim to the repro-serve parser;
+    # argparse's REMAINDER cannot pass leading optionals through a
+    # subparser, so dispatch before parsing.  Lazy import: the serving
+    # stack is not needed for any other subcommand.
+    if argv and argv[0] == "serve":
+        from repro.serve.server import main as serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

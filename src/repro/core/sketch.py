@@ -26,7 +26,13 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.classifier.blackbox import CountingClassifier, QueryBudgetExceeded
+from repro.core.stepping import (
+    AttackSteps,
+    Query,
+    StepCounter,
+    drive_steps,
+)
+from repro.classifier.blackbox import QueryBudgetExceeded
 from repro.core.context import EvalContext
 from repro.core.instrumentation import SketchStats
 from repro.core.dsl.ast import Program
@@ -105,13 +111,44 @@ class OnePixelSketch:
             Optional :class:`~repro.core.instrumentation.SketchStats` to
             accumulate condition fire counts and reordering activity into.
         """
+        return drive_steps(
+            self.steps(
+                image,
+                true_class,
+                budget=budget,
+                clean_scores=clean_scores,
+                target_class=target_class,
+                stats=stats,
+            ),
+            classifier,
+        )
+
+    def steps(
+        self,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        clean_scores: Optional[np.ndarray] = None,
+        target_class: Optional[int] = None,
+        stats: Optional[SketchStats] = None,
+    ) -> AttackSteps:
+        """The attack as a query-yielding generator (see
+        :mod:`repro.core.stepping` for the protocol).
+
+        When ``clean_scores`` is not supplied, the first yielded query is
+        the *clean* image marked ``counted=False`` -- the paper treats
+        ``N(x)`` as a threat-model input, not an attack submission, so it
+        never touches the budget or the reported query count.
+        """
         if image.ndim != 3 or image.shape[2] != 3:
             raise ValueError(f"image must be (H, W, 3), got {image.shape}")
         if target_class is not None and target_class == true_class:
             raise ValueError("target class must differ from the true class")
-        counting = CountingClassifier(classifier, budget=budget)
+        counter = StepCounter(budget)
         if clean_scores is None:
-            clean_scores = np.asarray(classifier(image), dtype=np.float64)
+            clean_scores = np.asarray(
+                (yield Query(image, counted=False)), dtype=np.float64
+            )
         shape = image.shape[:2]
         queue = PairQueue(initial_order(image))
         program = self.program
@@ -121,15 +158,15 @@ class OnePixelSketch:
                 return winner != true_class
             return winner == target_class
 
-        def check(pair: Pair) -> "tuple":
-            """Query one pair; returns (scores, success_result_or_None)."""
+        def check(pair: Pair):
+            """Query one pair (subgenerator); returns (scores, result)."""
             perturbed = pair.apply(image)
-            scores = np.asarray(counting(perturbed), dtype=np.float64)
+            scores = np.asarray((yield counter.submit(perturbed)), dtype=np.float64)
             winner = int(np.argmax(scores))
             if is_success(winner):
                 return scores, SketchResult(
                     success=True,
-                    queries=counting.count,
+                    queries=counter.count,
                     pair=pair,
                     adversarial_image=perturbed,
                     adversarial_class=winner,
@@ -148,7 +185,7 @@ class OnePixelSketch:
         try:
             while queue:
                 pair = queue.pop()
-                scores, result = check(pair)
+                scores, result = yield from check(pair)
                 if stats is not None:
                     stats.main_loop_pops += 1
                 if result is not None:
@@ -176,14 +213,14 @@ class OnePixelSketch:
                             stats.pushed_back_perturbation += 1
 
                 # eager front-checking (lines 7-24)
-                result = self._eager_check(
+                result = yield from self._eager_check(
                     pair, context, queue, shape, check, context_for, stats
                 )
                 if result is not None:
                     return result
         except QueryBudgetExceeded:
-            return SketchResult(success=False, queries=counting.count)
-        return SketchResult(success=False, queries=counting.count)
+            return SketchResult(success=False, queries=counter.count)
+        return SketchResult(success=False, queries=counter.count)
 
     def _eager_check(
         self,
@@ -194,8 +231,8 @@ class OnePixelSketch:
         check,
         context_for,
         stats: Optional[SketchStats] = None,
-    ) -> Optional[SketchResult]:
-        """The eager BFS of Algorithm 1, lines 7-24.
+    ):
+        """The eager BFS of Algorithm 1, lines 7-24 (subgenerator).
 
         ``loc_queue`` / ``pert_queue`` hold failed pairs whose neighbours
         (by location / by perturbation respectively) may deserve immediate
@@ -206,10 +243,10 @@ class OnePixelSketch:
         loc_queue = deque([failed_pair])
         pert_queue = deque([failed_pair])
 
-        def expand(candidates: List[Pair]) -> Optional[SketchResult]:
+        def expand(candidates: List[Pair]):
             for candidate in candidates:
                 queue.remove(candidate)
-                scores, result = check(candidate)
+                scores, result = yield from check(candidate)
                 if stats is not None:
                     stats.eager_checks += 1
                 if result is not None:
@@ -231,7 +268,7 @@ class OnePixelSketch:
                         for neighbor in location_neighbors(pair, shape)
                         if neighbor in queue
                     ]
-                    result = expand(in_queue)
+                    result = yield from expand(in_queue)
                     if result is not None:
                         return result
             while pert_queue:
@@ -242,7 +279,7 @@ class OnePixelSketch:
                 if b4:
                     next_same_location = queue.first_at_location(pair.location)
                     if next_same_location is not None:
-                        result = expand([next_same_location])
+                        result = yield from expand([next_same_location])
                         if result is not None:
                             return result
         return None

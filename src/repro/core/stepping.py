@@ -1,0 +1,180 @@
+"""The steppable attack protocol.
+
+An attack exposed as a *generator* decouples its search logic from how
+classifier queries are executed.  The protocol is small:
+
+- the generator **yields** :class:`Query` objects (the perturbed image to
+  score, plus whether the submission counts against the paper's query
+  accounting);
+- the caller **sends** back the classifier's score vector;
+- the generator **returns** the final result (``StopIteration.value``).
+
+Budget enforcement and query counting live *inside* the generator (via
+:class:`StepCounter`), exactly where :class:`~repro.classifier.blackbox.
+CountingClassifier` sat in the direct-call formulation, so a driven
+generator is bit-identical to the classic ``attack()`` call -- the only
+thing that moved is who performs the forward pass.  That inversion is
+what lets the serving layer coalesce queries from many concurrent
+sessions into batched model evaluations (:mod:`repro.serve.broker`).
+
+Attacks with a natural incremental structure override
+:meth:`~repro.attacks.base.OnePixelAttack.steps` with a native generator;
+the base class falls back to :func:`threaded_steps`, which adapts any
+``attack()`` implementation by running it on a helper thread and turning
+its classifier calls into yields.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+import numpy as np
+
+from repro.classifier.blackbox import QueryBudgetExceeded
+
+Classifier = Callable[[np.ndarray], np.ndarray]
+
+#: Seconds to wait for the helper thread of :func:`threaded_steps` to
+#: acknowledge a close before it is abandoned (it is a daemon thread).
+_CLOSE_JOIN_TIMEOUT = 2.0
+
+
+@dataclass(frozen=True)
+class Query:
+    """One classifier submission requested by a steppable attack.
+
+    ``counted`` is ``False`` only for threat-model inputs the paper does
+    not charge to the attacker -- e.g. the sketch scoring the clean image
+    it was handed.  Executors must answer every query either way; the
+    flag only drives accounting (session query counts, budgets).
+    """
+
+    image: np.ndarray
+    counted: bool = True
+
+
+#: The protocol type: yields queries, receives score vectors, returns the
+#: attack's result object.
+AttackSteps = Generator[Query, np.ndarray, object]
+
+
+@dataclass
+class StepCounter:
+    """In-generator query accounting with the classic budget semantics.
+
+    Mirrors :class:`~repro.classifier.blackbox.CountingClassifier`: the
+    check happens *before* the submission, so the ``budget + 1``-th
+    counted query raises :class:`QueryBudgetExceeded` instead of being
+    posed, and ``count`` equals the budget when the exception fires.
+    """
+
+    budget: Optional[int] = None
+    count: int = field(default=0)
+
+    def submit(self, image: np.ndarray) -> Query:
+        """Account for one counted submission and build its query.
+
+        Generators write ``scores = yield counter.submit(perturbed)``:
+        the count is taken *before* the query executes, exactly like
+        ``CountingClassifier.__call__``.
+        """
+        if self.budget is not None and self.count >= self.budget:
+            raise QueryBudgetExceeded(self.budget)
+        self.count += 1
+        return Query(image)
+
+
+def drive_steps(steps: AttackSteps, classifier: Classifier):
+    """Run a steppable attack to completion against a plain classifier.
+
+    This is the thin synchronous driver ``attack()`` methods delegate to:
+    every yielded query is answered immediately by ``classifier``, so
+    behaviour is exactly the pre-protocol direct-call code path.
+    """
+    try:
+        request = next(steps)
+        while True:
+            scores = classifier(request.image)
+            request = steps.send(scores)
+    except StopIteration as stop:
+        return stop.value
+
+
+class _SessionClosed(BaseException):
+    """Raised inside the helper thread when the generator is closed.
+
+    Derives from ``BaseException`` so attack code catching ``Exception``
+    (or :class:`QueryBudgetExceeded`) cannot swallow the shutdown.
+    """
+
+
+def threaded_steps(
+    attack,
+    image: np.ndarray,
+    true_class: int,
+    budget: Optional[int] = None,
+    target_class: Optional[int] = None,
+) -> AttackSteps:
+    """Adapt a classic ``attack()`` implementation to the steps protocol.
+
+    The attack runs on a daemon helper thread against a channel-backed
+    classifier: each classifier call is forwarded to the consuming side
+    as a yielded :class:`Query` and blocks until the answer is sent back.
+    Query counting stays wherever the attack put it (its own
+    ``CountingClassifier``), so results are bit-identical to a direct
+    call; the adapter never counts anything itself.
+
+    Closing the generator early injects :class:`_SessionClosed` into the
+    pending classifier call so the helper thread unwinds promptly.
+    """
+    requests: "queue.SimpleQueue" = queue.SimpleQueue()
+    responses: "queue.SimpleQueue" = queue.SimpleQueue()
+
+    def channel_classifier(img: np.ndarray) -> np.ndarray:
+        requests.put(("query", img))
+        kind, value = responses.get()
+        if kind == "close":
+            raise _SessionClosed()
+        return value
+
+    def run() -> None:
+        try:
+            result = attack.attack(
+                channel_classifier,
+                image,
+                true_class,
+                budget=budget,
+                target_class=target_class,
+            )
+        except _SessionClosed:
+            requests.put(("closed", None))
+        except BaseException as exc:  # surface errors on the driving side
+            requests.put(("error", exc))
+        else:
+            requests.put(("done", result))
+
+    thread = threading.Thread(
+        target=run, name=f"steps:{attack.name}", daemon=True
+    )
+    thread.start()
+    awaiting_response = False
+    try:
+        while True:
+            kind, value = requests.get()
+            if kind == "done":
+                return value
+            if kind == "error":
+                raise value
+            if kind == "closed":  # pragma: no cover - close() races only
+                return None
+            awaiting_response = True
+            scores = yield Query(value)
+            awaiting_response = False
+            responses.put(("scores", scores))
+    finally:
+        if awaiting_response:
+            responses.put(("close", None))
+            thread.join(_CLOSE_JOIN_TIMEOUT)

@@ -181,6 +181,7 @@ def attack_dataset(
             run_log = executor.run_log
     log = ensure_log(run_log)
 
+    cache_stats = None
     if executor is None:
         effective = classifier
         cached = None
@@ -199,7 +200,8 @@ def attack_dataset(
                 error=result.error,
             )
         if cached is not None:
-            log.emit("cache_stats", **cached.stats())
+            cache_stats = cached.stats()
+            log.emit("cache_stats", **cache_stats)
     else:
         runner = AttackTaskRunner(
             attack, classifier, budget=budget, cache_size=cache_size
@@ -228,16 +230,16 @@ def attack_dataset(
             )
         if cache_size is not None:
             total = hits + misses
-            log.emit(
-                "cache_stats",
-                hits=hits,
-                misses=misses,
-                hit_rate=hits / total if total else 0.0,
-                scope="per-worker",
-            )
+            cache_stats = {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / total if total else 0.0,
+                "scope": "per-worker",
+            }
+            log.emit("cache_stats", **cache_stats)
 
     summary = AttackRunSummary(
         attack_name=attack.name, results=results, budget=budget
     )
-    log.emit("attack_summary", **summary.to_dict())
+    log.emit("attack_summary", cache=cache_stats, **summary.to_dict())
     return summary

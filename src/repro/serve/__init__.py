@@ -1,0 +1,60 @@
+"""Attack-as-a-service: micro-batched query serving for one-pixel attacks.
+
+The serving stack, bottom to top:
+
+- :mod:`repro.serve.broker` -- the micro-batching query broker that
+  coalesces concurrent sessions' classifier queries into batched
+  forward passes behind a shared query cache;
+- :mod:`repro.serve.sessions` -- steppable attack sessions over the
+  generator-based :meth:`~repro.attacks.base.OnePixelAttack.steps`
+  protocol, with per-session paper-faithful query accounting;
+- :mod:`repro.serve.admission` -- admission control and per-client
+  rate limiting;
+- :mod:`repro.serve.protocol` -- the JSON wire protocol;
+- :mod:`repro.serve.server` -- the asyncio HTTP front end and the
+  ``repro-serve`` entry point.
+"""
+
+from repro.serve.admission import AdmissionControl, RateLimiter, TokenBucket
+from repro.serve.broker import BatchPolicy, BrokerStopped, MicroBatchBroker
+from repro.serve.metrics import BrokerMetrics, Histogram
+from repro.serve.protocol import (
+    ATTACK_SPECS,
+    ProtocolError,
+    build_attack,
+    decode_attack_request,
+    decode_image,
+    encode_image,
+)
+from repro.serve.server import (
+    AttackServer,
+    ServeConfig,
+    ServerHandle,
+    build_classifier,
+    main,
+)
+from repro.serve.sessions import AttackSession, SessionManager
+
+__all__ = [
+    "ATTACK_SPECS",
+    "AdmissionControl",
+    "AttackServer",
+    "AttackSession",
+    "BatchPolicy",
+    "BrokerMetrics",
+    "BrokerStopped",
+    "Histogram",
+    "MicroBatchBroker",
+    "ProtocolError",
+    "RateLimiter",
+    "ServeConfig",
+    "ServerHandle",
+    "SessionManager",
+    "TokenBucket",
+    "build_attack",
+    "build_classifier",
+    "decode_attack_request",
+    "decode_image",
+    "encode_image",
+    "main",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` starts the attack service."""
+
+from repro.serve.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,148 @@
+"""Admission control and per-client rate limiting.
+
+A serving deployment has to refuse work it cannot absorb: an unbounded
+session backlog turns overload into unbounded memory growth and
+timeouts for everyone.  The server therefore gates submissions twice --
+
+- :class:`AdmissionControl` caps the number of sessions that may be
+  queued or running at once (global backpressure; excess submissions
+  get HTTP 429 with ``Retry-After``);
+- :class:`RateLimiter` applies a per-client token bucket so one noisy
+  client cannot starve the rest even below the global cap.
+
+Both are deliberately tiny, stdlib-only, and injectable with a fake
+clock for tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+
+class AdmissionControl:
+    """A bounded concurrency gate over live sessions."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._active = 0
+        self.admitted = 0
+        self.refused = 0
+
+    def try_acquire(self) -> bool:
+        """Claim a slot; ``False`` means the caller must shed the work."""
+        with self._lock:
+            if self._active >= self.capacity:
+                self.refused += 1
+                return False
+            self._active += 1
+            self.admitted += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._active > 0:
+                self._active -= 1
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "active": self._active,
+                "admitted": self.admitted,
+                "refused": self.refused,
+            }
+
+
+class TokenBucket:
+    """The standard leaky-bucket-as-meter: refill at ``rate``, cap at ``burst``."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._updated = clock()
+
+    def allow(self) -> bool:
+        now = self._clock()
+        self._tokens = min(self.burst, self._tokens + (now - self._updated) * self.rate)
+        self._updated = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+class RateLimiter:
+    """Per-client token buckets, created on first sight.
+
+    ``max_clients`` bounds the bucket table so an attacker cycling
+    client identities cannot grow it without limit; when full, the
+    stalest bucket (least recently consulted) is evicted.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 4096,
+    ):
+        if max_clients < 1:
+            raise ValueError("max_clients must be at least 1")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: "Dict[str, TokenBucket]" = {}
+        self._last_seen: "Dict[str, float]" = {}
+        self._max_clients = max_clients
+        self.allowed = 0
+        self.limited = 0
+
+    def allow(self, client: str) -> bool:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                if len(self._buckets) >= self._max_clients:
+                    stalest = min(self._last_seen, key=self._last_seen.get)
+                    self._buckets.pop(stalest, None)
+                    self._last_seen.pop(stalest, None)
+                bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+                self._buckets[client] = bucket
+            self._last_seen[client] = self._clock()
+            verdict = bucket.allow()
+            if verdict:
+                self.allowed += 1
+            else:
+                self.limited += 1
+            return verdict
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {
+                "rate": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+                "allowed": self.allowed,
+                "limited": self.limited,
+            }

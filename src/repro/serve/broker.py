@@ -1,0 +1,322 @@
+"""The micro-batching query broker.
+
+Attack sessions are pure query streams: each one repeatedly asks "score
+this image" and blocks until the answer arrives.  Served naively, every
+such query is a one-image forward pass -- the dominant cost at scale,
+since :meth:`~repro.classifier.blackbox.NetworkClassifier.batch` prices
+a whole batch close to a single image.  The broker closes that gap by
+coalescing pending queries from concurrent sessions into few, large
+batched evaluations.
+
+Batch formation follows the classic micro-batching policy: a flush
+happens as soon as ``max_batch_size`` queries are pending, or when the
+oldest pending query has waited ``max_wait`` seconds, whichever comes
+first.  ``max_wait`` bounds the latency a lone session can be charged
+for the crowd's benefit; ``max_batch_size`` bounds the model's memory.
+
+Two access modes share one evaluation core:
+
+- :meth:`evaluate` -- synchronous; scores a ready-made list of images in
+  one pass.  Used by the cooperative session scheduler and by tests: no
+  threads, fully deterministic.
+- :meth:`submit` -- thread-safe blocking call used by concurrently
+  driven sessions; a background flusher thread applies the batch policy.
+
+Both modes run every miss through a shared
+:class:`~repro.runtime.cache.QueryCache` sitting *in front of* the model
+(inside each session's counting boundary -- sessions count their own
+submissions, so a cache hit still costs the attacker a query and
+reported counts stay paper-faithful), and deduplicate identical images
+within a batch so the model scores each distinct image once.
+
+The model itself is treated as one exclusive resource (a single lock
+serializes forward passes): classifiers built on :mod:`repro.nn` are not
+thread-safe, and a real deployment's accelerator is serialized anyway.
+Batching, not concurrent model entry, is where throughput comes from.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.classifier.blackbox import batch_scores
+from repro.runtime.cache import QueryCache, image_digest
+from repro.runtime.events import RunLog, ensure_log
+from repro.serve.metrics import BrokerMetrics
+
+Classifier = Callable[[np.ndarray], np.ndarray]
+
+#: Idle wakeup period of the flusher thread (seconds): the upper bound on
+#: how stale a ``stop()`` request can go unnoticed, not a batching knob.
+_IDLE_TICK = 0.05
+
+
+class BrokerStopped(RuntimeError):
+    """Raised by :meth:`MicroBatchBroker.submit` after :meth:`stop`."""
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """When the broker closes a batch.
+
+    ``max_batch_size`` flushes on size; ``max_wait`` (seconds) flushes on
+    the age of the oldest pending query.  ``max_batch_size=1`` degrades
+    the broker to per-query dispatch -- the baseline the serving
+    benchmark measures against.
+    """
+
+    max_batch_size: int = 32
+    max_wait: float = 0.002
+
+    def __post_init__(self):
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be at least 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+
+
+class _PendingQuery:
+    """One in-flight ``submit`` awaiting its batch."""
+
+    __slots__ = ("image", "enqueued_at", "ready", "scores", "error")
+
+    def __init__(self, image: np.ndarray):
+        self.image = image
+        self.enqueued_at = time.monotonic()
+        self.ready = threading.Event()
+        self.scores: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
+class MicroBatchBroker:
+    """Coalesce concurrent classifier queries into batched evaluations.
+
+    Parameters
+    ----------
+    classifier:
+        The model to serve: any ``(H, W, 3) -> (C,)`` callable.  A native
+        ``batch`` method is used when present; otherwise the broker falls
+        back to per-image calls under the model lock (still amortizing
+        cache lookups and lock traffic, and guaranteeing bit-identical
+        scores to sequential queries).
+    policy:
+        The :class:`BatchPolicy`; defaults to batches of 32 with a 2 ms
+        wait bound.
+    cache:
+        A shared :class:`~repro.runtime.cache.QueryCache`; pass ``None``
+        to disable caching, or an integer-sized cache built by the
+        caller to share across brokers.
+    run_log:
+        Optional telemetry sink; every flush emits a ``broker_flush``
+        event and :meth:`stop` emits a ``broker_summary``.
+    """
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        policy: Optional[BatchPolicy] = None,
+        cache: Optional[QueryCache] = None,
+        run_log: Optional[RunLog] = None,
+    ):
+        self.classifier = classifier
+        self.policy = policy if policy is not None else BatchPolicy()
+        self.cache = cache
+        self.run_log = ensure_log(run_log)
+        self.metrics = BrokerMetrics()
+        self._cache_lock = threading.Lock()
+        self._model_lock = threading.Lock()
+        self._cond = threading.Condition(threading.Lock())
+        self._pending: List[_PendingQuery] = []
+        self._flusher: Optional[threading.Thread] = None
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # synchronous core
+    # ------------------------------------------------------------------
+
+    def evaluate(self, images: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Score ``images`` in one coalesced evaluation.
+
+        Cache hits are served from memory, identical images are scored
+        once, and the remaining unique misses go to the model as a
+        single batch.  Returns one float64 score vector per input, in
+        input order.
+        """
+        images = list(images)
+        if not images:
+            return []
+        keys = [image_digest(image) for image in images]
+        scores: List[Optional[np.ndarray]] = [None] * len(images)
+        unique_keys: List[bytes] = []
+        unique_images: List[np.ndarray] = []
+        seen: Dict[bytes, int] = {}
+        with self._cache_lock:
+            for position, key in enumerate(keys):
+                if self.cache is not None:
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        scores[position] = np.asarray(hit, dtype=np.float64)
+                        continue
+                if key not in seen:
+                    seen[key] = len(unique_images)
+                    unique_keys.append(key)
+                    unique_images.append(images[position])
+        duplicates = sum(
+            1 for position, key in enumerate(keys)
+            if scores[position] is None and key in seen
+        ) - len(unique_images)
+        if unique_images:
+            with self._model_lock:
+                fresh = np.asarray(
+                    batch_scores(self.classifier, unique_images), dtype=np.float64
+                )
+            with self._cache_lock:
+                if self.cache is not None:
+                    for key, row in zip(unique_keys, fresh):
+                        self.cache.put(key, row)
+        for position, key in enumerate(keys):
+            if scores[position] is None:
+                scores[position] = np.array(fresh[seen[key]], copy=True)
+        self.metrics.record_flush(
+            batch=len(images), model_batch=len(unique_images), duplicates=duplicates
+        )
+        self.run_log.emit(
+            "broker_flush",
+            batch=len(images),
+            model_batch=len(unique_images),
+            duplicates=duplicates,
+            cached=len(images) - len(unique_images) - duplicates,
+        )
+        return scores
+
+    # ------------------------------------------------------------------
+    # threaded service
+    # ------------------------------------------------------------------
+
+    def start(self) -> "MicroBatchBroker":
+        """Start the background flusher; idempotent."""
+        with self._cond:
+            if self._running:
+                return self
+            self._running = True
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="broker-flusher", daemon=True
+        )
+        self._flusher.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the flusher and fail any still-pending submits."""
+        with self._cond:
+            if not self._running:
+                return
+            self._running = False
+            leftovers = list(self._pending)
+            self._pending.clear()
+            self._cond.notify_all()
+        for query in leftovers:
+            query.error = BrokerStopped("broker stopped with queries pending")
+            query.ready.set()
+        if self._flusher is not None:
+            self._flusher.join(timeout=5.0)
+            self._flusher = None
+        self.run_log.emit("broker_summary", **self.stats())
+
+    def __enter__(self) -> "MicroBatchBroker":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def submit(self, image: np.ndarray) -> np.ndarray:
+        """Score one image, blocking until its batch is evaluated.
+
+        Thread-safe; meant to be called from session-driving threads.
+        Cache hits are resolved at flush time through the same
+        :meth:`evaluate` core, so hit/miss statistics count each logical
+        query exactly once.
+        """
+        with self._cond:
+            if not self._running:
+                self.metrics.record_rejected()
+                raise BrokerStopped("submit on a broker that is not running")
+            query = _PendingQuery(image)
+            self._pending.append(query)
+            # wake the flusher when the batch fills, and on the first
+            # query of a batch so its max_wait timer starts immediately
+            # (instead of whenever the idle tick next expires)
+            if (
+                len(self._pending) == 1
+                or len(self._pending) >= self.policy.max_batch_size
+            ):
+                self._cond.notify_all()
+        self.metrics.record_submit()
+        query.ready.wait()
+        if query.error is not None:
+            raise query.error
+        return query.scores
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    def _flush_loop(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._flush(batch)
+
+    def _next_batch(self) -> Optional[List[_PendingQuery]]:
+        """Block until the policy closes a batch; ``None`` on shutdown."""
+        with self._cond:
+            while True:
+                if not self._running:
+                    return None
+                if not self._pending:
+                    self._cond.wait(_IDLE_TICK)
+                    continue
+                if len(self._pending) >= self.policy.max_batch_size:
+                    break
+                age = time.monotonic() - self._pending[0].enqueued_at
+                remaining = self.policy.max_wait - age
+                if remaining <= 0:
+                    break
+                self._cond.wait(min(remaining, _IDLE_TICK))
+            size = min(len(self._pending), self.policy.max_batch_size)
+            batch = self._pending[:size]
+            del self._pending[:size]
+            return batch
+
+    def _flush(self, batch: List[_PendingQuery]) -> None:
+        try:
+            scores = self.evaluate([query.image for query in batch])
+        except BaseException as exc:  # propagate to every waiter
+            for query in batch:
+                query.error = exc
+                query.ready.set()
+            return
+        for query, row in zip(batch, scores):
+            query.scores = row
+            query.ready.set()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict:
+        """JSON-safe snapshot for ``/metrics`` and run summaries."""
+        snapshot = self.metrics.snapshot()
+        snapshot["queue_depth"] = self.queue_depth
+        snapshot["policy"] = {
+            "max_batch_size": self.policy.max_batch_size,
+            "max_wait": self.policy.max_wait,
+        }
+        snapshot["cache"] = self.cache.stats() if self.cache is not None else None
+        return snapshot

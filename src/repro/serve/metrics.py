@@ -1,0 +1,113 @@
+"""Thread-safe serving metrics.
+
+The serving layer's observable state -- how well micro-batching is
+coalescing queries, how deep the broker's queue runs, how often the
+cache answers -- lives here as plain counters and histograms, snapshotted
+into JSON-safe dicts for the ``/metrics`` endpoint and for
+:class:`~repro.runtime.events.RunLog` summaries.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Sequence, Tuple
+
+
+class Histogram:
+    """A fixed-bucket histogram of non-negative observations.
+
+    Buckets are cumulative-free ("how many observations landed in this
+    range"), with an overflow bucket above the last bound.  The default
+    bounds are powers of two, matching the batch sizes a doubling
+    coalescing policy produces.
+    """
+
+    DEFAULT_BOUNDS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+    def __init__(self, bounds: Sequence[int] = DEFAULT_BOUNDS):
+        bounds = tuple(sorted(bounds))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._counts[position] += 1
+                return
+        self._counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def snapshot(self) -> Dict:
+        buckets = {}
+        lower = 0
+        for position, bound in enumerate(self.bounds):
+            label = f"{lower + 1}-{bound}" if bound != lower + 1 else f"{bound}"
+            buckets[label] = self._counts[position]
+            lower = bound
+        buckets[f">{self.bounds[-1]}"] = self._counts[-1]
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max,
+            "buckets": buckets,
+        }
+
+
+class BrokerMetrics:
+    """Counters describing one broker's lifetime.
+
+    ``batch_sizes`` observes the number of queries answered per flush
+    (what micro-batching achieved); ``model_batch_sizes`` observes the
+    number of *unique, uncached* images actually sent to the model per
+    flush (what the model paid).  The gap between the two is the win
+    from caching plus intra-batch deduplication.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.batch_sizes = Histogram()
+        self.model_batch_sizes = Histogram()
+        self.submitted = 0  # queries entering the broker
+        self.flushes = 0  # batched evaluations performed
+        self.coalesced_duplicates = 0  # intra-batch repeats served once
+        self.rejected = 0  # submits refused (broker stopped)
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_flush(self, batch: int, model_batch: int, duplicates: int) -> None:
+        with self._lock:
+            self.flushes += 1
+            self.batch_sizes.observe(batch)
+            self.model_batch_sizes.observe(model_batch)
+            self.coalesced_duplicates += duplicates
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "flushes": self.flushes,
+                "coalesced_duplicates": self.coalesced_duplicates,
+                "rejected": self.rejected,
+                "batch_sizes": self.batch_sizes.snapshot(),
+                "model_batch_sizes": self.model_batch_sizes.snapshot(),
+            }

@@ -1,0 +1,194 @@
+"""The JSON wire protocol of the attack service.
+
+Requests and responses are plain JSON so any HTTP client (curl, a
+browser, the load generator in ``examples/serve_clients.py``) can drive
+the service.  This module owns the translation between wire payloads
+and typed objects -- image decoding with strict validation, attack
+construction from a named spec, and JSON-safe result encoding -- so the
+HTTP layer stays a thin router.
+
+An attack submission looks like::
+
+    {
+      "attack": "fixed",            // see ATTACK_SPECS
+      "image": [[[0.1, 0.2, 0.3], ...], ...],   // (H, W, 3) floats in [0, 1]
+      "true_class": 3,
+      "budget": 512,                // optional
+      "target_class": null,         // optional
+      "params": {"seed": 7}         // optional, attack-specific
+    }
+
+Errors raise :class:`ProtocolError` carrying the HTTP status to return.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.attacks.base import OnePixelAttack
+from repro.attacks.fixed_sketch import FixedSketchAttack
+from repro.attacks.random_search import UniformRandomAttack, UniformRandomConfig
+from repro.attacks.sketch_attack import SketchAttack
+from repro.attacks.sparse_rs import SparseRS, SparseRSConfig
+from repro.attacks.su_opa import SuOPA, SuOPAConfig
+from repro.core.dsl.ast import Program
+
+#: Hard cap on accepted image pixels (H * W); keeps a hostile payload
+#: from allocating unbounded memory before validation can reject it.
+MAX_IMAGE_PIXELS = 256 * 256
+
+
+class ProtocolError(Exception):
+    """A malformed or unacceptable request, with its HTTP status."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def _build_sketch(params: Dict) -> OnePixelAttack:
+    program_payload = params.get("program")
+    if program_payload is None:
+        raise ProtocolError(
+            "attack 'sketch' requires params.program (a serialized program); "
+            "use attack 'fixed' for the zero-cost fixed prioritization"
+        )
+    try:
+        program = Program.from_dict(program_payload)
+    except Exception as exc:
+        raise ProtocolError(f"invalid program payload: {exc}") from exc
+    return SketchAttack(program)
+
+
+def _build_random(params: Dict) -> OnePixelAttack:
+    return UniformRandomAttack(UniformRandomConfig(seed=int(params.get("seed", 0))))
+
+
+def _build_su_opa(params: Dict) -> OnePixelAttack:
+    kwargs = {"seed": int(params.get("seed", 0))}
+    if "population_size" in params:
+        kwargs["population_size"] = int(params["population_size"])
+    if "max_generations" in params:
+        kwargs["max_generations"] = int(params["max_generations"])
+    try:
+        return SuOPA(SuOPAConfig(**kwargs))
+    except ValueError as exc:
+        raise ProtocolError(f"invalid su-opa params: {exc}") from exc
+
+
+def _build_sparse_rs(params: Dict) -> OnePixelAttack:
+    return SparseRS(SparseRSConfig(seed=int(params.get("seed", 0))))
+
+
+#: Wire names -> attack factories.  ``fixed`` is the paper's zero-cost
+#: Sketch+False baseline and the serving default.
+ATTACK_SPECS: Dict[str, Callable[[Dict], OnePixelAttack]] = {
+    "fixed": lambda params: FixedSketchAttack(),
+    "sketch": _build_sketch,
+    "random": _build_random,
+    "su-opa": _build_su_opa,
+    "sparse-rs": _build_sparse_rs,
+}
+
+
+def build_attack(name: str, params: Optional[Dict] = None) -> OnePixelAttack:
+    """Instantiate the attack a request names."""
+    params = params or {}
+    if not isinstance(params, dict):
+        raise ProtocolError("params must be an object")
+    try:
+        factory = ATTACK_SPECS[name]
+    except KeyError:
+        raise ProtocolError(
+            f"unknown attack {name!r}; available: {sorted(ATTACK_SPECS)}"
+        ) from None
+    return factory(params)
+
+
+def decode_image(payload) -> np.ndarray:
+    """Nested JSON lists -> validated (H, W, 3) float64 image in [0, 1]."""
+    try:
+        image = np.asarray(payload, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"image is not a numeric array: {exc}") from exc
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ProtocolError(f"image must be (H, W, 3), got shape {image.shape}")
+    if image.shape[0] * image.shape[1] > MAX_IMAGE_PIXELS:
+        raise ProtocolError(
+            f"image exceeds the {MAX_IMAGE_PIXELS}-pixel service limit", status=413
+        )
+    if not np.all(np.isfinite(image)):
+        raise ProtocolError("image contains non-finite values")
+    if image.min() < 0.0 or image.max() > 1.0:
+        raise ProtocolError("image values must lie in [0, 1]")
+    return image
+
+
+def encode_image(image: np.ndarray):
+    """(H, W, 3) array -> nested JSON lists."""
+    return np.asarray(image, dtype=np.float64).tolist()
+
+
+class AttackRequest:
+    """A validated attack submission."""
+
+    def __init__(
+        self,
+        attack_name: str,
+        attack: OnePixelAttack,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int],
+        target_class: Optional[int],
+    ):
+        self.attack_name = attack_name
+        self.attack = attack
+        self.image = image
+        self.true_class = true_class
+        self.budget = budget
+        self.target_class = target_class
+
+
+def _optional_int(payload: Dict, key: str, minimum: int) -> Optional[int]:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{key} must be an integer")
+    if value < minimum:
+        raise ProtocolError(f"{key} must be >= {minimum}")
+    return value
+
+
+def decode_attack_request(payload) -> AttackRequest:
+    """Parse and validate one ``POST /attacks`` JSON body."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("request body must be a JSON object")
+    name = payload.get("attack", "fixed")
+    if not isinstance(name, str):
+        raise ProtocolError("attack must be a string")
+    if "image" not in payload:
+        raise ProtocolError("missing required field: image")
+    image = decode_image(payload["image"])
+    if "true_class" not in payload:
+        raise ProtocolError("missing required field: true_class")
+    true_class = payload["true_class"]
+    if isinstance(true_class, bool) or not isinstance(true_class, int):
+        raise ProtocolError("true_class must be an integer")
+    if true_class < 0:
+        raise ProtocolError("true_class must be non-negative")
+    budget = _optional_int(payload, "budget", minimum=0)
+    target_class = _optional_int(payload, "target_class", minimum=0)
+    if target_class is not None and target_class == true_class:
+        raise ProtocolError("target_class must differ from true_class")
+    attack = build_attack(name, payload.get("params"))
+    return AttackRequest(
+        attack_name=name,
+        attack=attack,
+        image=image,
+        true_class=true_class,
+        budget=budget,
+        target_class=target_class,
+    )

@@ -1,0 +1,427 @@
+"""The asyncio HTTP front end of the attack service.
+
+A deliberately small HTTP/1.1 server (stdlib only -- ``asyncio`` streams
+plus hand-rolled request parsing) exposing the serving stack as JSON
+endpoints:
+
+========================  =====================================================
+``POST /attacks``         submit an attack (see :mod:`repro.serve.protocol`);
+                          returns ``202`` with the session id, ``429`` when
+                          admission control or the per-client rate limiter
+                          sheds the request
+``GET /attacks``          recent sessions, newest first
+``GET /attacks/{id}``     one session's status and (when done) its result
+``GET /models``           architectures from :mod:`repro.models.registry`
+                          plus the toy model, flagging which one is serving
+``GET /healthz``          liveness
+``GET /metrics``          broker batch-size histograms, queue depth, cache
+                          hit rate, per-session query counts, admission and
+                          rate-limit counters
+========================  =====================================================
+
+Request handlers never block on model work: ``POST /attacks`` hands the
+session to the :class:`~repro.serve.sessions.SessionManager`'s worker
+pool and returns immediately; clients poll ``GET /attacks/{id}``.  Every
+response closes the connection -- the protocol is strictly one request
+per connection, which keeps the parser honest and is plenty for a
+polling workload.
+
+:class:`ServerHandle` runs the event loop on a background thread so
+tests, the CI smoke check, and :mod:`examples.serve_clients` can start a
+real server in-process and talk to it over a loopback socket.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.classifier.blackbox import NetworkClassifier
+from repro.classifier.toy import SmoothLinearClassifier
+from repro.models.registry import ARCHITECTURES, build_model
+from repro.runtime.cache import QueryCache
+from repro.runtime.events import RunLog, ensure_log
+from repro.serve.admission import AdmissionControl, RateLimiter
+from repro.serve.broker import BatchPolicy, MicroBatchBroker
+from repro.serve.protocol import ProtocolError, decode_attack_request
+from repro.serve.sessions import SessionManager
+
+#: Request bodies above this size are rejected with 413 before parsing.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+@dataclass
+class ServeConfig:
+    """Everything needed to assemble a serving stack."""
+
+    host: str = "127.0.0.1"
+    port: int = 8871
+    model: str = "toy"  # "toy" or a registry architecture name
+    height: int = 8
+    width: int = 8
+    num_classes: int = 4
+    seed: int = 0
+    max_batch_size: int = 32
+    max_wait: float = 0.002
+    cache_size: int = 4096
+    max_sessions: int = 64
+    max_workers: int = 16
+    rate: float = 50.0  # per-client submissions per second
+    burst: float = 20.0
+    log_path: Optional[str] = None
+
+
+def build_classifier(config: ServeConfig):
+    """The model a config names: toy by default, registry otherwise."""
+    shape = (config.height, config.width, 3)
+    if config.model == "toy":
+        return SmoothLinearClassifier(
+            image_shape=shape, num_classes=config.num_classes, seed=config.seed
+        )
+    model = build_model(config.model, num_classes=config.num_classes, seed=config.seed)
+    return NetworkClassifier(model)
+
+
+class AttackServer:
+    """The assembled serving stack behind the HTTP routes."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.run_log = ensure_log(
+            RunLog(config.log_path) if config.log_path else None
+        )
+        self.classifier = build_classifier(config)
+        self.cache = QueryCache(config.cache_size) if config.cache_size else None
+        self.broker = MicroBatchBroker(
+            self.classifier,
+            policy=BatchPolicy(
+                max_batch_size=config.max_batch_size, max_wait=config.max_wait
+            ),
+            cache=self.cache,
+            run_log=self.run_log,
+        )
+        self.sessions = SessionManager(
+            self.broker, max_workers=config.max_workers, run_log=self.run_log
+        )
+        self.admission = AdmissionControl(config.max_sessions)
+        self.rate_limiter = RateLimiter(rate=config.rate, burst=config.burst)
+
+    def start(self) -> None:
+        self.broker.start()
+
+    def stop(self) -> None:
+        self.sessions.shutdown()
+        self.broker.stop()
+        self.run_log.close()
+
+    # ------------------------------------------------------------------
+    # route handlers: (status, payload)
+    # ------------------------------------------------------------------
+
+    def handle_submit(self, body: bytes, client: str) -> Tuple[int, Dict]:
+        if not self.rate_limiter.allow(client):
+            return 429, {"error": "rate limit exceeded", "retry_after": 1}
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+        try:
+            request = decode_attack_request(payload)
+        except ProtocolError as exc:
+            return exc.status, {"error": str(exc)}
+        if not self.admission.try_acquire():
+            return 429, {
+                "error": "server at capacity",
+                "active_sessions": self.admission.active,
+                "retry_after": 1,
+            }
+        session = self.sessions.create(
+            request.attack,
+            request.image,
+            request.true_class,
+            budget=request.budget,
+            target_class=request.target_class,
+            client=client,
+        )
+        future = self.sessions.start(session)
+        future.add_done_callback(lambda _: self.admission.release())
+        return 202, {"id": session.session_id, "state": session.state}
+
+    def handle_get_session(self, session_id: str) -> Tuple[int, Dict]:
+        session = self.sessions.get(session_id)
+        if session is None:
+            return 404, {"error": f"no such session: {session_id}"}
+        return 200, session.to_dict()
+
+    def handle_list_sessions(self) -> Tuple[int, Dict]:
+        return 200, {"sessions": self.sessions.list_sessions()}
+
+    def handle_models(self) -> Tuple[int, Dict]:
+        models = [
+            {
+                "name": "toy",
+                "kind": "toy",
+                "description": "SmoothLinearClassifier with locality structure",
+            }
+        ]
+        for name in sorted(ARCHITECTURES):
+            models.append(
+                {
+                    "name": name,
+                    "kind": "network",
+                    "description": ARCHITECTURES[name].__name__,
+                }
+            )
+        for entry in models:
+            entry["serving"] = entry["name"] == self.config.model
+        return 200, {"models": models}
+
+    def handle_metrics(self) -> Tuple[int, Dict]:
+        return 200, {
+            "broker": self.broker.stats(),
+            "sessions": {
+                "states": self.sessions.states(),
+                "active": self.sessions.active_count(),
+                "query_counts": self.sessions.query_counts(),
+            },
+            "admission": self.admission.stats(),
+            "rate_limiter": self.rate_limiter.stats(),
+        }
+
+    def route(self, method: str, path: str, body: bytes, client: str):
+        if path == "/healthz" and method == "GET":
+            return 200, {"status": "ok", "model": self.config.model}
+        if path == "/metrics" and method == "GET":
+            return self.handle_metrics()
+        if path == "/models" and method == "GET":
+            return self.handle_models()
+        if path == "/attacks" and method == "POST":
+            return self.handle_submit(body, client)
+        if path == "/attacks" and method == "GET":
+            return self.handle_list_sessions()
+        if path.startswith("/attacks/") and method == "GET":
+            return self.handle_get_session(path[len("/attacks/"):])
+        if path in ("/healthz", "/metrics", "/models", "/attacks") or path.startswith(
+            "/attacks/"
+        ):
+            return 405, {"error": f"method {method} not allowed on {path}"}
+        return 404, {"error": f"no such endpoint: {path}"}
+
+
+def _response_bytes(status: int, payload: Dict, extra_headers: Dict = None) -> bytes:
+    body = json.dumps(payload).encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for key, value in (extra_headers or {}).items():
+        headers.append(f"{key}: {value}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + body
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Tuple[str, str, Dict[str, str], bytes]:
+    """Parse one HTTP/1.1 request: (method, path, headers, body)."""
+    request_line = await reader.readline()
+    if not request_line:
+        raise ConnectionError("empty request")
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise ProtocolError("malformed request line")
+    method, target, _version = parts
+    path = target.split("?", 1)[0]
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError("request body too large", status=413)
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, headers, body
+
+
+async def _handle_connection(
+    server: AttackServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        try:
+            method, path, headers, body = await _read_request(reader)
+        except ProtocolError as exc:
+            writer.write(_response_bytes(exc.status, {"error": str(exc)}))
+            await writer.drain()
+            return
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            return
+        peer = writer.get_extra_info("peername")
+        client = headers.get("x-client-id") or (peer[0] if peer else "unknown")
+        try:
+            status, payload = server.route(method, path, body, client)
+        except Exception as exc:  # route bugs must not kill the server
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        extra = {"Retry-After": payload["retry_after"]} if status == 429 else None
+        writer.write(_response_bytes(status, payload, extra))
+        await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def serve(server: AttackServer) -> None:
+    """Run the server in the current event loop until cancelled."""
+    server.start()
+    tcp = await asyncio.start_server(
+        lambda r, w: _handle_connection(server, r, w),
+        host=server.config.host,
+        port=server.config.port,
+    )
+    try:
+        async with tcp:
+            await tcp.serve_forever()
+    finally:
+        server.stop()
+
+
+class ServerHandle:
+    """A server running on a background thread, for in-process use.
+
+    ``port=0`` binds an ephemeral port; read the resolved address from
+    :attr:`address` after :meth:`start` returns.
+    """
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self.server = AttackServer(config)
+        self.address: Optional[Tuple[str, int]] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._tcp = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    def start(self) -> "ServerHandle":
+        self._thread = threading.Thread(
+            target=self._run, name="serve-http", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("server failed to start within 10s")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def boot():
+            self.server.start()
+            self._tcp = await asyncio.start_server(
+                lambda r, w: _handle_connection(self.server, r, w),
+                host=self.config.host,
+                port=self.config.port,
+            )
+            self.address = self._tcp.sockets[0].getsockname()[:2]
+            self._ready.set()
+
+        try:
+            self._loop.run_until_complete(boot())
+            self._loop.run_forever()
+        finally:
+            self._ready.set()  # unblock start() even on boot failure
+            if self._tcp is not None:
+                self._tcp.close()
+                self._loop.run_until_complete(self._tcp.wait_closed())
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.server.stop()
+
+    def __enter__(self) -> "ServerHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve one-pixel attacks over HTTP with micro-batched queries",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8871)
+    parser.add_argument(
+        "--model",
+        default="toy",
+        choices=["toy"] + sorted(ARCHITECTURES),
+        help="model to serve (default: toy SmoothLinearClassifier)",
+    )
+    parser.add_argument("--height", type=int, default=8)
+    parser.add_argument("--width", type=int, default=8)
+    parser.add_argument("--classes", type=int, default=4, dest="num_classes")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--batch-size", type=int, default=32, dest="max_batch_size")
+    parser.add_argument(
+        "--max-wait",
+        type=float,
+        default=0.002,
+        help="seconds the oldest pending query may wait before a flush",
+    )
+    parser.add_argument(
+        "--cache", type=int, default=4096, dest="cache_size",
+        help="query-cache entries (0 disables caching)",
+    )
+    parser.add_argument("--max-sessions", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=16, dest="max_workers")
+    parser.add_argument("--rate", type=float, default=50.0)
+    parser.add_argument("--burst", type=float, default=20.0)
+    parser.add_argument("--log", default=None, dest="log_path",
+                        help="JSONL telemetry file")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    config = ServeConfig(**vars(args))
+    server = AttackServer(config)
+    print(
+        f"repro-serve: {config.model} on http://{config.host}:{config.port} "
+        f"(batch<={config.max_batch_size}, wait<={config.max_wait * 1000:.1f}ms)"
+    )
+    try:
+        asyncio.run(serve(server))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

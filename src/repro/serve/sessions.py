@@ -1,0 +1,344 @@
+"""Attack sessions: steppable attacks with lifecycle and accounting.
+
+A session wraps one ``(attack, image, true_class)`` job around the
+generator-based :meth:`~repro.attacks.base.OnePixelAttack.steps`
+protocol: instead of calling a classifier, the attack *yields* queries,
+and whoever drives the session decides how those queries are executed.
+That inversion is what lets the :class:`SessionManager` interleave many
+sessions over one :class:`~repro.serve.broker.MicroBatchBroker` so their
+queries coalesce into batched forward passes.
+
+Query accounting is per-session and paper-faithful: a session counts
+exactly the queries its attack marks ``counted`` (the sketch's clean-
+image probe is not an attack submission), at pose time, mirroring
+:class:`~repro.classifier.blackbox.CountingClassifier`.  The final
+``AttackResult.queries`` from the attack's own internal accounting must
+agree -- a pinned invariant.
+
+Two drive strategies:
+
+- :meth:`SessionManager.run_cooperative` -- lock-step rounds: every
+  active session contributes its pending query, the whole round is
+  evaluated as one batch, every session advances.  Single-threaded and
+  deterministic; batch size equals the number of live sessions.
+- :meth:`SessionManager.start` -- one driving thread per session,
+  queries funneled through ``broker.submit`` where the batch policy
+  coalesces them.  This is what the HTTP server uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks.base import AttackResult, OnePixelAttack
+from repro.core.stepping import Query
+from repro.runtime.events import RunLog, ensure_log
+from repro.serve.broker import MicroBatchBroker
+
+#: Session lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: Finished sessions kept for polling before the manager forgets them.
+DEFAULT_HISTORY = 1024
+
+
+class AttackSession:
+    """One attack in flight, driven query by query.
+
+    Not thread-safe on its own: a session is only ever advanced by a
+    single driver (one executor thread, or the cooperative loop).
+    Reads of ``state``/``queries`` from other threads (the ``/metrics``
+    endpoint) see a consistent-enough snapshot since both are plain
+    attribute writes.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        attack: OnePixelAttack,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        target_class: Optional[int] = None,
+        client: Optional[str] = None,
+    ):
+        self.session_id = session_id
+        self.attack = attack
+        self.image = image
+        self.true_class = true_class
+        self.budget = budget
+        self.target_class = target_class
+        self.client = client
+        self.state = QUEUED
+        self.queries = 0  # counted submissions posed so far
+        self.result: Optional[AttackResult] = None
+        self.error: Optional[str] = None
+        self.created_at = time.time()
+        self.finished_at: Optional[float] = None
+        self.pending: Optional[Query] = None
+        self._steps = None
+
+    def start(self) -> Optional[Query]:
+        """Prime the attack generator; returns the first query (if any)."""
+        if self.state != QUEUED:
+            raise RuntimeError(f"session {self.session_id} already {self.state}")
+        self.state = RUNNING
+        self._steps = self.attack.steps(
+            self.image,
+            self.true_class,
+            budget=self.budget,
+            target_class=self.target_class,
+        )
+        return self._resume(lambda: next(self._steps))
+
+    def advance(self, scores: np.ndarray) -> Optional[Query]:
+        """Answer the pending query; returns the next one (if any)."""
+        if self.state != RUNNING or self.pending is None:
+            raise RuntimeError(f"session {self.session_id} has no pending query")
+        return self._resume(lambda: self._steps.send(scores))
+
+    def _resume(self, step) -> Optional[Query]:
+        try:
+            query = step()
+        except StopIteration as stop:
+            self.pending = None
+            self._finish(stop.value)
+            return None
+        except BaseException as exc:
+            self.pending = None
+            self.fail(exc)
+            raise
+        self.pending = query
+        if query.counted:
+            self.queries += 1
+        return query
+
+    def _finish(self, result: AttackResult) -> None:
+        self.result = result
+        self.state = DONE
+        self.finished_at = time.time()
+
+    def fail(self, exc: BaseException) -> None:
+        """Record an abnormal end (driver error, broker shutdown)."""
+        if self.state in (DONE, FAILED):
+            return
+        self.state = FAILED
+        self.error = f"{type(exc).__name__}: {exc}"
+        self.finished_at = time.time()
+        if self._steps is not None:
+            self._steps.close()
+
+    def close(self) -> None:
+        """Abandon the session, releasing generator resources."""
+        if self.state == RUNNING:
+            self.fail(RuntimeError("session closed"))
+
+    def to_dict(self) -> Dict:
+        """JSON-safe status view for the HTTP API."""
+        payload: Dict = {
+            "id": self.session_id,
+            "attack": self.attack.name,
+            "state": self.state,
+            "queries": self.queries,
+            "budget": self.budget,
+            "created_at": self.created_at,
+        }
+        if self.finished_at is not None:
+            payload["finished_at"] = self.finished_at
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.result is not None:
+            result = self.result
+            payload["result"] = {
+                "success": result.success,
+                "queries": result.queries,
+                "location": list(result.location) if result.location else None,
+                "perturbation": (
+                    None
+                    if result.perturbation is None
+                    else np.asarray(result.perturbation, dtype=np.float64).tolist()
+                ),
+                "adversarial_class": result.adversarial_class,
+                "error": result.error,
+            }
+        return payload
+
+
+class SessionManager:
+    """Create, drive, and track attack sessions over one broker."""
+
+    def __init__(
+        self,
+        broker: MicroBatchBroker,
+        max_workers: int = 16,
+        run_log: Optional[RunLog] = None,
+        history: int = DEFAULT_HISTORY,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if history < 0:
+            raise ValueError("history must be non-negative")
+        self.broker = broker
+        self.run_log = ensure_log(run_log)
+        self._lock = threading.Lock()
+        self._sessions: "Dict[str, AttackSession]" = {}
+        self._finished_order: List[str] = []
+        self._history = history
+        self._ids = itertools.count(1)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="session"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        attack: OnePixelAttack,
+        image: np.ndarray,
+        true_class: int,
+        budget: Optional[int] = None,
+        target_class: Optional[int] = None,
+        client: Optional[str] = None,
+    ) -> AttackSession:
+        with self._lock:
+            session_id = f"s{next(self._ids)}"
+            session = AttackSession(
+                session_id,
+                attack,
+                image,
+                true_class,
+                budget=budget,
+                target_class=target_class,
+                client=client,
+            )
+            self._sessions[session_id] = session
+        self.run_log.emit(
+            "session_created",
+            session=session_id,
+            attack=attack.name,
+            budget=budget,
+            client=client,
+        )
+        return session
+
+    def get(self, session_id: str) -> Optional[AttackSession]:
+        with self._lock:
+            return self._sessions.get(session_id)
+
+    def start(self, session: AttackSession) -> Future:
+        """Drive the session to completion on a worker thread."""
+        return self._executor.submit(self.drive, session)
+
+    def drive(self, session: AttackSession) -> AttackSession:
+        """Run one session against the broker, blocking until it ends."""
+        try:
+            request = session.start()
+            while request is not None:
+                scores = self.broker.submit(request.image)
+                request = session.advance(scores)
+        except Exception as exc:
+            session.fail(exc)
+        finally:
+            self._retire(session)
+        return session
+
+    def run_cooperative(
+        self, sessions: Sequence[AttackSession]
+    ) -> List[AttackSession]:
+        """Drive sessions in deterministic lock-step rounds.
+
+        Each round gathers every active session's pending query into one
+        list, scores the whole round through
+        :meth:`~repro.serve.broker.MicroBatchBroker.evaluate`, and
+        advances each session with its answer.  Single-threaded: results
+        are bit-identical to driving each attack alone, and the batch
+        size is the number of concurrently live sessions.
+        """
+        active: List[AttackSession] = []
+        for session in sessions:
+            if session.start() is not None:
+                active.append(session)
+            else:
+                self._retire(session)
+        while active:
+            answers = self.broker.evaluate(
+                [session.pending.image for session in active]
+            )
+            still: List[AttackSession] = []
+            for session, scores in zip(active, answers):
+                try:
+                    request = session.advance(scores)
+                except Exception:
+                    request = None  # session already failed in advance()
+                if request is not None:
+                    still.append(session)
+                else:
+                    self._retire(session)
+            active = still
+        return list(sessions)
+
+    def shutdown(self) -> None:
+        """Stop accepting work and release executor threads."""
+        self._executor.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _retire(self, session: AttackSession) -> None:
+        self.run_log.emit(
+            "session_end",
+            session=session.session_id,
+            attack=session.attack.name,
+            state=session.state,
+            queries=session.queries,
+            success=None if session.result is None else session.result.success,
+            error=session.error,
+        )
+        with self._lock:
+            self._finished_order.append(session.session_id)
+            while len(self._finished_order) > self._history:
+                stale = self._finished_order.pop(0)
+                self._sessions.pop(stale, None)
+
+    def active_count(self) -> int:
+        with self._lock:
+            return sum(
+                1
+                for session in self._sessions.values()
+                if session.state in (QUEUED, RUNNING)
+            )
+
+    def states(self) -> Dict[str, int]:
+        """How many sessions sit in each lifecycle state."""
+        with self._lock:
+            totals: Dict[str, int] = {}
+            for session in self._sessions.values():
+                totals[session.state] = totals.get(session.state, 0) + 1
+            return totals
+
+    def query_counts(self) -> Dict[str, int]:
+        """Per-session counted submissions, for ``/metrics``."""
+        with self._lock:
+            return {
+                session_id: session.queries
+                for session_id, session in self._sessions.items()
+            }
+
+    def list_sessions(self, limit: int = 100) -> List[Dict]:
+        with self._lock:
+            sessions = sorted(
+                self._sessions.values(), key=lambda s: s.created_at, reverse=True
+            )[:limit]
+        return [session.to_dict() for session in sessions]

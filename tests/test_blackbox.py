@@ -5,6 +5,7 @@ import pytest
 
 from repro.classifier.blackbox import (
     CountingClassifier,
+    batch_scores,
     NetworkClassifier,
     QueryBudgetExceeded,
 )
@@ -126,3 +127,76 @@ class TestNetworkClassifier:
             classifier(np.zeros((8, 8)))
         with pytest.raises(ValueError):
             classifier.batch(np.zeros((2, 8, 8)))
+
+    def test_empty_batch_no_model_call(self):
+        """(0, H, W, 3) must short-circuit: zero-length batches can crash
+        pooling layers, and there is nothing to compute anyway."""
+        model = MiniVGG(num_classes=3, stage_channels=(4,), seed=5)
+        classifier = NetworkClassifier(model)
+        calls = []
+        model.__call__ = lambda *a, **k: calls.append(1)  # would blow up
+
+        empty = classifier.batch(np.zeros((0, 8, 8, 3)))
+        assert empty.shape == (0, 0)  # class count unknown before any query
+        assert calls == []
+
+    def test_empty_batch_knows_width_after_first_query(self):
+        model = MiniVGG(num_classes=3, stage_channels=(4,), seed=6)
+        classifier = NetworkClassifier(model)
+        classifier(np.random.default_rng(6).uniform(size=(8, 8, 3)))
+        assert classifier.batch(np.zeros((0, 8, 8, 3))).shape == (0, 3)
+
+
+class TestBatchScores:
+    def test_fallback_is_bit_identical(self, toy):
+        """Classifiers without .batch get the per-image loop, whose rows
+        exactly equal sequential single-image calls."""
+        assert not hasattr(toy, "batch")
+        images = [np.random.default_rng(s).uniform(size=(4, 4, 3)) for s in range(4)]
+        stacked = batch_scores(toy, images)
+        for image, row in zip(images, stacked):
+            assert np.array_equal(row, toy(image))
+
+    def test_native_batch_preferred(self):
+        model = MiniVGG(num_classes=3, stage_channels=(4,), seed=7)
+        classifier = NetworkClassifier(model)
+        images = np.random.default_rng(7).uniform(size=(2, 8, 8, 3))
+        assert np.array_equal(
+            batch_scores(classifier, images), classifier.batch(images)
+        )
+
+    def test_empty_input(self, toy):
+        assert batch_scores(toy, []).shape == (0, 0)
+
+
+class TestCountingClassifierBatch:
+    def test_counts_per_image(self, toy):
+        counting = CountingClassifier(toy)
+        images = np.random.default_rng(8).uniform(size=(3, 4, 4, 3))
+        scores = counting.batch(images)
+        assert counting.count == 3
+        assert scores.shape == (3, 3)
+
+    def test_budget_matches_sequential_semantics(self, toy):
+        """A batch overshooting the budget is refused whole, with the
+        count pinned at the budget -- the same observable state a
+        sequential attacker reaches before its budget + 1-th query."""
+        counting = CountingClassifier(toy, budget=5)
+        counting.batch(np.random.default_rng(9).uniform(size=(4, 4, 4, 3)))
+        with pytest.raises(QueryBudgetExceeded) as info:
+            counting.batch(np.random.default_rng(10).uniform(size=(2, 4, 4, 3)))
+        assert info.value.budget == 5
+        assert counting.count == 5
+        assert counting.remaining == 0
+
+    def test_empty_batch_costs_nothing(self, toy):
+        counting = CountingClassifier(toy, budget=1)
+        counting.batch(np.zeros((0, 4, 4, 3)))
+        assert counting.count == 0
+
+    def test_batch_rows_match_single_calls(self, toy):
+        counting = CountingClassifier(toy)
+        images = np.random.default_rng(11).uniform(size=(3, 4, 4, 3))
+        stacked = counting.batch(images)
+        for image, row in zip(images, stacked):
+            assert np.array_equal(row, toy(image))

@@ -15,8 +15,12 @@ EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 
 
 def run_example(name: str, timeout: int = 300) -> str:
+    return run_example_with_args(name, [], timeout=timeout)
+
+
+def run_example_with_args(name: str, args, timeout: int = 300) -> str:
     result = subprocess.run(
-        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)] + list(args),
         capture_output=True,
         text=True,
         timeout=timeout,
@@ -32,6 +36,12 @@ class TestExamples:
         assert "[B1]" in output
         assert "mutations" in output
 
+    def test_serve_clients(self):
+        output = run_example_with_args("serve_clients.py", ["6"])
+        assert "6 concurrent clients" in output
+        assert "batch-size distribution" in output
+        assert "failed" not in output
+
     def test_all_examples_exist_and_are_documented(self):
         expected = {
             "quickstart.py",
@@ -40,6 +50,7 @@ class TestExamples:
             "attack_trained_cnn.py",
             "analyze_attacks.py",
             "detect_and_heal.py",
+            "serve_clients.py",
         }
         present = {
             name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")

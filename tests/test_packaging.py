@@ -20,6 +20,8 @@ PACKAGES = [
     "repro.nn.layers",
     "repro.eval",
     "repro.defense",
+    "repro.runtime",
+    "repro.serve",
 ]
 
 

@@ -1,0 +1,144 @@
+"""Tests for the JSON wire protocol."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.fixed_sketch import FixedSketchAttack, false_program
+from repro.attacks.random_search import UniformRandomAttack
+from repro.attacks.sketch_attack import SketchAttack
+from repro.attacks.sparse_rs import SparseRS
+from repro.attacks.su_opa import SuOPA
+from repro.serve.protocol import (
+    ATTACK_SPECS,
+    ProtocolError,
+    build_attack,
+    decode_attack_request,
+    decode_image,
+    encode_image,
+)
+
+
+class TestDecodeImage:
+    def test_roundtrip(self):
+        image = np.random.default_rng(0).random((4, 5, 3))
+        decoded = decode_image(encode_image(image))
+        assert decoded.shape == (4, 5, 3)
+        assert np.array_equal(decoded, image)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not an image",
+            [[1, 2], [3, 4]],  # 2-D
+            [[[0.5, 0.5]]],  # 2 channels
+            [[[0.5, 0.5, 1.5]]],  # out of range
+            [[[0.5, 0.5, float("nan")]]],
+        ],
+    )
+    def test_rejects_bad_payloads(self, payload):
+        with pytest.raises(ProtocolError):
+            decode_image(payload)
+
+    def test_rejects_oversized(self):
+        huge = np.zeros((300, 300, 3)).tolist()
+        with pytest.raises(ProtocolError) as info:
+            decode_image(huge)
+        assert info.value.status == 413
+
+
+class TestBuildAttack:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("fixed", FixedSketchAttack),
+            ("random", UniformRandomAttack),
+            ("su-opa", SuOPA),
+            ("sparse-rs", SparseRS),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(build_attack(name), cls)
+
+    def test_all_specs_constructible_without_program(self):
+        for name in ATTACK_SPECS:
+            if name == "sketch":
+                continue
+            build_attack(name)
+
+    def test_unknown_name(self):
+        with pytest.raises(ProtocolError, match="unknown attack"):
+            build_attack("gradient-descent")
+
+    def test_sketch_requires_program(self):
+        with pytest.raises(ProtocolError, match="program"):
+            build_attack("sketch")
+
+    def test_sketch_with_program_roundtrip(self):
+        attack = build_attack("sketch", {"program": false_program().to_dict()})
+        assert isinstance(attack, SketchAttack)
+
+    def test_sketch_rejects_garbage_program(self):
+        with pytest.raises(ProtocolError, match="invalid program"):
+            build_attack("sketch", {"program": {"nonsense": True}})
+
+    def test_seed_threads_through(self):
+        attack = build_attack("random", {"seed": 7})
+        assert attack.config.seed == 7
+
+    def test_su_opa_param_validation(self):
+        with pytest.raises(ProtocolError, match="su-opa"):
+            build_attack("su-opa", {"population_size": 1})
+
+
+class TestDecodeAttackRequest:
+    def _payload(self, **overrides):
+        payload = {
+            "image": np.zeros((4, 4, 3)).tolist(),
+            "true_class": 1,
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_minimal(self):
+        request = decode_attack_request(self._payload())
+        assert request.attack_name == "fixed"
+        assert request.true_class == 1
+        assert request.budget is None
+        assert request.target_class is None
+
+    def test_full(self):
+        request = decode_attack_request(
+            self._payload(attack="random", budget=64, target_class=2,
+                          params={"seed": 3})
+        )
+        assert request.attack_name == "random"
+        assert request.budget == 64
+        assert request.target_class == 2
+        assert request.attack.config.seed == 3
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"true_class": None},
+            {"true_class": "cat"},
+            {"true_class": True},
+            {"true_class": -1},
+            {"budget": -5},
+            {"budget": "many"},
+            {"target_class": 1},  # equals true_class
+            {"attack": 42},
+        ],
+    )
+    def test_rejects_bad_fields(self, mutation):
+        payload = self._payload()
+        payload.update(mutation)
+        with pytest.raises(ProtocolError):
+            decode_attack_request(payload)
+
+    def test_missing_image(self):
+        with pytest.raises(ProtocolError, match="image"):
+            decode_attack_request({"true_class": 0})
+
+    def test_non_object_body(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_attack_request([1, 2, 3])

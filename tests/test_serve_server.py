@@ -1,0 +1,223 @@
+"""End-to-end tests of the HTTP front end.
+
+These start a real server on an ephemeral loopback port (via
+``ServerHandle``) and talk plain ``urllib`` -- the same path curl takes.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve.server import AttackServer, ServeConfig, ServerHandle, build_parser
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def _post(base, path, payload, client=None):
+    headers = {"Content-Type": "application/json"}
+    if client:
+        headers["X-Client-Id"] = client
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(), headers=headers
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def _poll_done(base, session_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, status = _get(base, f"/attacks/{session_id}")
+        if status["state"] in ("done", "failed"):
+            return status
+        time.sleep(0.02)
+    raise AssertionError(f"session {session_id} did not finish in {timeout}s")
+
+
+@pytest.fixture(scope="module")
+def served():
+    config = ServeConfig(
+        port=0, height=6, width=6, num_classes=3, seed=1,
+        max_batch_size=8, max_wait=0.001, rate=500.0, burst=200.0,
+    )
+    with ServerHandle(config) as handle:
+        host, port = handle.address
+        yield handle, f"http://{host}:{port}"
+
+
+@pytest.fixture(scope="module")
+def attackable(served):
+    """An (image, true_class) pair for the served toy model."""
+    handle, _ = served
+    rng = np.random.default_rng(0)
+    image = rng.random((6, 6, 3))
+    return image, int(np.argmax(handle.server.classifier(image)))
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, base = served
+        status, payload = _get(base, "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "model": "toy"}
+
+    def test_models_lists_registry(self, served):
+        _, base = served
+        _, payload = _get(base, "/models")
+        names = {entry["name"] for entry in payload["models"]}
+        assert {"toy", "vgg16bn", "resnet18", "googlenet"} <= names
+        serving = [entry for entry in payload["models"] if entry["serving"]]
+        assert [entry["name"] for entry in serving] == ["toy"]
+
+    def test_submit_poll_result(self, served, attackable):
+        _, base = served
+        image, label = attackable
+        status, accepted = _post(
+            base,
+            "/attacks",
+            {"attack": "fixed", "image": image.tolist(), "true_class": label,
+             "budget": 300},
+        )
+        assert status == 202
+        final = _poll_done(base, accepted["id"])
+        assert final["state"] == "done"
+        assert final["attack"] == "Sketch+False"
+        assert final["queries"] == final["result"]["queries"]
+        if final["result"]["success"]:
+            assert final["result"]["location"] is not None
+            assert len(final["result"]["perturbation"]) == 3
+
+    def test_list_sessions(self, served, attackable):
+        _, base = served
+        image, label = attackable
+        _, accepted = _post(
+            base, "/attacks",
+            {"image": image.tolist(), "true_class": label, "budget": 100},
+        )
+        _poll_done(base, accepted["id"])
+        _, listing = _get(base, "/attacks")
+        assert any(s["id"] == accepted["id"] for s in listing["sessions"])
+
+    def test_metrics_shape(self, served, attackable):
+        _, base = served
+        image, label = attackable
+        _, accepted = _post(
+            base, "/attacks",
+            {"image": image.tolist(), "true_class": label, "budget": 100},
+        )
+        _poll_done(base, accepted["id"])
+        _, metrics = _get(base, "/metrics")
+        broker = metrics["broker"]
+        assert broker["submitted"] >= 1
+        assert "buckets" in broker["batch_sizes"]
+        assert broker["cache"]["misses"] >= 1
+        assert metrics["sessions"]["query_counts"][accepted["id"]] >= 0
+        assert metrics["admission"]["capacity"] == 64
+        assert metrics["rate_limiter"]["allowed"] >= 1
+
+    def test_unknown_path_404(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _get(base, "/nope")
+        assert info.value.code == 404
+
+    def test_missing_session_404(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _get(base, "/attacks/s99999")
+        assert info.value.code == 404
+
+    def test_wrong_method_405(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _post(base, "/healthz", {})
+        assert info.value.code == 405
+
+    def test_bad_json_400(self, served):
+        _, base = served
+        request = urllib.request.Request(
+            base + "/attacks", data=b"this is not json"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_bad_attack_request_400(self, served):
+        _, base = served
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _post(base, "/attacks", {"image": [[[0.5, 0.5, 0.5]]]})
+        assert info.value.code == 400  # missing true_class
+
+
+class TestShedding:
+    def test_rate_limit_429(self, attackable):
+        config = ServeConfig(
+            port=0, height=6, width=6, num_classes=3, seed=1,
+            rate=0.001, burst=1.0,  # one request, then dry for ~17 min
+        )
+        image, label = attackable
+        body = {"image": image.tolist(), "true_class": label, "budget": 50}
+        with ServerHandle(config) as handle:
+            host, port = handle.address
+            base = f"http://{host}:{port}"
+            status, _ = _post(base, "/attacks", body, client="greedy")
+            assert status == 202
+            with pytest.raises(urllib.error.HTTPError) as info:
+                _post(base, "/attacks", body, client="greedy")
+            assert info.value.code == 429
+            assert info.value.headers["Retry-After"] == "1"
+            # a different client is unaffected
+            status, _ = _post(base, "/attacks", body, client="patient")
+            assert status == 202
+
+    def test_admission_429(self, attackable):
+        config = ServeConfig(
+            port=0, height=6, width=6, num_classes=3, seed=1,
+            max_sessions=1, rate=500.0, burst=200.0,
+            # queries park forever so the one admitted session stays active
+            max_batch_size=64, max_wait=60.0,
+        )
+        image, label = attackable
+        body = {"image": image.tolist(), "true_class": label, "budget": 50}
+        with ServerHandle(config) as handle:
+            host, port = handle.address
+            base = f"http://{host}:{port}"
+            status, _ = _post(base, "/attacks", body)
+            assert status == 202
+            with pytest.raises(urllib.error.HTTPError) as info:
+                _post(base, "/attacks", body)
+            assert info.value.code == 429
+            _, metrics = _get(base, "/metrics")
+            assert metrics["admission"]["refused"] == 1
+
+
+class TestCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        config = ServeConfig(**vars(args))
+        assert config.model == "toy"
+        assert config.max_batch_size == 32
+
+    def test_parser_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--model", "alexnet"])
+
+    def test_repro_cli_has_serve_subcommand(self):
+        from repro.cli import build_parser as cli_parser
+
+        helptext = cli_parser().format_help()
+        assert "serve" in helptext
+
+    def test_attack_server_assembles_network_model(self):
+        config = ServeConfig(model="resnet18", height=8, width=8, num_classes=3)
+        server = AttackServer(config)
+        scores = server.classifier(np.zeros((8, 8, 3)))
+        assert scores.shape == (3,)
+        server.stop()
