@@ -31,12 +31,28 @@ def format_function(function: Function) -> str:
     raise TypeError(f"unknown function node {function!r}")
 
 
+def format_constant(value: float) -> str:
+    """Render a threshold so parsing it back yields the *exact* float.
+
+    Prefers the compact ``%g`` form (``8``, ``0.19``) when it survives a
+    round trip; otherwise falls back to ``repr``, which is Python's
+    shortest exact representation.  This is what makes
+    ``parse(print(program)) == program`` hold bit-for-bit over the whole
+    search space (pinned by the testkit's property-based round-trip
+    tests), not just for nicely-rounded constants.
+    """
+    compact = f"{value:g}"
+    if float(compact) == value:
+        return compact
+    return repr(value)
+
+
 def format_condition(condition: ConditionLike) -> str:
     if isinstance(condition, ConstantCondition):
         return "true" if condition.value else "false"
     return (
         f"{format_function(condition.function)} "
-        f"{condition.comparison.value} {condition.constant.value:g}"
+        f"{condition.comparison.value} {format_constant(condition.constant.value)}"
     )
 
 

@@ -87,17 +87,25 @@ class StepCounter:
         return Query(image)
 
 
-def drive_steps(steps: AttackSteps, classifier: Classifier):
+def drive_steps(steps: AttackSteps, classifier: Classifier, observer=None):
     """Run a steppable attack to completion against a plain classifier.
 
     This is the thin synchronous driver ``attack()`` methods delegate to:
     every yielded query is answered immediately by ``classifier``, so
     behaviour is exactly the pre-protocol direct-call code path.
+
+    ``observer``, if given, is called as ``observer(query, scores)``
+    after each submission is answered and before the generator resumes.
+    This is the trace hook :class:`repro.testkit.trace.TraceRecorder`
+    uses to capture golden query traces; observers must not mutate
+    either argument.
     """
     try:
         request = next(steps)
         while True:
             scores = classifier(request.image)
+            if observer is not None:
+                observer(request, scores)
             request = steps.send(scores)
     except StopIteration as stop:
         return stop.value

@@ -139,12 +139,27 @@ class AttackRunSummary:
         }
 
 
-def _degraded_result(outcome, budget: Optional[int]) -> AttackResult:
-    """A budget-exhausted failure standing in for a faulted task."""
+def degraded_result(error_tag: Optional[str], budget: Optional[int]) -> AttackResult:
+    """A budget-exhausted failure standing in for a faulted attack.
+
+    This is the single definition of how a lost or faulted attack is
+    accounted: a failed :class:`AttackResult` charged the full budget
+    (the attacker paid for the queries whether or not an answer came
+    back) and tagged with the fault.  The execution engine uses it for
+    worker faults and :mod:`repro.testkit` reuses it so fault-injection
+    runs degrade with exactly the production semantics.
+    """
     return AttackResult(
         success=False,
         queries=budget if budget is not None else 0,
-        error=outcome.error.tag if outcome.error is not None else "unknown",
+        error=error_tag if error_tag is not None else "unknown",
+    )
+
+
+def _degraded_result(outcome, budget: Optional[int]) -> AttackResult:
+    """:func:`degraded_result` for one failed pool ``TaskOutcome``."""
+    return degraded_result(
+        outcome.error.tag if outcome.error is not None else None, budget
     )
 
 

@@ -128,6 +128,13 @@ class MicroBatchBroker:
         self.cache = cache
         self.run_log = ensure_log(run_log)
         self.metrics = BrokerMetrics()
+        #: Optional ``observer(image, scores)`` trace hook, called once
+        #: per *logical* query (cache hits and intra-batch duplicates
+        #: included) in input order at flush time.  Used by the testkit's
+        #: differential oracles to localize the first diverging query of
+        #: a served run; called under no broker lock, so observers must
+        #: be fast and must not re-enter the broker.
+        self.observer = None
         self._cache_lock = threading.Lock()
         self._model_lock = threading.Lock()
         self._cond = threading.Condition(threading.Lock())
@@ -182,6 +189,9 @@ class MicroBatchBroker:
         for position, key in enumerate(keys):
             if scores[position] is None:
                 scores[position] = np.array(fresh[seen[key]], copy=True)
+        if self.observer is not None:
+            for image, row in zip(images, scores):
+                self.observer(image, row)
         self.metrics.record_flush(
             batch=len(images), model_batch=len(unique_images), duplicates=duplicates
         )

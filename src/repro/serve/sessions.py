@@ -70,6 +70,7 @@ class AttackSession:
         budget: Optional[int] = None,
         target_class: Optional[int] = None,
         client: Optional[str] = None,
+        observer=None,
     ):
         self.session_id = session_id
         self.attack = attack
@@ -78,6 +79,11 @@ class AttackSession:
         self.budget = budget
         self.target_class = target_class
         self.client = client
+        #: Optional ``observer(query, scores)`` trace hook, called for
+        #: every answered query before the attack resumes -- the serving
+        #: side of the hook :func:`~repro.core.stepping.drive_steps`
+        #: exposes for direct runs (see :mod:`repro.testkit.trace`).
+        self.observer = observer
         self.state = QUEUED
         self.queries = 0  # counted submissions posed so far
         self.result: Optional[AttackResult] = None
@@ -104,6 +110,8 @@ class AttackSession:
         """Answer the pending query; returns the next one (if any)."""
         if self.state != RUNNING or self.pending is None:
             raise RuntimeError(f"session {self.session_id} has no pending query")
+        if self.observer is not None:
+            self.observer(self.pending, scores)
         return self._resume(lambda: self._steps.send(scores))
 
     def _resume(self, step) -> Optional[Query]:
@@ -210,6 +218,7 @@ class SessionManager:
         budget: Optional[int] = None,
         target_class: Optional[int] = None,
         client: Optional[str] = None,
+        observer=None,
     ) -> AttackSession:
         with self._lock:
             session_id = f"s{next(self._ids)}"
@@ -221,6 +230,7 @@ class SessionManager:
                 budget=budget,
                 target_class=target_class,
                 client=client,
+                observer=observer,
             )
             self._sessions[session_id] = session
         self.run_log.emit(

@@ -1,0 +1,83 @@
+"""repro.testkit: the verification harness for the execution stack.
+
+Four pillars, built to make aggressive refactoring of the runtime and
+serving layers cheap to validate (see DESIGN §9):
+
+- :mod:`~repro.testkit.faults` -- deterministic fault-injection
+  classifier wrappers (flaky, slow, score-corrupting) driven by seeded
+  schedules;
+- :mod:`~repro.testkit.trace` -- golden-trace record/replay: capture
+  every query event of an attack run, replay it with zero model forward
+  passes, localize the first diverging query;
+- :mod:`~repro.testkit.differential` -- the equivalence oracle sweeping
+  seeds x execution paths x cache modes and asserting bit-identical
+  :class:`~repro.attacks.base.AttackResult` everywhere;
+- :mod:`~repro.testkit.matrix` -- the fault matrix proving every fault
+  kind degrades gracefully on every execution path;
+- :mod:`~repro.testkit.generators` -- hypothesis strategies for images,
+  budgets, and DSL programs (present only when hypothesis is installed).
+"""
+
+from repro.testkit.differential import (
+    DEFAULT_PATHS,
+    Cell,
+    DifferentialReport,
+    DifferentialRunner,
+    Divergence,
+    result_fingerprint,
+    results_equal,
+    toy_runner,
+)
+from repro.testkit.faults import (
+    CorruptScoresClassifier,
+    FaultSchedule,
+    FlakyClassifier,
+    InjectedFault,
+    InjectedTimeout,
+    SlowClassifier,
+)
+from repro.testkit.matrix import (
+    DEFAULT_KINDS,
+    DEFAULT_MATRIX_PATHS,
+    FaultCell,
+    run_fault_matrix,
+)
+from repro.testkit.trace import (
+    ReplayClassifier,
+    TraceEvent,
+    TraceMismatch,
+    TraceRecorder,
+    diff_events,
+    load_trace,
+    pixel_diff,
+    replay,
+)
+
+__all__ = [
+    "DEFAULT_KINDS",
+    "DEFAULT_MATRIX_PATHS",
+    "DEFAULT_PATHS",
+    "Cell",
+    "CorruptScoresClassifier",
+    "DifferentialReport",
+    "DifferentialRunner",
+    "Divergence",
+    "FaultCell",
+    "FaultSchedule",
+    "FlakyClassifier",
+    "InjectedFault",
+    "InjectedTimeout",
+    "ReplayClassifier",
+    "SlowClassifier",
+    "TraceEvent",
+    "TraceMismatch",
+    "TraceRecorder",
+    "diff_events",
+    "load_trace",
+    "pixel_diff",
+    "replay",
+    "result_fingerprint",
+    "results_equal",
+    "run_fault_matrix",
+    "toy_runner",
+]

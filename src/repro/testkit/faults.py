@@ -1,0 +1,245 @@
+"""Deterministic fault-injection classifier wrappers.
+
+Production hardening (the worker pool's fault containment, the broker's
+error propagation, graceful budget degradation) is only trustworthy if
+it is exercised *systematically*, not by whatever faults happen to occur
+in the wild.  This module simulates a misbehaving classifier backend
+with faults drawn from a **seeded schedule**, so every fault scenario is
+exactly reproducible:
+
+- :class:`FlakyClassifier` raises :class:`InjectedFault` (or
+  :class:`InjectedTimeout`) at scheduled query indices -- a backend that
+  intermittently errors or times out;
+- :class:`SlowClassifier` charges a *virtual* latency per query against
+  an optional deadline, raising :class:`InjectedTimeout` when the
+  simulated clock overruns -- latency spikes without real sleeping, so
+  the fault matrix stays fast and can never hang the suite;
+- :class:`CorruptScoresClassifier` deterministically perturbs the score
+  vector at scheduled indices -- a backend returning wrong-but-plausible
+  answers, for testing that oracles actually notice.
+
+All wrappers are plain ``(H, W, 3) -> (C,)`` callables, so they compose
+under :class:`~repro.classifier.blackbox.CountingClassifier` in either
+order; putting the counting boundary *outside* the injector makes budget
+accounting under faults itself testable (a fault on query ``k`` must
+leave ``count == k``).  None of them define a ``batch`` method, so
+:func:`~repro.classifier.blackbox.batch_scores` falls back to per-image
+calls and the injection schedule indexes individual queries on every
+execution path, including broker-batched ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Optional
+
+import numpy as np
+
+Classifier = Callable[[np.ndarray], np.ndarray]
+
+
+class InjectedFault(RuntimeError):
+    """A deliberate, schedule-driven failure of the classifier backend.
+
+    ``index`` is the 1-based query index the fault fired on.
+    """
+
+    def __init__(self, index: int, kind: str = "fault"):
+        super().__init__(f"injected {kind} on query {index}")
+        self.index = index
+        self.kind = kind
+
+
+class InjectedTimeout(InjectedFault):
+    """An injected fault representing a timed-out backend call."""
+
+    def __init__(self, index: int):
+        super().__init__(index, kind="timeout")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Which 1-based query indices a fault fires on.
+
+    Two modes, both deterministic and independent of call interleaving:
+
+    - :meth:`at` pins an explicit set of indices;
+    - :meth:`bernoulli` derives an independent coin flip per index from
+      ``(seed, index)`` via ``numpy``'s ``SeedSequence`` spawning, so
+      whether query ``k`` faults never depends on how many queries were
+      posed before it or on any shared RNG stream.
+    """
+
+    indices: Optional[FrozenSet[int]] = None
+    seed: Optional[int] = None
+    rate: float = 0.0
+    start: int = 1
+
+    def __post_init__(self):
+        if self.indices is None and self.seed is None:
+            raise ValueError("schedule needs explicit indices or a seed")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.start < 1:
+            raise ValueError("query indices are 1-based")
+
+    @staticmethod
+    def at(*indices: int) -> "FaultSchedule":
+        """Fire exactly on the given 1-based query indices."""
+        if any(index < 1 for index in indices):
+            raise ValueError("query indices are 1-based")
+        return FaultSchedule(indices=frozenset(indices))
+
+    @staticmethod
+    def bernoulli(seed: int, rate: float, start: int = 1) -> "FaultSchedule":
+        """Fire each query from ``start`` on with probability ``rate``."""
+        return FaultSchedule(seed=seed, rate=rate, start=start)
+
+    @staticmethod
+    def never() -> "FaultSchedule":
+        """The empty schedule (useful as a matrix control cell)."""
+        return FaultSchedule(indices=frozenset())
+
+    def fires(self, index: int) -> bool:
+        """Whether the fault fires on 1-based query ``index``."""
+        if self.indices is not None:
+            return index in self.indices
+        if index < self.start or self.rate == 0.0:
+            return False
+        draw = np.random.default_rng([int(self.seed), int(index)]).random()
+        return bool(draw < self.rate)
+
+
+class _FaultInjector:
+    """Shared per-query indexing for the fault wrappers."""
+
+    def __init__(self, classifier: Classifier, schedule: FaultSchedule):
+        self._classifier = classifier
+        self.schedule = schedule
+        self.calls = 0  # queries posed to this wrapper, faulted or not
+        self.injected = 0  # faults actually fired
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        self.calls += 1
+        if self.schedule.fires(self.calls):
+            self.injected += 1
+            return self._inject(image)
+        return self._forward(image)
+
+    def _forward(self, image: np.ndarray) -> np.ndarray:
+        return self._classifier(image)
+
+    def _inject(self, image: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class FlakyClassifier(_FaultInjector):
+    """Raise on scheduled queries instead of answering.
+
+    ``timeout=True`` raises :class:`InjectedTimeout` (a backend deadline
+    blown) rather than the generic :class:`InjectedFault` (a backend
+    exception); both derive from ``RuntimeError`` so production code
+    that catches attack-level exceptions treats them like real faults.
+    """
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        schedule: FaultSchedule,
+        timeout: bool = False,
+    ):
+        super().__init__(classifier, schedule)
+        self.timeout = timeout
+
+    def _inject(self, image: np.ndarray) -> np.ndarray:
+        if self.timeout:
+            raise InjectedTimeout(self.calls)
+        raise InjectedFault(self.calls)
+
+
+class SlowClassifier(_FaultInjector):
+    """Charge simulated latency per query against an optional deadline.
+
+    Every query costs ``base_latency`` virtual seconds; scheduled
+    queries additionally cost ``spike``.  The accumulated virtual time
+    is exposed as :attr:`elapsed`; when ``deadline`` is set and a query
+    would push :attr:`elapsed` past it, the query raises
+    :class:`InjectedTimeout` *instead of executing* -- the deterministic
+    analogue of a caller-side timeout firing mid-run.  With no deadline
+    the wrapper only measures, never fails, and is bit-transparent.
+
+    Pass ``sleep=time.sleep`` to also spend the latency in real time
+    (used by throughput-style tests); the default is purely virtual so
+    fault matrices cannot slow the suite down or hang it.
+    """
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        schedule: FaultSchedule,
+        base_latency: float = 0.0,
+        spike: float = 0.1,
+        deadline: Optional[float] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ):
+        if base_latency < 0 or spike < 0:
+            raise ValueError("latencies must be non-negative")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
+        super().__init__(classifier, schedule)
+        self.base_latency = base_latency
+        self.spike = spike
+        self.deadline = deadline
+        self.elapsed = 0.0
+        self._sleep = sleep
+
+    def __call__(self, image: np.ndarray) -> np.ndarray:
+        self.calls += 1
+        cost = self.base_latency
+        if self.schedule.fires(self.calls):
+            self.injected += 1
+            cost += self.spike
+        if self._sleep is not None and cost > 0:
+            self._sleep(cost)
+        if self.deadline is not None and self.elapsed + cost > self.deadline:
+            self.elapsed = self.deadline
+            raise InjectedTimeout(self.calls)
+        self.elapsed += cost
+        return self._forward(image)
+
+
+class CorruptScoresClassifier(_FaultInjector):
+    """Deterministically perturb scores on scheduled queries.
+
+    The perturbation is derived from ``(noise_seed, query index)``, so a
+    corrupted run is itself exactly reproducible -- the property the
+    differential oracle's negative tests rely on (a corruption must be
+    *detected*, not smeared into flakiness).  Perturbed scores are
+    clipped to ``[0, 1]`` and renormalized so they still look like a
+    confidence vector to code that sanity-checks its inputs.
+    """
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        schedule: FaultSchedule,
+        scale: float = 0.25,
+        noise_seed: int = 0,
+    ):
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        super().__init__(classifier, schedule)
+        self.scale = scale
+        self.noise_seed = noise_seed
+
+    def _forward(self, image: np.ndarray) -> np.ndarray:
+        return self._classifier(image)
+
+    def _inject(self, image: np.ndarray) -> np.ndarray:
+        scores = np.asarray(self._classifier(image), dtype=np.float64)
+        rng = np.random.default_rng([int(self.noise_seed), int(self.calls)])
+        noisy = np.clip(scores + rng.normal(0.0, self.scale, scores.shape), 0, 1)
+        total = noisy.sum()
+        if total > 0:
+            noisy = noisy / total
+        return noisy

@@ -1,0 +1,156 @@
+"""Property-based generators (hypothesis strategies) for the testkit.
+
+The differential oracles and DSL round-trip properties need *varied*
+inputs, not hand-picked ones: images, budgets, and well-typed DSL
+programs drawn from the whole search space.  This module packages them
+as `hypothesis <https://hypothesis.readthedocs.io>`_ strategies so the
+properties shrink to minimal counterexamples on failure.
+
+Everything is importable without hypothesis installed (the strategies
+just raise at *use* time), so ``repro.testkit`` never makes the core
+package depend on a test library.
+
+Programs are generated directly from typed components rather than by
+seeding :class:`~repro.core.dsl.grammar.Grammar`'s sampler, so
+hypothesis can shrink each condition independently; the constants are
+drawn from exactly the grammar's typed ranges, keeping every generated
+program inside the synthesizer's search space (and therefore accepted
+by :func:`~repro.core.dsl.typecheck.check_program`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.dsl.ast import (
+    Avg,
+    Center,
+    Comparison,
+    Condition,
+    Constant,
+    ConstantCondition,
+    Max,
+    Min,
+    PixelRef,
+    Program,
+    ScoreDiff,
+)
+from repro.core.geometry import max_center_distance
+
+try:  # hypothesis is a test-only dependency; degrade, don't die
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    st = None
+    HAVE_HYPOTHESIS = False
+
+#: Default score_diff threshold range, matching Grammar's default.
+SCORE_DIFF_RANGE = 0.5
+
+
+def _require_hypothesis():
+    if not HAVE_HYPOTHESIS:  # pragma: no cover
+        raise RuntimeError(
+            "repro.testkit.generators needs the 'hypothesis' package "
+            "(install the [dev] extra)"
+        )
+
+
+def seeds(max_seed: int = 2**31 - 1):
+    """Integer seeds for deriving deterministic inputs."""
+    _require_hypothesis()
+    return st.integers(min_value=0, max_value=max_seed)
+
+
+def images(shape: Tuple[int, int, int] = (4, 4, 3)):
+    """Float64 images in ``[0, 1)``, derived deterministically from a seed.
+
+    Seed-derived rather than element-wise so a drawn image is compact to
+    report and exactly reproducible from its shrunk seed.
+    """
+    _require_hypothesis()
+    return st.builds(
+        lambda seed: np.random.default_rng(seed).random(shape), seeds()
+    )
+
+
+def budgets(max_budget: int = 64):
+    """Query budgets: ``None`` (uncapped) or a small non-negative int."""
+    _require_hypothesis()
+    return st.one_of(st.none(), st.integers(min_value=0, max_value=max_budget))
+
+
+def _finite(low: float, high: float):
+    return st.floats(
+        min_value=low, max_value=high, allow_nan=False, allow_infinity=False
+    )
+
+
+def conditions(
+    image_shape: Tuple[int, int] = (6, 6),
+    score_diff_range: float = SCORE_DIFF_RANGE,
+    allow_literals: bool = False,
+):
+    """Well-typed conditions with constants in the function's typed range.
+
+    ``allow_literals=True`` mixes in ``true``/``false`` literal
+    conditions (the ablation-baseline extension), for properties that
+    must hold over *everything* the AST can represent, not just the
+    synthesizable space.
+    """
+    _require_hypothesis()
+    max_center = max_center_distance(image_shape)
+    pixel_function = st.builds(
+        lambda maker, pixel: maker(pixel),
+        st.sampled_from([Max, Min, Avg]),
+        st.sampled_from([PixelRef.ORIGINAL, PixelRef.PERTURBATION]),
+    )
+    typed = st.one_of(
+        st.tuples(pixel_function, _finite(0.0, 1.0)),
+        st.tuples(st.just(ScoreDiff()), _finite(-score_diff_range, score_diff_range)),
+        st.tuples(st.just(Center()), _finite(0.0, float(max_center))),
+    )
+    strategy = st.builds(
+        lambda comparison, pair: Condition(comparison, pair[0], Constant(pair[1])),
+        st.sampled_from([Comparison.GT, Comparison.LT]),
+        typed,
+    )
+    if allow_literals:
+        strategy = st.one_of(strategy, st.builds(ConstantCondition, st.booleans()))
+    return strategy
+
+
+def programs(
+    image_shape: Tuple[int, int] = (6, 6),
+    score_diff_range: float = SCORE_DIFF_RANGE,
+    allow_literals: bool = False,
+):
+    """Full four-condition programs from the typed search space."""
+    _require_hypothesis()
+    condition = conditions(image_shape, score_diff_range, allow_literals)
+    return st.builds(Program, condition, condition, condition, condition)
+
+
+def attack_cases(
+    shape: Tuple[int, int, int] = (4, 4, 3),
+    num_classes: int = 3,
+    classifier_factory=None,
+):
+    """``(image, true_class)`` pairs; the label is the classifier's own
+    argmax when a factory is given (the paper's setting: attacks start
+    from correctly-classified images), else drawn uniformly."""
+    _require_hypothesis()
+    if classifier_factory is None:
+        return st.tuples(
+            images(shape), st.integers(min_value=0, max_value=num_classes - 1)
+        )
+
+    def build(seed: int):
+        image = np.random.default_rng(seed).random(shape)
+        classifier = classifier_factory()
+        return image, int(np.argmax(classifier(image)))
+
+    return st.builds(build, seeds())

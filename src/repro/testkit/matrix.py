@@ -1,0 +1,174 @@
+"""The fault-injection matrix: every fault kind on every execution path.
+
+Hardening claims ("a faulted task degrades to a failed result at full
+budget", "a broker error cannot hang a session") are cheap to state and
+expensive to trust.  :func:`run_fault_matrix` earns the trust by
+actually running the grid: ``{exception, timeout, latency} x {direct,
+pooled, served}``, with faults injected from a deterministic schedule
+(:mod:`repro.testkit.faults`), and returns one :class:`FaultCell` per
+grid point so a test can assert, cell by cell, that the run
+
+- produced a **failed** :class:`~repro.attacks.base.AttackResult`
+  charged the **full budget** (the engine's degradation contract,
+  shared via :func:`repro.eval.runner.degraded_result`),
+- did not hang (the served path drives the real threaded broker under
+  a hard join deadline), and
+- did not miscount (a :class:`~repro.classifier.blackbox.
+  CountingClassifier` sits *outside* the injector, so the query count
+  at the moment of the fault is observable and exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackResult
+from repro.classifier.blackbox import CountingClassifier
+from repro.eval.runner import degraded_result
+from repro.runtime.pool import WorkerPool
+from repro.runtime.tasks import AttackTaskRunner
+from repro.serve.broker import BatchPolicy, MicroBatchBroker
+from repro.serve.sessions import SessionManager
+from repro.testkit.faults import (
+    FaultSchedule,
+    FlakyClassifier,
+    InjectedFault,
+    SlowClassifier,
+)
+
+FAULT_EXCEPTION = "exception"
+FAULT_TIMEOUT = "timeout"
+FAULT_LATENCY = "latency"
+DEFAULT_KINDS = (FAULT_EXCEPTION, FAULT_TIMEOUT, FAULT_LATENCY)
+
+MATRIX_DIRECT = "direct"
+MATRIX_POOLED = "pooled"
+MATRIX_SERVED = "served"
+DEFAULT_MATRIX_PATHS = (MATRIX_DIRECT, MATRIX_POOLED, MATRIX_SERVED)
+
+#: Hard deadline for the served cell's session thread; a hang here is a
+#: genuine bug, and the matrix must fail loudly instead of wedging CI.
+_SERVE_JOIN_TIMEOUT = 60.0
+
+
+def make_injector(kind: str, classifier, fault_index: int):
+    """The fault wrapper for one matrix cell.
+
+    ``exception`` / ``timeout`` raise on the ``fault_index``-th query;
+    ``latency`` charges virtual time per query with a spike at
+    ``fault_index`` sized to blow the (virtual) deadline exactly there.
+    """
+    schedule = FaultSchedule.at(fault_index)
+    if kind == FAULT_EXCEPTION:
+        return FlakyClassifier(classifier, schedule)
+    if kind == FAULT_TIMEOUT:
+        return FlakyClassifier(classifier, schedule, timeout=True)
+    if kind == FAULT_LATENCY:
+        # base traffic is comfortably inside the deadline; the scheduled
+        # spike alone pushes the virtual clock over it
+        return SlowClassifier(
+            classifier,
+            schedule,
+            base_latency=0.001,
+            spike=10.0,
+            deadline=5.0,
+        )
+    raise ValueError(f"unknown fault kind {kind!r}")
+
+
+@dataclass
+class FaultCell:
+    """What one grid point produced."""
+
+    kind: str
+    path: str
+    result: Optional[AttackResult]
+    posed: int  # queries the counting boundary saw (incl. the faulted one)
+    injected: int  # faults the schedule actually fired
+
+
+def _run_direct(attack, counting, image, true_class, budget) -> AttackResult:
+    try:
+        return attack.attack(counting, image, true_class, budget=budget)
+    except InjectedFault as exc:
+        return degraded_result(f"injected:{exc.kind}", budget)
+
+
+def _run_pooled(
+    attack, counting, image, true_class, budget, workers
+) -> AttackResult:
+    runner = AttackTaskRunner(attack, counting, budget=budget)
+    outcome = WorkerPool(workers=workers).map(
+        runner, [(image, true_class)], task_name="fault-matrix"
+    )[0]
+    if outcome.ok:
+        return outcome.value.result
+    return degraded_result(
+        outcome.error.tag if outcome.error is not None else None, budget
+    )
+
+
+def _run_served(attack, counting, image, true_class, budget) -> AttackResult:
+    broker = MicroBatchBroker(
+        counting, policy=BatchPolicy(max_batch_size=1, max_wait=0.001)
+    )
+    manager = SessionManager(broker, max_workers=1)
+    try:
+        with broker:
+            session = manager.create(attack, image, true_class, budget=budget)
+            future = manager.start(session)
+            session = future.result(timeout=_SERVE_JOIN_TIMEOUT)
+    finally:
+        manager.shutdown()
+    if session.result is not None:
+        return session.result
+    return degraded_result(session.error, budget)
+
+
+def run_fault_matrix(
+    attack_factory: Callable[[], object],
+    classifier_factory: Callable[[], Callable],
+    case: Tuple[np.ndarray, int],
+    budget: int,
+    kinds: Iterable[str] = DEFAULT_KINDS,
+    paths: Iterable[str] = DEFAULT_MATRIX_PATHS,
+    fault_index: int = 3,
+    pool_workers: int = 0,
+) -> Dict[Tuple[str, str], FaultCell]:
+    """Run every ``(fault kind, execution path)`` cell of the matrix.
+
+    Each cell gets a fresh attack, classifier, injector, and counting
+    boundary (``CountingClassifier(injector(classifier))``), runs the
+    attack to its (degraded) end, and records the outcome.  The
+    ``pooled`` cells keep everything in-process when ``pool_workers=0``
+    so the counting boundary stays observable; nightly runs use real
+    worker processes.
+    """
+    image, true_class = case
+    cells: Dict[Tuple[str, str], FaultCell] = {}
+    for kind in kinds:
+        for path in paths:
+            injector = make_injector(kind, classifier_factory(), fault_index)
+            counting = CountingClassifier(injector)
+            attack = attack_factory()
+            if path == MATRIX_DIRECT:
+                result = _run_direct(attack, counting, image, true_class, budget)
+            elif path == MATRIX_POOLED:
+                result = _run_pooled(
+                    attack, counting, image, true_class, budget, pool_workers
+                )
+            elif path == MATRIX_SERVED:
+                result = _run_served(attack, counting, image, true_class, budget)
+            else:
+                raise ValueError(f"unknown matrix path {path!r}")
+            cells[(kind, path)] = FaultCell(
+                kind=kind,
+                path=path,
+                result=result,
+                posed=counting.count,
+                injected=injector.injected,
+            )
+    return cells

@@ -194,6 +194,7 @@ class TestShedding:
             with pytest.raises(urllib.error.HTTPError) as info:
                 _post(base, "/attacks", body)
             assert info.value.code == 429
+            assert info.value.headers["Retry-After"] == "1"
             _, metrics = _get(base, "/metrics")
             assert metrics["admission"]["refused"] == 1
 

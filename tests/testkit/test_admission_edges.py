@@ -1,0 +1,147 @@
+"""Edge cases of the admission layer and the counting boundary.
+
+Satellite coverage for the serving gate: degenerate capacities, bursts
+exactly at the limit (driven by a fake clock, no sleeps), and the
+budget-exhaustion-mid-batch semantics of ``CountingClassifier.batch``
+that keep broker-batched query counts identical to sequential ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifier.blackbox import CountingClassifier, QueryBudgetExceeded
+from repro.serve.admission import AdmissionControl, RateLimiter, TokenBucket
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestAdmissionControl:
+    def test_zero_capacity_is_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            AdmissionControl(0)
+        with pytest.raises(ValueError):
+            AdmissionControl(-1)
+
+    def test_burst_exactly_at_capacity(self):
+        gate = AdmissionControl(3)
+        assert [gate.try_acquire() for _ in range(3)] == [True] * 3
+        assert gate.try_acquire() is False
+        assert gate.stats() == {
+            "capacity": 3, "active": 3, "admitted": 3, "refused": 1,
+        }
+
+    def test_release_reopens_exactly_one_slot(self):
+        gate = AdmissionControl(1)
+        assert gate.try_acquire()
+        gate.release()
+        assert gate.try_acquire()
+        assert not gate.try_acquire()
+
+    def test_release_never_goes_negative(self):
+        gate = AdmissionControl(1)
+        gate.release()  # spurious release on an idle gate
+        assert gate.active == 0
+        assert gate.try_acquire()
+        assert not gate.try_acquire()  # capacity still 1, not 2
+
+
+class TestTokenBucket:
+    def test_burst_below_one_is_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=2.0)
+
+    def test_burst_exactly_at_limit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.allow() for _ in range(3)] == [True] * 3
+        assert bucket.allow() is False  # the burst+1-th request, same instant
+
+    def test_refill_grants_exactly_the_elapsed_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        assert bucket.allow() and bucket.allow()
+        assert not bucket.allow()
+        clock.advance(0.5)  # 0.5 s * 2 tokens/s = exactly one token
+        assert bucket.allow()
+        assert not bucket.allow()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2.0, clock=clock)
+        clock.advance(3600.0)
+        assert [bucket.allow() for _ in range(3)] == [True, True, False]
+
+
+class TestRateLimiter:
+    def test_clients_are_isolated(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock)
+        assert limiter.allow("a")
+        assert not limiter.allow("a")
+        assert limiter.allow("b")  # b's bucket is untouched by a's spend
+        assert limiter.stats()["limited"] == 1
+
+    def test_client_table_is_bounded(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=1.0, burst=1.0, clock=clock, max_clients=2)
+        for client in ("a", "b", "c"):
+            limiter.allow(client)
+            clock.advance(0.001)  # distinct last-seen stamps
+        assert limiter.stats()["clients"] == 2
+
+
+class TestCountingBatchBudget:
+    @pytest.fixture
+    def counting(self, linear_classifier):
+        return CountingClassifier(linear_classifier, budget=5)
+
+    def test_exhaustion_mid_batch_consumes_the_allowance(
+        self, counting, toy_images
+    ):
+        """A batch crossing the budget trips *after* spending what was
+        left -- exactly what a sequential loop would have posed."""
+        counting.batch(list(toy_images[:3]))
+        with pytest.raises(QueryBudgetExceeded):
+            counting.batch(list(toy_images[3:7]))
+        assert counting.count == 5
+        assert counting.remaining == 0
+
+    def test_batch_exactly_at_the_limit_succeeds(self, counting, toy_images):
+        counting.batch(list(toy_images[:3]))
+        scores = counting.batch(list(toy_images[3:5]))
+        assert scores.shape[0] == 2
+        assert counting.count == 5
+        with pytest.raises(QueryBudgetExceeded):
+            counting(toy_images[5])
+        assert counting.count == 5
+
+    def test_empty_batch_when_exhausted_is_free(self, counting, toy_images):
+        counting.batch(list(toy_images[:5]))
+        scores = counting.batch([])
+        assert scores.shape[0] == 0
+        assert counting.count == 5
+
+    def test_batched_and_sequential_counts_agree(
+        self, linear_classifier, toy_images
+    ):
+        batched = CountingClassifier(linear_classifier, budget=4)
+        sequential = CountingClassifier(linear_classifier, budget=4)
+        with pytest.raises(QueryBudgetExceeded):
+            batched.batch(list(toy_images[:6]))
+        with pytest.raises(QueryBudgetExceeded):
+            for image in toy_images[:6]:
+                sequential(image)
+        assert batched.count == sequential.count == 4

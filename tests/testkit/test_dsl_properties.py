@@ -1,0 +1,102 @@
+"""Property-based DSL invariants over the whole typed search space.
+
+Two properties the synthesizer leans on constantly:
+
+- printing is lossless: ``parse_program(format_program(p)) == p``
+  *exactly* (the printer emits shortest-exact constants, so round trips
+  are equality, not approximation);
+- mutation is closed: ``mutate_program`` always yields a program the
+  typechecker accepts without errors, and the typechecker itself never
+  crashes on anything the AST can represent.
+"""
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+
+import repro.testkit.generators as gen
+from repro.core.dsl.grammar import Grammar
+from repro.core.dsl.mutation import mutate_program
+from repro.core.dsl.parser import parse_program
+from repro.core.dsl.printer import format_constant, format_program
+from repro.core.dsl.typecheck import check_program
+
+IMAGE_SHAPE = (16, 16)
+GRAMMAR = Grammar(IMAGE_SHAPE)
+
+
+class TestRoundTrip:
+    @given(gen.programs(IMAGE_SHAPE, allow_literals=True))
+    def test_parse_print_is_identity(self, program):
+        assert parse_program(format_program(program)) == program
+
+    @given(gen.conditions(IMAGE_SHAPE))
+    def test_printed_constants_parse_exactly(self, condition):
+        text = format_constant(condition.constant.value)
+        assert float(text) == condition.constant.value
+
+    def test_compact_forms_preferred(self):
+        # the pinned concrete syntax stays human-shaped
+        assert format_constant(8.0) == "8"
+        assert format_constant(0.19) == "0.19"
+
+    def test_awkward_floats_survive(self):
+        value = 0.30000000000000004  # classic non-%g-representable float
+        assert float(format_constant(value)) == value
+
+
+class TestMutationClosure:
+    @given(gen.seeds(), gen.programs(IMAGE_SHAPE))
+    @settings(max_examples=60)
+    def test_mutants_always_typecheck(self, seed, program):
+        rng = np.random.default_rng(seed)
+        mutant = mutate_program(program, GRAMMAR, rng)
+        result = check_program(mutant, GRAMMAR)
+        assert result.ok, [d for d in result.errors]
+
+    @given(gen.seeds())
+    @settings(max_examples=30)
+    def test_mutation_chains_stay_in_the_space(self, seed):
+        """A synthesis-length chain of mutations never leaves the typed
+        search space (the property the stochastic search relies on)."""
+        rng = np.random.default_rng(seed)
+        program = GRAMMAR.random_program(rng)
+        for _ in range(10):
+            program = mutate_program(program, GRAMMAR, rng)
+            assert check_program(program, GRAMMAR).ok
+
+
+class TestTypecheckerTotality:
+    @given(gen.programs(IMAGE_SHAPE, allow_literals=True))
+    def test_never_crashes_on_representable_programs(self, program):
+        """check_program is total: any AST-representable program gets a
+        CheckResult, never an exception -- literals included."""
+        result = check_program(program, GRAMMAR)
+        assert isinstance(result.ok, bool)
+
+    @given(gen.programs(IMAGE_SHAPE, score_diff_range=5.0))
+    @settings(max_examples=40)
+    def test_out_of_range_constants_are_diagnosed_not_fatal(self, program):
+        """Constants outside the grammar's typed ranges produce
+        diagnostics (possibly none if all drawn in range), not crashes."""
+        result = check_program(program, GRAMMAR)
+        assert isinstance(result.diagnostics, list)
+
+
+class TestGeneratorContracts:
+    @given(gen.images((3, 3, 3)))
+    def test_images_are_unit_ranged(self, image):
+        assert image.shape == (3, 3, 3)
+        assert (image >= 0).all() and (image < 1).all()
+
+    @given(gen.budgets())
+    def test_budgets_are_none_or_small(self, budget):
+        assert budget is None or 0 <= budget <= 64
+
+    @given(gen.attack_cases((3, 3, 3), num_classes=4))
+    def test_attack_cases_have_valid_labels(self, case):
+        image, true_class = case
+        assert image.shape == (3, 3, 3)
+        assert 0 <= true_class < 4

@@ -1,0 +1,120 @@
+"""The fault matrix: every fault kind degrades every path gracefully.
+
+Acceptance shape: {exception, timeout, latency} x {direct, pooled,
+served}; every cell must end in a *failed* AttackResult charged the full
+budget, with no hang (the served path drives the real threaded broker
+under a hard join deadline) and no miscount (the counting boundary sits
+outside the injector).
+"""
+
+import pytest
+
+from repro.attacks.sketch_attack import SketchAttack
+from repro.core.dsl.parser import parse_program
+from repro.testkit.matrix import (
+    DEFAULT_KINDS,
+    DEFAULT_MATRIX_PATHS,
+    FAULT_EXCEPTION,
+    make_injector,
+    run_fault_matrix,
+)
+
+BUDGET = 12
+FAULT_INDEX = 3
+
+PROGRAM = parse_program(
+    """
+    [B1] score_diff(N(x), N(x[l<-p]), c_x) < 0.05
+    [B2] max(x[l]) > 0.5
+    [B3] score_diff(N(x), N(x[l<-p]), c_x) > 0.1
+    [B4] center(l) < 2
+    """
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    from repro.classifier.toy import LinearPixelClassifier, make_toy_images
+    import numpy as np
+
+    shape = (5, 5, 3)
+
+    def classifier_factory():
+        return LinearPixelClassifier(shape, num_classes=3, seed=7, temperature=0.05)
+
+    # image seed 6: the unfaulted attack exhausts the whole budget, so
+    # the scheduled fault at query 3 is guaranteed to be reached
+    image = make_toy_images(1, shape, seed=6)[0]
+    true_class = int(np.argmax(classifier_factory()(image)))
+    return run_fault_matrix(
+        attack_factory=lambda: SketchAttack(PROGRAM),
+        classifier_factory=classifier_factory,
+        case=(image, true_class),
+        budget=BUDGET,
+        fault_index=FAULT_INDEX,
+    )
+
+
+class TestMatrix:
+    def test_every_cell_ran(self, matrix):
+        assert set(matrix) == {
+            (kind, path)
+            for kind in DEFAULT_KINDS
+            for path in DEFAULT_MATRIX_PATHS
+        }
+
+    def test_every_cell_degrades_to_failed_full_budget(self, matrix):
+        for (kind, path), cell in matrix.items():
+            label = f"{kind} x {path}"
+            assert cell.result is not None, f"{label}: no result at all"
+            assert cell.result.success is False, f"{label}: claimed success"
+            assert cell.result.queries == BUDGET, (
+                f"{label}: charged {cell.result.queries}, expected the "
+                f"full budget {BUDGET}"
+            )
+            assert cell.result.error, f"{label}: degraded without an error tag"
+
+    def test_every_cell_injected_exactly_once(self, matrix):
+        for (kind, path), cell in matrix.items():
+            assert cell.injected == 1, f"{kind} x {path}"
+
+    def test_no_cell_miscounts(self, matrix):
+        """The faulted query is the last one posed: the counting
+        boundary saw exactly ``fault_index`` submissions."""
+        for (kind, path), cell in matrix.items():
+            assert cell.posed == FAULT_INDEX, (
+                f"{kind} x {path}: posed {cell.posed}, "
+                f"expected {FAULT_INDEX}"
+            )
+
+    def test_error_tags_name_the_fault(self, matrix):
+        for (kind, path), cell in matrix.items():
+            assert "injected" in (cell.result.error or "").lower(), (
+                f"{kind} x {path}: error tag {cell.result.error!r} "
+                "does not name the injected fault"
+            )
+
+
+class TestControls:
+    def test_unknown_kind_rejected(self, linear_classifier):
+        with pytest.raises(ValueError):
+            make_injector("cosmic-rays", linear_classifier, 1)
+
+    def test_no_fault_control(self, toy_pairs, linear_classifier):
+        """With the schedule pushed past the budget, every cell completes
+        normally -- proving the degradation assertions above bite on the
+        injected fault, not on the harness."""
+        image, true_class = toy_pairs[0]
+        cells = run_fault_matrix(
+            attack_factory=lambda: SketchAttack(PROGRAM),
+            classifier_factory=lambda: linear_classifier,
+            case=(image, true_class),
+            budget=8,
+            kinds=(FAULT_EXCEPTION,),
+            fault_index=10_000,
+        )
+        for cell in cells.values():
+            assert cell.injected == 0
+            assert cell.result is not None
+            assert cell.result.error is None
+            assert cell.result.queries <= 8

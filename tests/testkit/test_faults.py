@@ -1,0 +1,156 @@
+"""Fault-injection wrappers: deterministic schedules, exact accounting."""
+
+import numpy as np
+import pytest
+
+from repro.classifier.blackbox import CountingClassifier, batch_scores
+from repro.testkit.faults import (
+    CorruptScoresClassifier,
+    FaultSchedule,
+    FlakyClassifier,
+    InjectedFault,
+    InjectedTimeout,
+    SlowClassifier,
+)
+
+
+class TestFaultSchedule:
+    def test_explicit_indices(self):
+        schedule = FaultSchedule.at(2, 5)
+        assert [schedule.fires(i) for i in range(1, 7)] == [
+            False, True, False, False, True, False,
+        ]
+
+    def test_indices_are_one_based(self):
+        with pytest.raises(ValueError):
+            FaultSchedule.at(0)
+
+    def test_bernoulli_is_deterministic_and_order_independent(self):
+        schedule = FaultSchedule.bernoulli(seed=7, rate=0.3)
+        forward = [schedule.fires(i) for i in range(1, 101)]
+        backward = [schedule.fires(i) for i in reversed(range(1, 101))]
+        assert forward == backward[::-1]
+        assert FaultSchedule.bernoulli(seed=7, rate=0.3).fires(13) == schedule.fires(13)
+        assert any(forward) and not all(forward)
+
+    def test_bernoulli_respects_start(self):
+        schedule = FaultSchedule.bernoulli(seed=3, rate=1.0, start=10)
+        assert not any(schedule.fires(i) for i in range(1, 10))
+        assert schedule.fires(10)
+
+    def test_never(self):
+        assert not any(FaultSchedule.never().fires(i) for i in range(1, 50))
+
+    def test_needs_indices_or_seed(self):
+        with pytest.raises(ValueError):
+            FaultSchedule()
+
+
+class TestFlakyClassifier:
+    def test_raises_exactly_on_schedule(self, linear_classifier, toy_images):
+        flaky = FlakyClassifier(linear_classifier, FaultSchedule.at(3))
+        image = toy_images[0]
+        assert np.allclose(flaky(image), linear_classifier(image))
+        flaky(image)
+        with pytest.raises(InjectedFault) as info:
+            flaky(image)
+        assert info.value.index == 3
+        # the schedule is per-index, not sticky: query 4 succeeds
+        assert np.allclose(flaky(image), linear_classifier(image))
+        assert flaky.calls == 4 and flaky.injected == 1
+
+    def test_timeout_flavour(self, linear_classifier, toy_images):
+        flaky = FlakyClassifier(
+            linear_classifier, FaultSchedule.at(1), timeout=True
+        )
+        with pytest.raises(InjectedTimeout):
+            flaky(toy_images[0])
+
+    def test_budget_accounting_under_faults(self, linear_classifier, toy_images):
+        """CountingClassifier outside the injector: the faulted query is
+        counted (it was submitted), and the count pins the fault index."""
+        counting = CountingClassifier(
+            FlakyClassifier(linear_classifier, FaultSchedule.at(4))
+        )
+        image = toy_images[0]
+        for _ in range(3):
+            counting(image)
+        with pytest.raises(InjectedFault):
+            counting(image)
+        assert counting.count == 4
+
+    def test_batch_fallback_injects_per_query(self, linear_classifier, toy_images):
+        """No ``batch`` method => batch_scores falls back per image, so
+        the schedule indexes individual queries even in batched paths."""
+        flaky = FlakyClassifier(linear_classifier, FaultSchedule.at(2))
+        with pytest.raises(InjectedFault) as info:
+            batch_scores(flaky, list(toy_images[:3]))
+        assert info.value.index == 2
+
+
+class TestSlowClassifier:
+    def test_virtual_latency_accumulates(self, linear_classifier, toy_images):
+        slow = SlowClassifier(
+            linear_classifier,
+            FaultSchedule.at(2),
+            base_latency=0.01,
+            spike=1.0,
+        )
+        image = toy_images[0]
+        slow(image)
+        slow(image)
+        slow(image)
+        assert slow.elapsed == pytest.approx(0.03 + 1.0)
+        assert slow.injected == 1
+
+    def test_deadline_trips_deterministically(self, linear_classifier, toy_images):
+        slow = SlowClassifier(
+            linear_classifier,
+            FaultSchedule.at(3),
+            base_latency=0.01,
+            spike=10.0,
+            deadline=5.0,
+        )
+        image = toy_images[0]
+        slow(image)
+        slow(image)
+        with pytest.raises(InjectedTimeout) as info:
+            slow(image)
+        assert info.value.index == 3
+        assert slow.elapsed == slow.deadline
+
+    def test_transparent_without_deadline(self, linear_classifier, toy_images):
+        slow = SlowClassifier(linear_classifier, FaultSchedule.never())
+        image = toy_images[0]
+        assert np.array_equal(slow(image), linear_classifier(image))
+
+
+class TestCorruptScoresClassifier:
+    def test_corruption_is_deterministic(self, linear_classifier, toy_images):
+        image = toy_images[0]
+        runs = []
+        for _ in range(2):
+            corrupt = CorruptScoresClassifier(
+                linear_classifier, FaultSchedule.at(1), noise_seed=5
+            )
+            runs.append(corrupt(image))
+        assert np.array_equal(runs[0], runs[1])
+
+    def test_corrupted_scores_differ_but_stay_normalized(
+        self, linear_classifier, toy_images
+    ):
+        image = toy_images[0]
+        corrupt = CorruptScoresClassifier(
+            linear_classifier, FaultSchedule.at(1), noise_seed=5
+        )
+        scores = corrupt(image)
+        assert not np.allclose(scores, linear_classifier(image))
+        assert scores.sum() == pytest.approx(1.0)
+        assert (scores >= 0).all()
+
+    def test_unscheduled_queries_untouched(self, linear_classifier, toy_images):
+        image = toy_images[0]
+        corrupt = CorruptScoresClassifier(
+            linear_classifier, FaultSchedule.at(2), noise_seed=5
+        )
+        assert np.array_equal(corrupt(image), linear_classifier(image))

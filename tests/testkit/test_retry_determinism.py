@@ -1,0 +1,131 @@
+"""Regression: a FaultPolicy retry reproduces the unfaulted result.
+
+The engine's retry story is only sound if a retried attack is a *replay*,
+not a *different run*: attacks must derive all randomness from their own
+config seed (fresh ``default_rng(seed)`` per call), never from ambient
+state a failed first attempt could have consumed.  These tests pin that
+by failing the first attempt of a task and asserting the retried result
+is bit-identical to a run that never faulted -- for both a deterministic
+(sketch) and an RNG-driven (uniform random) attack, inline and under a
+real worker process.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.random_search import UniformRandomAttack, UniformRandomConfig
+from repro.attacks.sketch_attack import SketchAttack
+from repro.core.dsl.parser import parse_program
+from repro.runtime.faults import FaultPolicy
+from repro.runtime.pool import WorkerPool
+from repro.runtime.tasks import AttackTaskRunner
+from repro.testkit.differential import results_equal
+
+PROGRAM = parse_program(
+    """
+    [B1] score_diff(N(x), N(x[l<-p]), c_x) < 0.05
+    [B2] max(x[l]) > 0.5
+    [B3] score_diff(N(x), N(x[l<-p]), c_x) > 0.1
+    [B4] center(l) < 2
+    """
+)
+
+BUDGET = 16
+
+
+class FailFirstAttempt:
+    """Picklable task wrapper that dies once per process, then behaves.
+
+    ``__getstate__`` resets the flag so a worker process (which receives
+    the wrapper by pickle) also fails its first attempt, exercising the
+    cross-process retry path, not just the inline one.
+    """
+
+    def __init__(self, runner):
+        self.runner = runner
+        self._failed = False
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_failed"] = False
+        return state
+
+    def __call__(self, payload):
+        if not self._failed:
+            self._failed = True
+            raise RuntimeError("injected first-attempt failure")
+        return self.runner(payload)
+
+
+def _attacks():
+    return {
+        "sketch": lambda: SketchAttack(PROGRAM),
+        "random": lambda: UniformRandomAttack(UniformRandomConfig(seed=9)),
+    }
+
+
+@pytest.fixture
+def case(linear_classifier, toy_pairs):
+    return toy_pairs[0]
+
+
+@pytest.mark.parametrize("name", sorted(_attacks()))
+def test_retry_is_bit_identical_inline(name, case, linear_classifier):
+    attack_factory = _attacks()[name]
+    image, true_class = case
+    payload = [(image, true_class)]
+
+    clean = WorkerPool(workers=0).map(
+        AttackTaskRunner(attack_factory(), linear_classifier, budget=BUDGET),
+        payload,
+    )[0]
+    assert clean.ok and clean.attempts == 1
+
+    retried = WorkerPool(
+        workers=0, policy=FaultPolicy(retries=1, backoff=0.0)
+    ).map(
+        FailFirstAttempt(
+            AttackTaskRunner(attack_factory(), linear_classifier, budget=BUDGET)
+        ),
+        payload,
+    )[0]
+    assert retried.ok, retried.error
+    assert retried.attempts == 2
+    assert results_equal(clean.value.result, retried.value.result)
+
+
+@pytest.mark.slow
+def test_retry_is_bit_identical_across_processes(case, linear_classifier):
+    image, true_class = case
+    payload = [(image, true_class)]
+    runner = AttackTaskRunner(
+        _attacks()["random"](), linear_classifier, budget=BUDGET
+    )
+
+    clean = WorkerPool(workers=1).map(runner, payload)[0]
+    assert clean.ok
+
+    retried = WorkerPool(
+        workers=1, policy=FaultPolicy(retries=1, backoff=0.0)
+    ).map(FailFirstAttempt(runner), payload)[0]
+    assert retried.ok, retried.error
+    assert retried.attempts >= 1  # a fresh worker may reset the flag
+    assert results_equal(clean.value.result, retried.value.result)
+
+
+def test_exhausted_retries_report_the_last_error(case, linear_classifier):
+    """When every attempt fails, the outcome carries the final attempt's
+    error and the attempt count -- the inputs the eval layer needs to
+    degrade the task instead of dropping it."""
+
+    class AlwaysFails:
+        def __call__(self, payload):
+            raise RuntimeError("permanently broken")
+
+    outcome = WorkerPool(
+        workers=0, policy=FaultPolicy(retries=2, backoff=0.0)
+    ).map(AlwaysFails(), [((np.zeros((2, 2, 3))), 0)])[0]
+    assert not outcome.ok
+    assert outcome.attempts == 3
+    assert outcome.error is not None
+    assert outcome.error.tag == "exception:RuntimeError"

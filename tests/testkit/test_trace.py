@@ -1,0 +1,230 @@
+"""Golden-trace record/replay: exact reproduction at zero forward passes."""
+
+import pytest
+
+from repro.attacks.random_search import UniformRandomAttack, UniformRandomConfig
+from repro.attacks.sketch_attack import SketchAttack
+from repro.core.dsl.parser import parse_program
+from repro.testkit.differential import results_equal
+from repro.testkit.trace import (
+    ReplayClassifier,
+    TraceEvent,
+    TraceMismatch,
+    TraceRecorder,
+    diff_events,
+    load_trace,
+    pixel_diff,
+    replay,
+)
+
+PROGRAM = parse_program(
+    """
+    [B1] score_diff(N(x), N(x[l<-p]), c_x) < 0.05
+    [B2] max(x[l]) > 0.5
+    [B3] score_diff(N(x), N(x[l<-p]), c_x) > 0.1
+    [B4] center(l) < 2
+    """
+)
+
+
+class _CallCounter:
+    """Counts raw forward passes through a classifier."""
+
+    def __init__(self, classifier):
+        self.classifier = classifier
+        self.calls = 0
+
+    def __call__(self, image):
+        self.calls += 1
+        return self.classifier(image)
+
+
+@pytest.fixture
+def sketch_case(linear_classifier, toy_pairs):
+    image, true_class = toy_pairs[0]
+    return SketchAttack(PROGRAM), image, true_class
+
+
+class TestPixelDiff:
+    def test_single_pixel_write(self, toy_images):
+        clean = toy_images[0]
+        perturbed = clean.copy()
+        perturbed[2, 3] = [1.0, 0.0, 1.0]
+        location, value = pixel_diff(clean, perturbed)
+        assert location == (2, 3)
+        assert value == (1.0, 0.0, 1.0)
+
+    def test_identical_images(self, toy_images):
+        assert pixel_diff(toy_images[0], toy_images[0].copy()) == (None, None)
+
+    def test_multi_pixel_write(self, toy_images):
+        clean = toy_images[0]
+        perturbed = clean.copy()
+        perturbed[0, 0] = 1.0
+        perturbed[1, 1] = 0.0
+        assert pixel_diff(clean, perturbed) == (None, None)
+
+
+class TestRecord:
+    def test_events_capture_the_query_stream(
+        self, linear_classifier, sketch_case
+    ):
+        attack, image, true_class = sketch_case
+        recorder = TraceRecorder()
+        result = recorder.record(
+            attack, linear_classifier, image, true_class, budget=60
+        )
+        assert recorder.events, "a sketch attack poses at least the clean probe"
+        # the sketch's first query is the uncounted clean probe
+        first = recorder.events[0]
+        assert first.counted is False
+        assert first.location is None and first.perturbation is None
+        counted = [event for event in recorder.events if event.counted]
+        assert len(counted) == result.queries
+        # every counted submission is a one-pixel write off the clean image
+        for event in counted:
+            assert event.location is not None
+            assert event.perturbation is not None
+        assert [event.index for event in recorder.events] == list(
+            range(1, len(recorder.events) + 1)
+        )
+
+    def test_header_describes_the_run(self, linear_classifier, sketch_case):
+        attack, image, true_class = sketch_case
+        recorder = TraceRecorder()
+        recorder.record(attack, linear_classifier, image, true_class, budget=60)
+        assert recorder.header["format"] == "repro-golden-trace"
+        assert recorder.header["attack"] == attack.name
+        assert recorder.header["budget"] == 60
+
+
+class TestReplay:
+    def test_replay_reproduces_result_with_zero_forward_passes(
+        self, linear_classifier, sketch_case
+    ):
+        attack, image, true_class = sketch_case
+        counter = _CallCounter(linear_classifier)
+        recorder = TraceRecorder()
+        recorded = recorder.record(attack, counter, image, true_class, budget=60)
+        passes_during_record = counter.calls
+        assert passes_during_record > 0
+
+        replayed = replay(attack, recorder.events, image, true_class, budget=60)
+        assert counter.calls == passes_during_record  # zero new passes
+        assert results_equal(recorded, replayed)
+
+    def test_replay_random_attack(self, linear_classifier, toy_pairs):
+        image, true_class = toy_pairs[1]
+        attack = UniformRandomAttack(UniformRandomConfig(seed=11))
+        recorder = TraceRecorder()
+        recorded = recorder.record(
+            attack, linear_classifier, image, true_class, budget=30
+        )
+        replayed = replay(attack, recorder.events, image, true_class, budget=30)
+        assert results_equal(recorded, replayed)
+
+    def test_changed_logic_is_caught_at_the_diverging_query(
+        self, linear_classifier, sketch_case
+    ):
+        attack, image, true_class = sketch_case
+        recorder = TraceRecorder()
+        recorder.record(attack, linear_classifier, image, true_class, budget=60)
+        # "refactor" the attack into one with a different query order
+        drifted = UniformRandomAttack(UniformRandomConfig(seed=0))
+        with pytest.raises(TraceMismatch) as info:
+            replay(drifted, recorder.events, image, true_class, budget=60)
+        assert info.value.index >= 1
+
+    def test_exhausted_trace_is_a_mismatch(self, linear_classifier, sketch_case):
+        attack, image, true_class = sketch_case
+        recorder = TraceRecorder()
+        recorder.record(attack, linear_classifier, image, true_class, budget=60)
+        truncated = recorder.events[:1]
+        with pytest.raises(TraceMismatch):
+            replay(attack, truncated, image, true_class, budget=60)
+
+    def test_leftover_events_are_a_mismatch(self, linear_classifier, sketch_case):
+        attack, image, true_class = sketch_case
+        recorder = TraceRecorder()
+        recorder.record(attack, linear_classifier, image, true_class, budget=20)
+        padded = recorder.events + [recorder.events[-1]]
+        with pytest.raises(TraceMismatch):
+            replay(attack, padded, image, true_class, budget=20)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path, linear_classifier, sketch_case):
+        attack, image, true_class = sketch_case
+        recorder = TraceRecorder()
+        recorded = recorder.record(
+            attack, linear_classifier, image, true_class, budget=60
+        )
+        golden = tmp_path / "sketch.golden.jsonl"
+        recorder.save(golden)
+
+        header, events = load_trace(golden)
+        assert header["attack"] == attack.name
+        assert events == recorder.events
+        replayed = replay(attack, events, image, true_class, budget=60)
+        assert results_equal(recorded, replayed)
+
+    def test_load_rejects_non_golden_files(self, tmp_path):
+        bogus = tmp_path / "not-a-trace.jsonl"
+        bogus.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError):
+            load_trace(bogus)
+
+
+class TestDiffEvents:
+    def _event(self, index, digest, scores=(0.5, 0.5)):
+        return TraceEvent(index=index, digest=digest, counted=True, scores=scores)
+
+    def test_identical_traces(self):
+        trace = [self._event(1, "aa"), self._event(2, "bb")]
+        assert diff_events(trace, list(trace)) is None
+
+    def test_first_divergence_is_localized(self):
+        baseline = [self._event(1, "aa"), self._event(2, "bb")]
+        other = [self._event(1, "aa"), self._event(2, "cc")]
+        divergence = diff_events(baseline, other)
+        assert divergence["index"] == 2
+
+    def test_length_mismatch(self):
+        baseline = [self._event(1, "aa")]
+        other = [self._event(1, "aa"), self._event(2, "bb")]
+        divergence = diff_events(baseline, other)
+        assert divergence["index"] == 2
+
+    def test_counted_flags_do_not_diverge(self):
+        """Thread-adapted generators mark the clean probe counted; that
+        is a representation difference, not a behavioural one."""
+        a = TraceEvent(index=1, digest="aa", counted=False, scores=(1.0,))
+        b = TraceEvent(index=1, digest="aa", counted=True, scores=(1.0,))
+        assert diff_events([a], [b]) is None
+
+
+class TestReplayClassifier:
+    def test_serves_in_order_and_verifies_digests(self, toy_images):
+        from repro.runtime.cache import image_digest
+
+        image = toy_images[0]
+        events = [
+            TraceEvent(
+                index=1,
+                digest=image_digest(image).hex(),
+                counted=True,
+                scores=(0.25, 0.75),
+            )
+        ]
+        classifier = ReplayClassifier(events)
+        scores = classifier(image)
+        assert scores.tolist() == [0.25, 0.75]
+        assert classifier.remaining == 0
+
+    def test_wrong_image_raises(self, toy_images):
+        events = [
+            TraceEvent(index=1, digest="deadbeef", counted=True, scores=(1.0,))
+        ]
+        with pytest.raises(TraceMismatch) as info:
+            ReplayClassifier(events)(toy_images[0])
+        assert info.value.index == 1
