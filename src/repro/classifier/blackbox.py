@@ -95,15 +95,39 @@ class NetworkClassifier:
     queries never mutate it.  Pass ``dtype=numpy.float32`` to cast the
     model for roughly 2x faster CPU inference (scores then differ from
     float64 in the last bits; returned scores are always float64).
+
+    Pass ``freeze=True`` (or call :meth:`freeze` later) to enable the
+    model's inference fast path: backward caches are skipped, eval-mode
+    batch norms are folded into the preceding convolutions, and im2col
+    buffers are reused across same-shape batches.  Scores stay within
+    float tolerance of the unfrozen eval path and argmax decisions are
+    identical, but they are no longer bit-identical; keep the default
+    for runs pinned by bit-exact differential tests.
     """
 
-    def __init__(self, model: Module, dtype=None):
+    def __init__(self, model: Module, dtype=None, freeze: bool = False):
         self.model = model
         self.model.eval()
         self.dtype = dtype
         self._num_classes: Optional[int] = None
         if dtype is not None:
             self.model.astype(dtype)
+        if freeze:
+            self.model.freeze()
+
+    def freeze(self) -> "NetworkClassifier":
+        """Switch the wrapped model onto the inference fast path."""
+        self.model.freeze()
+        return self
+
+    def unfreeze(self) -> "NetworkClassifier":
+        """Return the wrapped model to the plain (bit-exact) eval path."""
+        self.model.unfreeze()
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self.model.frozen
 
     def __call__(self, image: np.ndarray) -> np.ndarray:
         if image.ndim != 3 or image.shape[2] != 3:

@@ -190,7 +190,8 @@ def cmd_attack(args: argparse.Namespace) -> int:
         budget=args.budget,
         executor=executor,
         run_log=run_log,
-        cache_size=args.cache_size if args.cache_size > 0 else None,
+        cache_size=args.cache_size,
+        freeze=args.freeze,
     )
     if run_log is not None:
         run_log.close()
@@ -264,10 +265,17 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--budget", type=int, default=2048)
     attack.add_argument(
         "--cache-size",
-        type=int,
+        type=_nonnegative_int,
         default=0,
         help="LRU query-cache entries per worker (0 = no cache); caching "
         "sits inside the counting boundary so query counts stay faithful",
+    )
+    attack.add_argument(
+        "--freeze",
+        action="store_true",
+        help="run the classifier on the inference fast path (folded batch "
+        "norms, reused buffers); query counts are unchanged but scores "
+        "are no longer bit-identical to the default eval path",
     )
     _add_runtime_arguments(attack)
     attack.set_defaults(func=cmd_attack)

@@ -15,7 +15,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.attacks.base import AttackResult, OnePixelAttack
-from repro.runtime.cache import CachedClassifier
+from repro.runtime.cache import CachedClassifier, normalized_cache_size
 from repro.runtime.events import NullRunLog, RunLog, ensure_log
 from repro.runtime.pool import WorkerPool
 from repro.runtime.tasks import AttackTaskRunner, run_single_attack
@@ -171,6 +171,7 @@ def attack_dataset(
     executor: Optional[WorkerPool] = None,
     run_log: Optional[RunLog] = None,
     cache_size: Optional[int] = None,
+    freeze: bool = False,
 ) -> AttackRunSummary:
     """Attack every (image, true_class) pair and collect the results.
 
@@ -189,8 +190,18 @@ def attack_dataset(
         :class:`~repro.runtime.cache.CachedClassifier` *inside* the
         attack's counting boundary -- repeated forward passes are served
         from memory while reported query counts stay paper-faithful
-        (see :mod:`repro.runtime.cache`).
+        (see :mod:`repro.runtime.cache`).  ``0`` and ``None`` both mean
+        "no cache"; negative sizes raise here rather than inside a
+        worker.
+    freeze:
+        Switch the classifier onto the inference fast path before
+        attacking (no-op for classifiers without a ``freeze`` method).
+        Query counts are unaffected -- freezing changes per-query
+        latency, never how many submissions an attack makes -- but
+        scores are only float-tolerance-close to the unfrozen path, so
+        leave this off for bit-exact reproductions.
     """
+    cache_size = normalized_cache_size(cache_size)
     if run_log is None and executor is not None:
         if not isinstance(executor.run_log, NullRunLog):
             run_log = executor.run_log
@@ -198,6 +209,10 @@ def attack_dataset(
 
     cache_stats = None
     if executor is None:
+        if freeze:
+            freeze_method = getattr(classifier, "freeze", None)
+            if freeze_method is not None:
+                freeze_method()
         effective = classifier
         cached = None
         if cache_size is not None:
@@ -219,7 +234,7 @@ def attack_dataset(
             log.emit("cache_stats", **cache_stats)
     else:
         runner = AttackTaskRunner(
-            attack, classifier, budget=budget, cache_size=cache_size
+            attack, classifier, budget=budget, cache_size=cache_size, freeze=freeze
         )
         outcomes = executor.map(
             runner,

@@ -14,6 +14,7 @@ weights.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 from dataclasses import dataclass, field
@@ -99,6 +100,22 @@ class TrainedModel:
     train_accuracy: float
     test_accuracy: float
     config: ZooConfig
+
+    def frozen_classifier(self, dtype=None) -> NetworkClassifier:
+        """A fast-path classifier over a private copy of the weights.
+
+        The copy matters: freezing (or casting) the shared :attr:`model`
+        in place would silently move :attr:`classifier` -- and every
+        experiment holding it -- off the bit-exact eval path.  The
+        returned classifier folds batch norms, reuses inference buffers,
+        and optionally computes in ``dtype`` (``numpy.float32`` for the
+        fastest CPU serving configuration); its scores are
+        decision-identical and float-tolerance-close to
+        :attr:`classifier`'s.
+        """
+        return NetworkClassifier(
+            copy.deepcopy(self.model), dtype=dtype, freeze=True
+        )
 
 
 class ModelZoo:

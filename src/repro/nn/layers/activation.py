@@ -15,6 +15,8 @@ class ReLU(Module):
         self._mask = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.inference:
+            return np.maximum(x, 0.0)  # single pass, no backward mask
         self._mask = x > 0
         return np.where(self._mask, x, 0.0)
 
@@ -33,6 +35,8 @@ class LeakyReLU(Module):
         self._mask = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.inference:
+            return np.where(x > 0, x, self.alpha * x)
         self._mask = x > 0
         return np.where(self._mask, x, self.alpha * x)
 

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.layers.norm import BatchNorm2d
 from repro.nn.module import Module
 
 
@@ -20,6 +21,15 @@ class Sequential(Module):
         self.register_module(f"layer{len(self.layers)}", layer)
         self.layers.append(layer)
         return self
+
+    def _freeze_hook(self) -> None:
+        # ahead-of-time conv+BN folding: a batch norm directly following
+        # an affine layer (conv-BN[-ReLU] is the dominant block in every
+        # model here) folds its eval scale/shift into that layer's
+        # weights, so the frozen forward skips the normalization passes
+        for previous, layer in zip(self.layers, self.layers[1:]):
+            if isinstance(layer, BatchNorm2d):
+                layer.fold_into(previous)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         for layer in self.layers:

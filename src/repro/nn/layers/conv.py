@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn import initializers
-from repro.nn.functional import col2im, im2col
+from repro.nn.functional import Im2colWorkspace, col2im, im2col
 from repro.nn.module import Module, Parameter
 
 
@@ -57,12 +57,25 @@ class Conv2d(Module):
         )
         self.bias = Parameter(initializers.zeros((out_channels,))) if bias else None
         self._cache = None
+        self._folded_weight = None  # BN folded in at freeze time, else None
+        self._folded_bias = None
+        self._workspace = None
+
+    def _freeze_hook(self) -> None:
+        self._workspace = Im2colWorkspace()
+
+    def _unfreeze_hook(self) -> None:
+        self._folded_weight = None
+        self._folded_bias = None
+        self._workspace = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ValueError(
                 f"expected (N, {self.in_channels}, H, W) input, got {x.shape}"
             )
+        if self.inference:
+            return self._forward_inference(x)
         cols, out_h, out_w = im2col(x, self.kernel_size, self.stride, self.padding)
         w_mat = self.weight.data.reshape(self.out_channels, -1)
         out = cols @ w_mat.T
@@ -73,7 +86,30 @@ class Conv2d(Module):
         self._cache = (x.shape, cols)
         return out
 
+    def _forward_inference(self, x: np.ndarray) -> np.ndarray:
+        """Forward without backward caches, with folded BN and a reused
+        im2col workspace.  The column matrix aliases the workspace and
+        is consumed by the matmul before this method returns."""
+        cols, out_h, out_w = im2col(
+            x, self.kernel_size, self.stride, self.padding,
+            workspace=self._workspace,
+        )
+        weight = self._folded_weight if self._folded_weight is not None else (
+            self.weight.data
+        )
+        out = cols @ weight.reshape(self.out_channels, -1).T
+        if self._folded_bias is not None:
+            out += self._folded_bias
+        elif self.bias is not None:
+            out += self.bias.data
+        n = x.shape[0]
+        return out.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.inference:
+            raise RuntimeError(
+                "backward is unavailable in inference mode; call unfreeze()"
+            )
         x_shape, cols = self._cache
         n, _, out_h, out_w = grad_output.shape
         grad_mat = grad_output.transpose(0, 2, 3, 1).reshape(

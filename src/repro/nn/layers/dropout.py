@@ -25,6 +25,8 @@ class Dropout(Module):
         self._mask = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.inference:
+            return x  # identity; leave the RNG and mask state untouched
         if not self.training or self.p == 0.0:
             self._mask = None
             return x

@@ -29,12 +29,28 @@ class Linear(Module):
         )
         self.bias = Parameter(initializers.zeros((out_features,))) if bias else None
         self._cache = None
+        self._folded_weight = None  # BN folded in at freeze time, else None
+        self._folded_bias = None
+
+    def _unfreeze_hook(self) -> None:
+        self._folded_weight = None
+        self._folded_bias = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"expected (N, {self.in_features}) input, got {x.shape}"
             )
+        if self.inference:
+            weight = self._folded_weight if self._folded_weight is not None else (
+                self.weight.data
+            )
+            out = x @ weight.T
+            if self._folded_bias is not None:
+                out += self._folded_bias
+            elif self.bias is not None:
+                out += self.bias.data
+            return out
         self._cache = x
         out = x @ self.weight.data.T
         if self.bias is not None:
@@ -42,6 +58,10 @@ class Linear(Module):
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.inference:
+            raise RuntimeError(
+                "backward is unavailable in inference mode; call unfreeze()"
+            )
         x = self._cache
         self.weight.grad += grad_output.T @ x
         if self.bias is not None:

@@ -13,7 +13,10 @@ class BatchNorm2d(Module):
 
     Running statistics are updated with exponential averaging during
     training and used verbatim in evaluation mode, matching the standard
-    semantics.
+    semantics.  ``momentum=0.0`` freezes the running statistics (the
+    batch still normalizes by its own moments in training mode), which
+    is a legitimate configuration for fine-tuning and exactly what the
+    inference freeze path relies on.
     """
 
     _buffer_names = ("running_mean", "running_var")
@@ -22,8 +25,8 @@ class BatchNorm2d(Module):
         super().__init__()
         if num_features <= 0:
             raise ValueError("num_features must be positive")
-        if not 0.0 < momentum <= 1.0:
-            raise ValueError("momentum must be in (0, 1]")
+        if not 0.0 <= momentum <= 1.0:
+            raise ValueError("momentum must be in [0, 1]")
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
@@ -32,12 +35,93 @@ class BatchNorm2d(Module):
         self.running_mean = np.zeros(num_features, dtype=np.float64)
         self.running_var = np.ones(num_features, dtype=np.float64)
         self._cache = None
+        self._folded = False
+        self._scale = None
+        self._shift = None
+
+    # -- eval-mode fold ----------------------------------------------------
+
+    def _eval_scale_shift(self):
+        """Eval normalization as one fused multiply-add, in float64.
+
+        The scale/shift fold is always computed at float64 regardless of
+        the parameter dtype: downcasting the *intermediates* (as an
+        ``astype(x.dtype)`` before the multiply-add would) makes float32
+        eval scores drift from the train-path normalization formula more
+        than the multiply-add itself requires.  Callers cast the final
+        output, not the fold.
+        """
+        inv_std = 1.0 / np.sqrt(self.running_var.astype(np.float64) + self.eps)
+        scale = self.gamma.data.astype(np.float64) * inv_std
+        shift = (
+            self.beta.data.astype(np.float64)
+            - self.running_mean.astype(np.float64) * scale
+        )
+        return scale, shift, inv_std
+
+    def fold_into(self, preceding) -> bool:
+        """Fold this layer's eval transform into a preceding affine layer.
+
+        ``preceding`` must expose a ``weight`` :class:`Parameter` whose
+        leading axis is the output-channel axis this layer normalizes
+        (a :class:`~repro.nn.layers.conv.Conv2d` or
+        :class:`~repro.nn.layers.linear.Linear`), plus an optional
+        ``bias``.  The fold is computed in float64 from the *current*
+        parameters and stored in side buffers (``_folded_weight`` /
+        ``_folded_bias``) that the preceding layer's inference forward
+        picks up -- trainable parameters are never touched, so
+        unfreezing restores exact training behaviour.  Afterwards this
+        layer passes frozen inputs through unchanged.
+
+        Returns ``False`` (and folds nothing) when ``preceding`` has no
+        compatible weight.
+        """
+        weight = getattr(preceding, "weight", None)
+        if not isinstance(weight, Parameter) or weight.data.ndim < 2:
+            return False
+        if weight.data.shape[0] != self.num_features:
+            return False
+        scale, shift, _ = self._eval_scale_shift()
+        folded = weight.data.astype(np.float64) * scale.reshape(
+            (-1,) + (1,) * (weight.data.ndim - 1)
+        )
+        bias = getattr(preceding, "bias", None)
+        if isinstance(bias, Parameter):
+            folded_bias = shift + scale * bias.data.astype(np.float64)
+        else:
+            folded_bias = shift
+        dtype = weight.data.dtype
+        preceding._folded_weight = folded.astype(dtype)
+        preceding._folded_bias = folded_bias.astype(dtype)
+        self._folded = True
+        return True
+
+    def _freeze_hook(self) -> None:
+        # precompute the fused eval transform once; if a container folds
+        # this layer into its predecessor these go unused (forward then
+        # degenerates to the identity)
+        scale, shift, _ = self._eval_scale_shift()
+        self._scale = scale
+        self._shift = shift
+
+    def _unfreeze_hook(self) -> None:
+        self._folded = False
+        self._scale = None
+        self._shift = None
+
+    # -- compute -----------------------------------------------------------
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 4 or x.shape[1] != self.num_features:
             raise ValueError(
                 f"expected (N, {self.num_features}, H, W) input, got {x.shape}"
             )
+        if self.inference:
+            if self._folded:
+                return x  # absorbed by the preceding conv/linear weights
+            out = x * self._scale[None, :, None, None]
+            out += self._shift[None, :, None, None]
+            return out if out.dtype == x.dtype else out.astype(x.dtype)
         if self.training:
             axes = (0, 2, 3)
             mean = x.mean(axis=axes)
@@ -52,16 +136,14 @@ class BatchNorm2d(Module):
                 (1 - self.momentum) * self.running_var + self.momentum * unbiased
             )
         else:
-            # inference fast path: fold normalization and affine into one
-            # fused multiply-add (x_hat is reconstructed lazily if a
-            # backward pass is ever requested in eval mode)
-            inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
-            scale = (self.gamma.data * inv_std).astype(x.dtype)
-            shift = (self.beta.data - self.running_mean * scale).astype(x.dtype)
+            # eval fast path: normalization and affine as one fused
+            # multiply-add (x_hat is reconstructed lazily if a backward
+            # pass is ever requested in eval mode)
+            scale, shift, inv_std = self._eval_scale_shift()
             out = x * scale[None, :, None, None]
             out += shift[None, :, None, None]
             self._cache = ("eval", x, inv_std)
-            return out
+            return out if out.dtype == x.dtype else out.astype(x.dtype)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
         out = (
@@ -72,6 +154,10 @@ class BatchNorm2d(Module):
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self.inference:
+            raise RuntimeError(
+                "backward is unavailable in inference mode; call unfreeze()"
+            )
         mode, cached, inv_std = self._cache
         axes = (0, 2, 3)
         count = grad_output.shape[0] * grad_output.shape[2] * grad_output.shape[3]

@@ -49,6 +49,7 @@ class Module:
         self._parameters: Dict[str, Parameter] = {}
         self._modules: Dict[str, "Module"] = {}
         self.training = True
+        self.inference = False
 
     # -- registration ------------------------------------------------------
 
@@ -101,6 +102,7 @@ class Module:
     # -- mode switching ----------------------------------------------------
 
     def train(self) -> "Module":
+        self.unfreeze()  # training always leaves inference mode first
         for module in self.modules():
             module.training = True
         return self
@@ -109,6 +111,51 @@ class Module:
         for module in self.modules():
             module.training = False
         return self
+
+    def freeze(self) -> "Module":
+        """Switch the model to the inference fast path.
+
+        Freezing implies :meth:`eval` and additionally:
+
+        - every layer's forward skips backward-cache construction (the
+          arrays ``backward`` would need are simply never stored);
+        - eval-mode batch-norm scale/shift is folded ahead of time into
+          the weights of a directly preceding convolution or linear
+          layer, removing those normalization passes entirely (see
+          :meth:`~repro.nn.layers.norm.BatchNorm2d.fold_into`);
+        - convolution and pooling layers keep a reusable im2col
+          workspace so repeated same-shape batches stop reallocating.
+
+        Trainable parameters are never mutated: folded weights live in
+        side buffers, so :meth:`unfreeze` (or :meth:`train`, which
+        unfreezes implicitly) restores exact training behaviour.
+        Idempotent; re-freezing recomputes the folds from the current
+        parameters.  ``backward`` is unavailable while frozen.
+        """
+        self.eval()
+        for module in self.modules():
+            module.inference = True
+        for module in self.modules():
+            module._freeze_hook()
+        return self
+
+    def unfreeze(self) -> "Module":
+        """Leave the inference fast path (stays in eval mode)."""
+        for module in self.modules():
+            if module.inference:
+                module.inference = False
+                module._unfreeze_hook()
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self.inference
+
+    def _freeze_hook(self) -> None:
+        """Per-layer freeze-time preparation (fold, workspaces)."""
+
+    def _unfreeze_hook(self) -> None:
+        """Discard per-layer frozen state."""
 
     def zero_grad(self) -> None:
         for param in self.parameters():
@@ -151,6 +198,8 @@ class Module:
                 )
             param.data = value
         self._load_buffers(state, prefix="")
+        if self.inference:
+            self.freeze()  # refresh folded weights from the new state
 
     def _load_buffers(self, state: Dict[str, np.ndarray], prefix: str) -> None:
         for name in getattr(self, "_buffer_names", ()):
@@ -175,6 +224,8 @@ class Module:
                 object.__setattr__(
                     module, name, getattr(module, name).astype(dtype)
                 )
+        if self.inference:
+            self.freeze()  # recompute folded weights in the new dtype
         return self
 
     def num_parameters(self) -> int:

@@ -29,14 +29,30 @@ parallel, cached runs reproduce the paper's sequential numbers exactly.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
 Classifier = Callable[[np.ndarray], np.ndarray]
 
 DEFAULT_CACHE_SIZE = 4096
+
+
+def normalized_cache_size(cache_size: Optional[int]) -> Optional[int]:
+    """Map a user-facing cache size to a :class:`QueryCache` capacity.
+
+    ``None`` and ``0`` both mean "no cache" (flags like ``--cache-size 0``
+    are the documented way to disable caching, and must not crash on the
+    cache constructor's positive-size requirement); negative sizes are
+    rejected here at the configuration boundary with a clear message.
+    """
+    if cache_size is None or cache_size == 0:
+        return None
+    if cache_size < 0:
+        raise ValueError(f"cache size must be non-negative, got {cache_size}")
+    return int(cache_size)
 
 
 def image_digest(image: np.ndarray) -> bytes:
@@ -55,6 +71,14 @@ class QueryCache:
     Eviction is least-recently-*used*: both hits and inserts refresh an
     entry's recency.  Stored scores are copied on the way in and out so
     callers can never corrupt the cache by mutating a returned array.
+
+    Every operation takes an internal lock, so a cache shared between
+    threads (the serving broker's flusher plus synchronous ``evaluate``
+    callers, or thread-pool session drivers) cannot corrupt the
+    ``OrderedDict`` or lose counter increments.  The lock covers single
+    operations only: callers needing a compound ``get``-then-``put`` to
+    be atomic (e.g. the broker's within-batch dedup) still hold their
+    own lock around the sequence.
     """
 
     def __init__(self, maxsize: int = DEFAULT_CACHE_SIZE):
@@ -62,49 +86,61 @@ class QueryCache:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
         self._entries: "OrderedDict[bytes, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: bytes) -> Optional[np.ndarray]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry.copy()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry.copy()
 
     def put(self, key: bytes, scores: np.ndarray) -> None:
-        self._entries[key] = np.array(scores, copy=True)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        scores = np.array(scores, copy=True)
+        with self._lock:
+            self._entries[key] = scores
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        total = hits + misses
         if total == 0:
             return 0.0
-        return self.hits / total
+        return hits / total
 
     def stats(self) -> Dict[str, float]:
         """JSON-safe counters for :class:`~repro.runtime.events.RunLog`."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            evictions, size = self.evictions, len(self._entries)
+        total = hits + misses
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "size": len(self._entries),
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "size": size,
             "maxsize": self.maxsize,
-            "hit_rate": self.hit_rate,
+            "hit_rate": hits / total if total else 0.0,
         }
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class CachedClassifier:
@@ -137,6 +173,42 @@ class CachedClassifier:
         scores = self._classifier(image)
         self.cache.put(key, scores)
         return scores
+
+    def batch(self, images) -> np.ndarray:
+        """Score many images, serving hits from the cache.
+
+        The canonical batched entry point
+        (:func:`~repro.classifier.blackbox.batch_scores`) dispatches here
+        when a cached classifier is queried with a batch: each image is
+        looked up individually, the distinct misses go to the wrapped
+        classifier as one batch, and results come back in input order.
+        Repeats *within* one batch are scored once but counted as misses
+        (the lookups all happen before the model call), so hit/miss
+        statistics can differ slightly from a sequential replay; returned
+        scores do not.
+        """
+        from repro.classifier.blackbox import batch_scores
+
+        if not isinstance(images, np.ndarray):
+            images = list(images)
+        if len(images) == 0:
+            return batch_scores(self._classifier, images)
+        keys = [image_digest(np.asarray(image)) for image in images]
+        scores: List[Optional[np.ndarray]] = [self.cache.get(key) for key in keys]
+        first_seen: Dict[bytes, int] = {}
+        miss_images = []
+        for position, key in enumerate(keys):
+            if scores[position] is None and key not in first_seen:
+                first_seen[key] = len(miss_images)
+                miss_images.append(images[position])
+        if miss_images:
+            fresh = np.asarray(batch_scores(self._classifier, miss_images))
+            for key, slot in first_seen.items():
+                self.cache.put(key, fresh[slot])
+            for position, key in enumerate(keys):
+                if scores[position] is None:
+                    scores[position] = np.array(fresh[first_seen[key]], copy=True)
+        return np.stack(scores)
 
     @property
     def hit_rate(self) -> float:

@@ -23,7 +23,7 @@ from repro.attacks.base import AttackResult, OnePixelAttack
 from repro.classifier.blackbox import QueryBudgetExceeded
 from repro.core.dsl.ast import Program
 from repro.core.sketch import OnePixelSketch, SketchResult
-from repro.runtime.cache import CachedClassifier
+from repro.runtime.cache import CachedClassifier, normalized_cache_size
 
 TaskPayload = Tuple[np.ndarray, int]
 
@@ -73,6 +73,16 @@ class AttackTaskRunner:
     own counting boundary, so it accelerates repeated forward passes
     without altering the paper-faithful per-image query counts -- see
     :mod:`repro.runtime.cache` for the threat-model discussion.
+
+    ``cache_size=0`` is accepted as "no cache" (the natural meaning of a
+    zero-entry cache, and what the CLI's ``--cache-size 0`` default sends
+    through); negative sizes are rejected here, at the engine boundary,
+    instead of surfacing as a :class:`QueryCache` crash inside a worker.
+
+    ``freeze=True`` switches the classifier onto the inference fast path
+    (see :meth:`repro.nn.Module.freeze`) on first use in each worker --
+    after unpickling, so the flag is spawn-safe.  Classifiers without a
+    ``freeze`` method are left untouched.
     """
 
     def __init__(
@@ -81,19 +91,28 @@ class AttackTaskRunner:
         classifier,
         budget: Optional[int] = None,
         cache_size: Optional[int] = None,
+        freeze: bool = False,
     ):
         self.attack = attack
         self.classifier = classifier
         self.budget = budget
-        self.cache_size = cache_size
+        self.cache_size = normalized_cache_size(cache_size)
+        self.freeze = freeze
         self._cached: Optional[CachedClassifier] = None
+        self._frozen = False
 
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_cached"] = None  # caches are worker-local, never shipped
+        state["_frozen"] = False  # re-freeze (idempotent) in the worker
         return state
 
     def _effective_classifier(self):
+        if self.freeze and not self._frozen:
+            freeze_method = getattr(self.classifier, "freeze", None)
+            if freeze_method is not None:
+                freeze_method()
+            self._frozen = True
         if self.cache_size is None:
             return self.classifier
         if self._cached is None:

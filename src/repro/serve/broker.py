@@ -135,7 +135,14 @@ class MicroBatchBroker:
         #: a served run; called under no broker lock, so observers must
         #: be fast and must not re-enter the broker.
         self.observer = None
+        # The QueryCache locks each get/put internally; this lock is
+        # still required around the broker's *compound* lookup-and-dedup
+        # phase, so two concurrent evaluate() calls cannot interleave
+        # their miss decisions and double-score the same image.
         self._cache_lock = threading.Lock()
+        # Forward passes are serialized: repro.nn models are not
+        # thread-safe, and the frozen fast path reuses per-layer im2col
+        # workspaces that assume one forward pass in flight at a time.
         self._model_lock = threading.Lock()
         self._cond = threading.Condition(threading.Lock())
         self._pending: List[_PendingQuery] = []

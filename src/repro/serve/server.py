@@ -40,10 +40,12 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.classifier.blackbox import NetworkClassifier
 from repro.classifier.toy import SmoothLinearClassifier
 from repro.models.registry import ARCHITECTURES, build_model
-from repro.runtime.cache import QueryCache
+from repro.runtime.cache import QueryCache, normalized_cache_size
 from repro.runtime.events import RunLog, ensure_log
 from repro.serve.admission import AdmissionControl, RateLimiter
 from repro.serve.broker import BatchPolicy, MicroBatchBroker
@@ -84,17 +86,29 @@ class ServeConfig:
     rate: float = 50.0  # per-client submissions per second
     burst: float = 20.0
     log_path: Optional[str] = None
+    freeze: bool = False  # serve network models on the inference fast path
+    dtype: Optional[str] = None  # "float32" casts network models for speed
 
 
 def build_classifier(config: ServeConfig):
-    """The model a config names: toy by default, registry otherwise."""
+    """The model a config names: toy by default, registry otherwise.
+
+    ``freeze`` and ``dtype`` select the inference fast path for network
+    models (batch-norm folding, buffer reuse, optional float32 compute).
+    They change per-query latency only -- never how many submissions a
+    session is charged -- but frozen or float32 scores are merely
+    float-tolerance-close to the default float64 eval path, so leave
+    both off when serving runs pinned by bit-exact differential tests.
+    The toy classifier has no network to freeze; both knobs are no-ops.
+    """
     shape = (config.height, config.width, 3)
     if config.model == "toy":
         return SmoothLinearClassifier(
             image_shape=shape, num_classes=config.num_classes, seed=config.seed
         )
     model = build_model(config.model, num_classes=config.num_classes, seed=config.seed)
-    return NetworkClassifier(model)
+    dtype = np.dtype(config.dtype) if config.dtype else None
+    return NetworkClassifier(model, dtype=dtype, freeze=config.freeze)
 
 
 class AttackServer:
@@ -106,7 +120,8 @@ class AttackServer:
             RunLog(config.log_path) if config.log_path else None
         )
         self.classifier = build_classifier(config)
-        self.cache = QueryCache(config.cache_size) if config.cache_size else None
+        cache_size = normalized_cache_size(config.cache_size)
+        self.cache = QueryCache(cache_size) if cache_size is not None else None
         self.broker = MicroBatchBroker(
             self.classifier,
             policy=BatchPolicy(
@@ -371,6 +386,13 @@ class ServerHandle:
         self.stop()
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -396,8 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds the oldest pending query may wait before a flush",
     )
     parser.add_argument(
-        "--cache", type=int, default=4096, dest="cache_size",
+        "--cache", type=_nonnegative_int, default=4096, dest="cache_size",
         help="query-cache entries (0 disables caching)",
+    )
+    parser.add_argument(
+        "--freeze",
+        action="store_true",
+        help="serve network models on the inference fast path (folded "
+        "batch norms, reused buffers); no-op for the toy model",
+    )
+    parser.add_argument(
+        "--dtype",
+        choices=["float32", "float64"],
+        default=None,
+        help="cast network models for inference (float32 is ~2x faster "
+        "on CPU; scores differ from float64 in the last ulps)",
     )
     parser.add_argument("--max-sessions", type=int, default=64)
     parser.add_argument("--workers", type=int, default=16, dest="max_workers")

@@ -24,8 +24,10 @@ from repro.testkit.differential import (
     DifferentialReport,
     DifferentialRunner,
     Divergence,
+    network_runner,
     result_fingerprint,
     results_equal,
+    tiny_network_classifier,
     toy_runner,
 )
 from repro.testkit.faults import (
@@ -74,10 +76,12 @@ __all__ = [
     "TraceRecorder",
     "diff_events",
     "load_trace",
+    "network_runner",
     "pixel_diff",
     "replay",
     "result_fingerprint",
     "results_equal",
     "run_fault_matrix",
+    "tiny_network_classifier",
     "toy_runner",
 ]

@@ -216,6 +216,18 @@ class DifferentialRunner:
 
     # -- cell execution ----------------------------------------------------
 
+    def run_cell(
+        self, cell: Cell
+    ) -> Tuple[Optional[AttackResult], List[TraceEvent]]:
+        """Execute one grid cell: ``(result, trace_events)``.
+
+        Public so targeted tests can compare single cells *across*
+        runners -- e.g. the inference-fast-path acceptance test runs the
+        stepped baseline of a frozen-classifier runner against the same
+        cell of an unfrozen runner and asserts decision-identity.
+        """
+        return self._run_cell(cell)
+
     def _run_cell(
         self, cell: Cell
     ) -> Tuple[Optional[AttackResult], List[TraceEvent]]:
@@ -325,6 +337,31 @@ class DifferentialRunner:
         return report
 
 
+def _alternating_attack_factory():
+    """``seed -> attack``: the sketch attack on even seeds, the seeded
+    uniform-random baseline on odd ones, so sweeps cover both a
+    score-driven and an RNG-driven query stream."""
+    from repro.attacks.random_search import UniformRandomAttack, UniformRandomConfig
+    from repro.attacks.sketch_attack import SketchAttack
+    from repro.core.dsl.parser import parse_program
+
+    program = parse_program(
+        """
+        [B1] score_diff(N(x), N(x[l<-p]), c_x) < 0.05
+        [B2] max(x[l]) > 0.5
+        [B3] score_diff(N(x), N(x[l<-p]), c_x) > 0.1
+        [B4] center(l) < 2
+        """
+    )
+
+    def attack_factory(seed: int):
+        if seed % 2 == 0:
+            return SketchAttack(program)
+        return UniformRandomAttack(UniformRandomConfig(seed=seed))
+
+    return attack_factory
+
+
 def toy_runner(
     seeds: Iterable[int] = range(20),
     budget: int = 40,
@@ -340,29 +377,114 @@ def toy_runner(
     and an RNG-driven query stream.  Any keyword argument of
     :class:`DifferentialRunner` can be overridden.
     """
-    from repro.attacks.random_search import UniformRandomAttack, UniformRandomConfig
-    from repro.attacks.sketch_attack import SketchAttack
     from repro.classifier.toy import LinearPixelClassifier, make_toy_images
-    from repro.core.dsl.parser import parse_program
 
-    program = parse_program(
-        """
-        [B1] score_diff(N(x), N(x[l<-p]), c_x) < 0.05
-        [B2] max(x[l]) > 0.5
-        [B3] score_diff(N(x), N(x[l<-p]), c_x) > 0.1
-        [B4] center(l) < 2
-        """
-    )
+    attack_factory = _alternating_attack_factory()
 
     def classifier_factory(seed: int):
         return LinearPixelClassifier(
             shape, num_classes=num_classes, seed=7, temperature=0.05
         )
 
-    def attack_factory(seed: int):
-        if seed % 2 == 0:
-            return SketchAttack(program)
-        return UniformRandomAttack(UniformRandomConfig(seed=seed))
+    def case_factory(seed: int):
+        image = make_toy_images(1, shape, seed=seed)[0]
+        true_class = int(np.argmax(classifier_factory(seed)(image)))
+        return image, true_class
+
+    return DifferentialRunner(
+        attack_factory,
+        classifier_factory,
+        case_factory,
+        seeds=seeds,
+        budget=budget,
+        **kwargs,
+    )
+
+
+def tiny_network_classifier(
+    image_size: int = 8,
+    num_classes: int = 3,
+    frozen: bool = False,
+    dtype=None,
+    seed: int = 7,
+):
+    """A deterministic conv+BN :class:`NetworkClassifier` for sweeps.
+
+    Builds a minimal Conv-BN-ReLU-pool network, warms the batch-norm
+    running statistics with a few fixed training batches (so freeze-time
+    folding has non-trivial scale/shift to fold), and switches to eval
+    mode.  ``frozen=True`` returns it on the inference fast path --
+    batch norms folded into the convolutions, backward caches skipped.
+    Every call with the same arguments yields a bit-identical
+    classifier, which is what lets differential cells stay independent
+    yet comparable.
+    """
+    from repro.classifier.blackbox import NetworkClassifier
+    from repro.nn import (
+        BatchNorm2d,
+        Conv2d,
+        GlobalAvgPool2d,
+        Linear,
+        MaxPool2d,
+        ReLU,
+        Sequential,
+    )
+
+    rng = np.random.default_rng(seed)
+    model = Sequential(
+        Conv2d(3, 8, 3, padding=1, rng=rng),
+        BatchNorm2d(8),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(8, 8, 3, padding=1, rng=rng),
+        BatchNorm2d(8),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Linear(8, num_classes, rng=rng),
+    )
+    model.train()
+    warmup = np.random.default_rng(seed + 1)
+    for _ in range(3):
+        model(warmup.normal(0.45, 0.25, size=(8, 3, image_size, image_size)))
+    model.eval()
+    return NetworkClassifier(model, dtype=dtype, freeze=frozen)
+
+
+def network_runner(
+    seeds: Iterable[int] = range(8),
+    budget: int = 24,
+    image_size: int = 8,
+    num_classes: int = 3,
+    frozen: bool = False,
+    dtype=None,
+    **kwargs,
+) -> DifferentialRunner:
+    """A differential sweep against a real (tiny) convolutional network.
+
+    The toy sweep (:func:`toy_runner`) exercises the execution paths;
+    this one additionally exercises the :mod:`repro.nn` forward stack
+    behind :class:`~repro.classifier.blackbox.NetworkClassifier` --
+    including, with ``frozen=True``, the inference fast path (folded
+    batch norms, reused im2col workspaces, skipped backward caches).
+    A frozen sweep must still be internally bit-identical across every
+    path x cache cell: freezing changes *how* scores are computed, not
+    the determinism of a given classifier instance.  Cross-checking a
+    frozen sweep against an unfrozen one is decision-level only; see
+    the fast-path acceptance tests.
+    """
+    from repro.classifier.toy import make_toy_images
+
+    attack_factory = _alternating_attack_factory()
+
+    def classifier_factory(seed: int):
+        return tiny_network_classifier(
+            image_size=image_size,
+            num_classes=num_classes,
+            frozen=frozen,
+            dtype=dtype,
+        )
+
+    shape = (image_size, image_size, 3)
 
     def case_factory(seed: int):
         image = make_toy_images(1, shape, seed=seed)[0]

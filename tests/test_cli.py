@@ -38,6 +38,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "table9"])
 
+    def test_attack_cache_size_zero_accepted(self):
+        args = build_parser().parse_args(["attack", "--cache-size", "0"])
+        assert args.cache_size == 0
+
+    def test_attack_cache_size_negative_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--cache-size", "-5"])
+
+    def test_attack_freeze_flag(self):
+        assert build_parser().parse_args(["attack"]).freeze is False
+        assert build_parser().parse_args(["attack", "--freeze"]).freeze is True
+
 
 class TestCommands:
     def test_train_then_attack(self, cache_dir, capsys):
@@ -51,6 +63,19 @@ class TestCommands:
         ) == 0
         output = capsys.readouterr().out
         assert "Sketch+False" in output
+
+    def test_attack_with_cache_disabled_and_freeze(self, cache_dir, capsys):
+        """Regression: ``--cache-size 0`` used to crash with ``ValueError:
+        maxsize must be positive``; it now means "no cache", and composes
+        with the frozen inference fast path."""
+        main(["train", *TINY, "--cache-dir", cache_dir])
+        capsys.readouterr()
+        assert main(
+            ["attack", *TINY, "--cache-dir", cache_dir,
+             "--images", "2", "--budget", "40",
+             "--cache-size", "0", "--freeze"]
+        ) == 0
+        assert "Sketch+False" in capsys.readouterr().out
 
     def test_synthesize_saves_program(self, cache_dir, tmp_path, capsys):
         out = str(tmp_path / "program.json")

@@ -1,0 +1,294 @@
+"""The inference fast path: freeze()/unfreeze(), conv+BN folding,
+workspace reuse, and the batch-norm precision fixes that ride along.
+
+Acceptance contract (mirrored by ``benchmarks/test_inference_fastpath.py``
+for throughput): the default unfrozen eval path stays bit-identical to
+the seed implementation, the frozen path is decision-identical with
+scores allclose at tight tolerance, and ``unfreeze()`` restores the
+bit-exact eval path with trainable parameters untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifier.blackbox import NetworkClassifier
+from repro.models.registry import build_model
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.testkit.differential import tiny_network_classifier
+
+
+def _conv_bn_net(seed: int = 3) -> Sequential:
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(3, 6, 3, padding=1, rng=rng),
+        BatchNorm2d(6),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(6, 6, 3, padding=1, rng=rng),
+        BatchNorm2d(6),
+        ReLU(),
+        GlobalAvgPool2d(),
+        Linear(6, 4, rng=rng),
+    )
+
+
+def _warmed(model: Sequential, seed: int = 4) -> Sequential:
+    """Train-mode forwards so batch-norm running stats are non-trivial."""
+    model.train()
+    rng = np.random.default_rng(seed)
+    for _ in range(3):
+        model(rng.normal(0.45, 0.25, size=(8, 3, 8, 8)))
+    model.eval()
+    return model
+
+
+@pytest.fixture
+def net():
+    return _warmed(_conv_bn_net())
+
+
+@pytest.fixture
+def batch():
+    return np.random.default_rng(5).random((4, 3, 8, 8))
+
+
+class TestFreezeBasics:
+    def test_freeze_marks_every_module(self, net):
+        net.freeze()
+        assert net.frozen
+        assert all(module.inference for module in net.modules())
+        assert not any(module.training for module in net.modules())
+
+    def test_unfreeze_clears_every_module(self, net):
+        net.freeze()
+        net.unfreeze()
+        assert not any(module.inference for module in net.modules())
+
+    def test_train_auto_unfreezes(self, net):
+        net.freeze()
+        net.train()
+        assert not net.frozen
+        assert all(module.training for module in net.modules())
+
+    def test_backward_raises_when_frozen(self, net, batch):
+        net.freeze()
+        out = net(batch)
+        with pytest.raises(RuntimeError, match="inference mode"):
+            net.backward(np.ones_like(out))
+
+    def test_dropout_is_identity_when_frozen(self):
+        dropout = Dropout(p=0.5, seed=0)
+        dropout.freeze()
+        x = np.random.default_rng(6).random((3, 7))
+        assert dropout(x) is x
+
+
+class TestFolding:
+    def test_frozen_scores_allclose_and_decisions_identical(self, net, batch):
+        reference = net(batch)
+        net.freeze()
+        frozen = net(batch)
+        assert np.allclose(frozen, reference, rtol=1e-9, atol=1e-12)
+        assert np.array_equal(frozen.argmax(axis=1), reference.argmax(axis=1))
+
+    def test_conv_bn_actually_folds(self, net):
+        net.freeze()
+        convs = [m for m in net.modules() if isinstance(m, Conv2d)]
+        bns = [m for m in net.modules() if isinstance(m, BatchNorm2d)]
+        assert all(conv._folded_weight is not None for conv in convs)
+        assert all(bn._folded for bn in bns)
+
+    def test_bn_without_affine_predecessor_still_matches(self, batch):
+        # a BN that follows a pool cannot fold; its frozen forward must
+        # fall back to the precomputed fused multiply-add
+        model = _warmed(
+            Sequential(MaxPool2d(2), BatchNorm2d(3), GlobalAvgPool2d())
+        )
+        reference = model(batch)
+        model.freeze()
+        bn = model[1]
+        assert not bn._folded
+        assert np.allclose(model(batch), reference, rtol=1e-9, atol=1e-12)
+
+    def test_unfreeze_round_trip_is_bit_exact(self, net, batch):
+        before_state = {k: v.copy() for k, v in net.state_dict().items()}
+        reference = net(batch)
+        net.freeze()
+        net(batch)
+        net.unfreeze()
+        after_state = net.state_dict()
+        assert before_state.keys() == after_state.keys()
+        for key, value in before_state.items():
+            assert np.array_equal(value, after_state[key]), key
+        assert np.array_equal(net(batch), reference)
+
+    def test_load_state_dict_refreshes_folds(self, net, batch):
+        net.freeze()
+        stale = net(batch)
+        donor = _warmed(_conv_bn_net(seed=11), seed=12)
+        net.load_state_dict(donor.state_dict())
+        assert net.frozen  # loading keeps the fast path active...
+        refreshed = net(batch)
+        # ...and refolds from the *new* weights, not the stale ones
+        donor_reference = donor(batch)
+        assert np.allclose(refreshed, donor_reference, rtol=1e-9, atol=1e-12)
+        assert not np.allclose(refreshed, stale, rtol=1e-9, atol=1e-12)
+
+
+class TestWorkspaceReuse:
+    def test_repeated_same_shape_batches_are_deterministic(self, net, batch):
+        net.freeze()
+        first = net(batch).copy()
+        for _ in range(3):
+            assert np.array_equal(net(batch), first)
+
+    def test_shape_changes_between_batches(self, net, batch):
+        net.unfreeze()
+        small = batch[:2]
+        ref_full = net(batch)
+        ref_small = net(small)
+        net.freeze()
+        assert np.allclose(net(batch), ref_full, rtol=1e-9, atol=1e-12)
+        assert np.allclose(net(small), ref_small, rtol=1e-9, atol=1e-12)
+        assert np.allclose(net(batch), ref_full, rtol=1e-9, atol=1e-12)
+
+    def test_avgpool_frozen_matches_eval(self):
+        x = np.random.default_rng(8).random((2, 3, 6, 6))
+        pool = AvgPool2d(3, stride=1, padding=1)
+        reference = pool(x)
+        pool.freeze()
+        assert np.allclose(pool(x), reference, rtol=1e-12, atol=1e-15)
+
+    def test_maxpool_frozen_is_bit_exact(self):
+        x = np.random.default_rng(9).random((2, 3, 6, 6))
+        pool = MaxPool2d(2)
+        reference = pool(x)
+        pool.freeze()
+        assert np.array_equal(pool(x), reference)
+
+
+class TestNetworkClassifierFastPath:
+    def test_frozen_classifier_decision_identical(self):
+        plain = tiny_network_classifier()
+        frozen = tiny_network_classifier(frozen=True)
+        rng = np.random.default_rng(10)
+        for _ in range(10):
+            image = rng.random((8, 8, 3))
+            a, b = plain(image), frozen(image)
+            assert np.allclose(a, b, rtol=1e-9, atol=1e-12)
+            assert a.argmax() == b.argmax()
+
+    def test_float32_frozen_decisions_match(self):
+        plain = tiny_network_classifier()
+        fast = tiny_network_classifier(frozen=True, dtype=np.float32)
+        rng = np.random.default_rng(11)
+        images = rng.random((12, 8, 8, 3))
+        a = plain.batch(images)
+        b = fast.batch(images)
+        assert np.array_equal(a.argmax(axis=1), b.argmax(axis=1))
+        assert np.allclose(a, b, rtol=1e-4, atol=1e-5)
+
+    def test_freeze_and_unfreeze_methods(self):
+        classifier = tiny_network_classifier()
+        image = np.random.default_rng(12).random((8, 8, 3))
+        reference = classifier(image)
+        assert not classifier.frozen
+        classifier.freeze()
+        assert classifier.frozen
+        classifier.unfreeze()
+        assert not classifier.frozen
+        assert np.array_equal(classifier(image), reference)
+
+
+class TestRegistryModels:
+    def _check(self, arch: str):
+        rng = np.random.default_rng(0)
+        model = build_model(arch, num_classes=10, seed=0)
+        model.train()
+        model(rng.normal(0.45, 0.25, size=(8, 3, 16, 16)))
+        model.eval()
+        batch = rng.random((4, 3, 16, 16))
+        reference = model(batch)
+        model.freeze()
+        frozen = model(batch)
+        assert np.allclose(frozen, reference, rtol=1e-8, atol=1e-10), arch
+        assert np.array_equal(
+            frozen.argmax(axis=1), reference.argmax(axis=1)
+        ), arch
+        model.unfreeze()
+        assert np.array_equal(model(batch), reference), arch
+
+    def test_vgg16bn_fast_path(self):
+        self._check("vgg16bn")
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "arch", ["resnet18", "resnet50", "googlenet", "densenet121"]
+    )
+    def test_remaining_architectures(self, arch):
+        self._check(arch)
+
+
+class TestBatchNormPrecision:
+    def test_momentum_zero_supported_under_freeze(self):
+        # the freeze path relies on stats staying put; momentum=0 is the
+        # standard way to pin them (regression for the momentum>0 check)
+        bn = BatchNorm2d(2, momentum=0.0)
+        bn.eval()
+        x = np.random.default_rng(13).random((2, 2, 4, 4))
+        reference = bn(x)
+        bn.freeze()
+        assert np.allclose(bn(x), reference, rtol=1e-12, atol=1e-15)
+
+    def test_eval_float32_fold_computed_in_float64(self):
+        # harsh statistics: large mean, tiny variance.  Downcasting the
+        # scale/shift intermediates to float32 before the multiply-add
+        # (the old eval path) loses ~all significant digits of the
+        # output; folding in float64 and casting only the result keeps
+        # the error at float32 epsilon scale.
+        bn = BatchNorm2d(1)
+        bn.running_mean = np.array([1000.0])
+        bn.running_var = np.array([1e-3])
+        bn.gamma.data = np.array([0.1])
+        bn.beta.data = np.array([0.5])
+        bn.eval()
+        x64 = 1000.0 + np.random.default_rng(14).normal(
+            0.0, 0.05, size=(4, 1, 3, 3)
+        )
+        reference = bn(x64)
+        bn.gamma.data = bn.gamma.data.astype(np.float32)
+        bn.beta.data = bn.beta.data.astype(np.float32)
+        out32 = bn(x64.astype(np.float32))
+        assert out32.dtype == np.float32
+        # float32 x loses ~6e-5 of the 1000-scale input; the fold itself
+        # must not add error beyond that input quantization
+        assert np.allclose(out32, reference, rtol=1e-3, atol=2e-2)
+
+    def test_eval_matches_train_normalization_within_bias_bound(self):
+        # momentum=1.0 makes the running stats exactly the last batch's
+        # moments (with the unbiased-variance correction), so eval and
+        # train outputs on that batch may differ only by the
+        # count/(count-1) variance factor -- a bounded, known divergence
+        rng = np.random.default_rng(15)
+        bn = BatchNorm2d(3, momentum=1.0)
+        bn.gamma.data = rng.normal(1.0, 0.2, size=3)
+        bn.beta.data = rng.normal(0.0, 0.2, size=3)
+        x = rng.normal(2.0, 1.5, size=(8, 3, 4, 4))
+        bn.train()
+        out_train = bn(x)
+        bn.eval()
+        out_eval = bn(x)
+        count = x.shape[0] * x.shape[2] * x.shape[3]
+        bound = abs(np.sqrt(count / (count - 1)) - 1.0) + 1e-9
+        scale = np.abs(out_train - bn.beta.data[None, :, None, None])
+        assert np.all(np.abs(out_eval - out_train) <= bound * scale + 1e-9)

@@ -183,7 +183,25 @@ class TestBatchNorm:
         with pytest.raises(ValueError):
             BatchNorm2d(0)
         with pytest.raises(ValueError):
-            BatchNorm2d(3, momentum=0.0)
+            BatchNorm2d(3, momentum=-0.1)
+        with pytest.raises(ValueError):
+            BatchNorm2d(3, momentum=1.5)
+
+    def test_momentum_zero_freezes_running_stats(self):
+        # regression: momentum=0.0 was rejected, yet it is the standard
+        # way to pin running statistics while fine-tuning
+        bn = BatchNorm2d(2, momentum=0.0)
+        mean_before = bn.running_mean.copy()
+        var_before = bn.running_var.copy()
+        bn.forward(np.random.default_rng(19).normal(3.0, 2.0, size=(8, 2, 4, 4)))
+        assert np.array_equal(bn.running_mean, mean_before)
+        assert np.array_equal(bn.running_var, var_before)
+
+    def test_momentum_one_tracks_latest_batch(self):
+        bn = BatchNorm2d(2, momentum=1.0)
+        x = np.random.default_rng(20).normal(size=(8, 2, 4, 4))
+        bn.forward(x)
+        assert np.allclose(bn.running_mean, x.mean(axis=(0, 2, 3)))
 
 
 class TestPooling:

@@ -1,5 +1,7 @@
 """Tests for the query cache, its threat-model contract, and run logs."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -12,6 +14,7 @@ from repro.runtime import (
     RunLog,
     image_digest,
 )
+from repro.runtime.cache import normalized_cache_size
 
 
 @pytest.fixture
@@ -78,6 +81,57 @@ class TestQueryCache:
         with pytest.raises(ValueError):
             QueryCache(maxsize=0)
 
+    def test_concurrent_mixed_ops_stay_consistent(self):
+        """8 threads hammering get/put/stats on a small key space: with
+        the internal lock the counters stay exact (hits + misses equals
+        total gets) and the LRU dict never exceeds maxsize.  Without it
+        this dies with RuntimeError (dict mutated during iteration) or
+        drifts the counters."""
+        cache = QueryCache(maxsize=16)
+        keys = [f"k{i}".encode() for i in range(48)]
+        gets_per_thread = 2000
+        errors = []
+
+        def worker(seed: int):
+            rng = np.random.default_rng(seed)
+            try:
+                for _ in range(gets_per_thread):
+                    key = keys[rng.integers(len(keys))]
+                    if cache.get(key) is None:
+                        cache.put(key, np.array([float(seed)]))
+                    if rng.integers(10) == 0:
+                        cache.stats()
+            except BaseException as exc:  # surfaced to the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        assert cache.hits + cache.misses == 8 * gets_per_thread
+        assert len(cache) <= 16
+        stats = cache.stats()
+        assert stats["hits"] == cache.hits and stats["misses"] == cache.misses
+
+
+class TestNormalizedCacheSize:
+    def test_none_and_zero_disable(self):
+        assert normalized_cache_size(None) is None
+        assert normalized_cache_size(0) is None
+
+    def test_positive_passes_through_as_int(self):
+        assert normalized_cache_size(64) == 64
+        assert normalized_cache_size(np.int64(8)) == 8
+        assert isinstance(normalized_cache_size(np.int64(8)), int)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            normalized_cache_size(-1)
+
 
 class TestCachedClassifier:
     def test_scores_match_uncached(self, toy):
@@ -96,6 +150,65 @@ class TestCachedClassifier:
         assert cached.cache.hits == 2
         assert cached.cache.misses == 1
         assert cached.hit_rate == pytest.approx(2 / 3)
+
+
+class TestCachedClassifierBatch:
+    def test_matches_sequential_scoring(self, toy):
+        cached = CachedClassifier(toy)
+        rng = np.random.default_rng(1)
+        images = rng.uniform(size=(6, 4, 4, 3))
+        batched = cached.batch(images)
+        sequential = np.stack([toy(image) for image in images])
+        assert np.array_equal(batched, sequential)
+
+    def test_duplicates_within_batch_scored_once(self, toy):
+        counting = CountingClassifier(toy)
+        cached = CachedClassifier(counting)
+        image = np.full((4, 4, 3), 0.4)
+        other = np.full((4, 4, 3), 0.6)
+        scores = cached.batch([image, other, image, image])
+        assert counting.count == 2  # two distinct images, one pass each
+        assert np.array_equal(scores[0], scores[2])
+        assert np.array_equal(scores[0], scores[3])
+
+    def test_second_pass_is_all_hits(self, toy):
+        counting = CountingClassifier(toy)
+        cached = CachedClassifier(counting)
+        rng = np.random.default_rng(2)
+        images = rng.uniform(size=(4, 4, 4, 3))
+        first = cached.batch(images)
+        second = cached.batch(images)
+        assert counting.count == 4
+        assert cached.cache.hits == 4
+        assert np.array_equal(first, second)
+
+    def test_empty_batch(self, toy):
+        cached = CachedClassifier(toy)
+        out = cached.batch(np.empty((0, 4, 4, 3)))
+        assert out.shape[0] == 0
+
+    def test_misses_routed_through_batch_scores(self, toy):
+        """The batch path must reach a native ``batch`` method when the
+        underlying classifier has one, not fall back to per-image calls."""
+
+        class BatchOnlyCounter:
+            def __init__(self, inner):
+                self.inner = inner
+                self.batch_calls = 0
+
+            def __call__(self, image):
+                raise AssertionError("misses must go through batch()")
+
+            def batch(self, images):
+                self.batch_calls += 1
+                return np.stack([self.inner(image) for image in images])
+
+        probe = BatchOnlyCounter(toy)
+        cached = CachedClassifier(probe)
+        rng = np.random.default_rng(3)
+        images = rng.uniform(size=(5, 4, 4, 3))
+        cached.batch(images)
+        assert probe.batch_calls == 1
 
 
 class TestCacheVersusQueryCount:

@@ -222,3 +222,30 @@ class TestCli:
         scores = server.classifier(np.zeros((8, 8, 3)))
         assert scores.shape == (3,)
         server.stop()
+
+    def test_cache_zero_disables_cache(self):
+        """Regression: ``--cache 0`` used to crash AttackServer with
+        ``ValueError: maxsize must be positive``."""
+        args = build_parser().parse_args(["--cache", "0"])
+        assert args.cache_size == 0
+        server = AttackServer(ServeConfig(**vars(args)))
+        assert server.cache is None
+        server.stop()
+
+    def test_cache_negative_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--cache", "-1"])
+
+    def test_freeze_and_dtype_plumb_to_classifier(self):
+        args = build_parser().parse_args(["--freeze", "--dtype", "float32"])
+        config = ServeConfig(**vars(args))
+        assert config.freeze is True and config.dtype == "float32"
+        network = ServeConfig(
+            model="resnet18", height=8, width=8, num_classes=3,
+            freeze=True, dtype="float32",
+        )
+        server = AttackServer(network)
+        assert server.classifier.frozen
+        scores = server.classifier(np.zeros((8, 8, 3)))
+        assert scores.shape == (3,)
+        server.stop()

@@ -16,6 +16,7 @@ from repro.testkit.differential import (
     DEFAULT_PATHS,
     Cell,
     DifferentialRunner,
+    network_runner,
     result_fingerprint,
     results_equal,
     toy_runner,
@@ -71,6 +72,40 @@ class TestAcceptanceSweep:
         expected = 20 * len(DEFAULT_PATHS) * 2
         assert report.cells_run == expected
         assert "zero divergences" in report.describe()
+
+
+class TestNetworkSweep:
+    """The sweep against a real (tiny) repro.nn classifier: the unfrozen
+    eval path must stay bit-identical across all execution paths, and
+    the frozen inference fast path must be *decision-identical* to it
+    seed by seed (same success, queries, location, perturbation)."""
+
+    def test_unfrozen_sweep_is_divergence_free(self):
+        report = network_runner(seeds=range(4)).run()
+        assert report.ok, report.describe()
+
+    def test_frozen_sweep_is_divergence_free(self):
+        report = network_runner(seeds=range(4), frozen=True).run()
+        assert report.ok, report.describe()
+
+    def test_frozen_matches_unfrozen_per_seed(self):
+        """Folding may reassociate floating point, but every attack must
+        land on the same result: the scores stay ordering-identical."""
+        plain = network_runner(seeds=range(4))
+        frozen = network_runner(seeds=range(4), frozen=True)
+        for seed in range(4):
+            cell = Cell(seed, "stepped", False)
+            a, _ = plain.run_cell(cell)
+            b, _ = frozen.run_cell(cell)
+            assert results_equal(a, b), f"seed {seed}: frozen diverged"
+
+    @pytest.mark.slow
+    def test_frozen_acceptance_sweep(self):
+        """Nightly-scale frozen sweep: 20 seeds x 5 paths x cache on/off,
+        all bit-identical to each other under the fast path."""
+        report = network_runner(seeds=range(20), frozen=True).run()
+        assert report.ok, report.describe()
+        assert report.cells_run == 20 * len(DEFAULT_PATHS) * 2
 
 
 class _LaggedBroker(MicroBatchBroker):
