@@ -43,6 +43,7 @@ from repro.eval.reporting import (
 from repro.eval.runner import attack_dataset
 from repro.models.registry import ARCHITECTURES
 from repro.models.zoo import ModelZoo, ZooConfig
+from repro.runtime.checkpoint import CheckpointStore, load_campaign
 from repro.runtime.events import RunLog
 from repro.runtime.faults import FaultPolicy
 from repro.runtime.pool import WorkerPool
@@ -140,7 +141,23 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     executor, run_log = _runtime(args)
-    result = Oppsla(config).synthesize(trained.classifier, pairs, executor=executor)
+    if args.checkpoint and args.resume:
+        from repro.core.synthesis.mh import latest_chain_snapshot
+
+        snapshot = latest_chain_snapshot(CheckpointStore(args.checkpoint))
+        if snapshot is not None:
+            print(
+                f"# resuming MH chain from iteration {snapshot['iteration']}"
+                f"/{config.max_iterations}"
+            )
+    result = Oppsla(config).synthesize(
+        trained.classifier,
+        pairs,
+        executor=executor,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        checkpoint_interval=args.checkpoint_interval,
+    )
     if run_log is not None:
         run_log.emit(
             "synthesis_summary",
@@ -183,6 +200,15 @@ def cmd_attack(args: argparse.Namespace) -> int:
     else:
         attack = FixedSketchAttack()
     executor, run_log = _runtime(args)
+    store = None
+    if args.checkpoint:
+        store = CheckpointStore(args.checkpoint)
+        _, restored, _, _ = load_campaign(store)
+        if restored:
+            print(
+                f"# resumed {len(restored)}/{len(pairs)} images, "
+                "0 queries replayed"
+            )
     summary = attack_dataset(
         attack,
         trained.classifier,
@@ -192,6 +218,8 @@ def cmd_attack(args: argparse.Namespace) -> int:
         run_log=run_log,
         cache_size=args.cache_size,
         freeze=args.freeze,
+        checkpoint=store,
+        base_seed=args.seed,
     )
     if run_log is not None:
         run_log.close()
@@ -248,6 +276,24 @@ def build_parser() -> argparse.ArgumentParser:
     synthesize.add_argument("--train-images", type=int, default=16)
     synthesize.add_argument("--label", type=int, default=None)
     synthesize.add_argument("--out", default=None, help="save program JSON here")
+    synthesize.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="durably snapshot the MH chain into this directory so a "
+        "killed synthesis can be resumed bit-identically",
+    )
+    synthesize.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue the chain from the latest snapshot in --checkpoint",
+    )
+    synthesize.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=10,
+        help="iterations between durable chain snapshots",
+    )
     _add_runtime_arguments(synthesize)
     synthesize.set_defaults(func=cmd_synthesize)
 
@@ -276,6 +322,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the classifier on the inference fast path (folded batch "
         "norms, reused buffers); query counts are unchanged but scores "
         "are no longer bit-identical to the default eval path",
+    )
+    attack.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="record each completed image in this directory; rerunning "
+        "with the same flags resumes the campaign, skipping completed "
+        "images with bit-identical results (resume is implicit)",
     )
     _add_runtime_arguments(attack)
     attack.set_defaults(func=cmd_attack)

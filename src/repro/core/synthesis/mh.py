@@ -12,8 +12,9 @@ one.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -21,9 +22,12 @@ from repro.core.dsl.ast import Program
 from repro.core.dsl.grammar import Grammar
 from repro.core.dsl.mutation import mutate_program
 from repro.core.synthesis.score import ProgramEvaluation, score
-from repro.core.synthesis.trace import SynthesisTrace
+from repro.core.synthesis.trace import AcceptedProgram, SynthesisTrace
 
 Evaluator = Callable[[Program], ProgramEvaluation]
+
+#: Record kind chain snapshots use inside a checkpoint store.
+CHAIN_SNAPSHOT = "chain_snapshot"
 
 
 @dataclass
@@ -33,6 +37,121 @@ class ChainState:
     program: Program
     evaluation: ProgramEvaluation
     score: float
+
+
+def _encode_evaluation(evaluation: ProgramEvaluation) -> Dict:
+    from repro.runtime.checkpoint import encode_sketch_result
+
+    return {
+        "avg_queries": None if math.isinf(evaluation.avg_queries)
+        else evaluation.avg_queries,
+        "successes": evaluation.successes,
+        "total_images": evaluation.total_images,
+        "total_queries": evaluation.total_queries,
+        "results": [encode_sketch_result(r) for r in evaluation.results],
+    }
+
+
+def _decode_evaluation(payload: Dict) -> ProgramEvaluation:
+    from repro.runtime.checkpoint import decode_sketch_result
+
+    avg = payload["avg_queries"]
+    return ProgramEvaluation(
+        avg_queries=math.inf if avg is None else avg,
+        successes=payload["successes"],
+        total_images=payload["total_images"],
+        total_queries=payload["total_queries"],
+        results=tuple(decode_sketch_result(r) for r in payload["results"]),
+    )
+
+
+def encode_chain_snapshot(
+    iteration: int,
+    state: ChainState,
+    trace: SynthesisTrace,
+    rng: np.random.Generator,
+) -> Dict:
+    """One durable record capturing everything :meth:`run` needs to resume.
+
+    The snapshot is self-contained -- chain position, full trace
+    (accepted-program pool included), and the RNG's bit-generator state
+    -- so resuming from it replays the remaining iterations with the
+    exact proposal and accept-decision stream of an uninterrupted run.
+    Per-image ``adversarial_image`` arrays are the only thing dropped
+    (see :func:`repro.runtime.checkpoint.encode_sketch_result`).
+    """
+    from repro.runtime.checkpoint import encode_rng_state
+
+    return {
+        "kind": CHAIN_SNAPSHOT,
+        "iteration": iteration,
+        "state": {
+            "program": state.program.to_dict(),
+            "evaluation": _encode_evaluation(state.evaluation),
+            "score": state.score,
+        },
+        "trace": {
+            "iterations": trace.iterations,
+            "total_queries": trace.total_queries,
+            "proposals_accepted": trace.proposals_accepted,
+            "proposals_rejected": trace.proposals_rejected,
+            "accepted": [
+                {
+                    "iteration": entry.iteration,
+                    "program": entry.program.to_dict(),
+                    "evaluation": _encode_evaluation(entry.evaluation),
+                    "cumulative_queries": entry.cumulative_queries,
+                }
+                for entry in trace.accepted
+            ],
+        },
+        "rng": encode_rng_state(rng),
+    }
+
+
+def decode_chain_snapshot(
+    payload: Dict,
+) -> Tuple[int, ChainState, SynthesisTrace, Dict]:
+    """``(iteration, state, trace, rng_state)`` from one snapshot record."""
+    state_payload = payload["state"]
+    state = ChainState(
+        program=Program.from_dict(state_payload["program"]),
+        evaluation=_decode_evaluation(state_payload["evaluation"]),
+        score=state_payload["score"],
+    )
+    trace_payload = payload["trace"]
+    trace = SynthesisTrace(
+        accepted=[
+            AcceptedProgram(
+                iteration=entry["iteration"],
+                program=Program.from_dict(entry["program"]),
+                evaluation=_decode_evaluation(entry["evaluation"]),
+                cumulative_queries=entry["cumulative_queries"],
+            )
+            for entry in trace_payload["accepted"]
+        ],
+        iterations=trace_payload["iterations"],
+        total_queries=trace_payload["total_queries"],
+        proposals_accepted=trace_payload["proposals_accepted"],
+        proposals_rejected=trace_payload["proposals_rejected"],
+    )
+    return int(payload["iteration"]), state, trace, payload["rng"]
+
+
+def latest_chain_snapshot(store) -> Optional[Dict]:
+    """The last complete snapshot in a store, or ``None``.
+
+    A torn tail line (crash mid-snapshot) is skipped by the store's
+    reader, which automatically falls back to the previous complete
+    snapshot -- the write-ahead property that makes checkpointing itself
+    crash-safe.
+    """
+    records, _truncated = store.records()
+    snapshot = None
+    for record in records:
+        if record.get("kind") == CHAIN_SNAPSHOT:
+            snapshot = record
+    return snapshot
 
 
 class MetropolisHastings:
@@ -86,23 +205,60 @@ class MetropolisHastings:
         initial: Optional[Program] = None,
         trace: Optional[SynthesisTrace] = None,
         query_budget: Optional[int] = None,
+        checkpoint=None,
+        checkpoint_interval: int = 10,
+        resume: bool = False,
     ) -> "tuple[ChainState, SynthesisTrace]":
         """Run the chain for ``max_iterations`` proposals.
 
         ``query_budget`` optionally stops the search once the cumulative
         classifier queries exceed it (checked between iterations), which
         models the paper's synthesis-cost cap (Section 5, 10^6 queries).
+
+        ``checkpoint`` (a
+        :class:`~repro.runtime.checkpoint.CheckpointStore`) durably
+        snapshots the chain every ``checkpoint_interval`` iterations and
+        at the end of the run.  With ``resume=True`` the chain restores
+        the latest complete snapshot -- position, trace, and RNG state --
+        and continues exactly where it died: the accepted-program
+        sequence of a resumed run is bit-identical to an uninterrupted
+        one, because every proposal and accept decision replays from the
+        restored bit-generator state.  A crash *between* snapshots only
+        re-runs the iterations since the last one, reproducing the same
+        chain.
         """
         if max_iterations < 0:
             raise ValueError("max_iterations must be non-negative")
-        trace = trace if trace is not None else SynthesisTrace()
-        program = initial if initial is not None else self.grammar.random_program(self.rng)
-        evaluation = self.evaluate(program)
-        trace.total_queries += evaluation.total_queries
-        state = ChainState(program, evaluation, self._score(evaluation))
-        trace.record_accept(0, program, evaluation)
+        if checkpoint is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be at least 1")
 
-        for iteration in range(1, max_iterations + 1):
+        state = None
+        completed = 0
+        if checkpoint is not None and resume:
+            snapshot = latest_chain_snapshot(checkpoint)
+            if snapshot is not None:
+                from repro.runtime.checkpoint import restore_rng_state
+
+                completed, state, trace, rng_state = decode_chain_snapshot(
+                    snapshot
+                )
+                restore_rng_state(self.rng, rng_state)
+
+        if state is None:
+            trace = trace if trace is not None else SynthesisTrace()
+            program = (
+                initial if initial is not None
+                else self.grammar.random_program(self.rng)
+            )
+            evaluation = self.evaluate(program)
+            trace.total_queries += evaluation.total_queries
+            state = ChainState(program, evaluation, self._score(evaluation))
+            trace.record_accept(0, program, evaluation)
+            if checkpoint is not None:
+                checkpoint.append(encode_chain_snapshot(0, state, trace, self.rng))
+
+        snapshotted = completed
+        for iteration in range(completed + 1, max_iterations + 1):
             if query_budget is not None and trace.total_queries >= query_budget:
                 break
             proposal = mutate_program(state.program, self.grammar, self.rng)
@@ -117,4 +273,14 @@ class MetropolisHastings:
                 trace.record_accept(iteration, proposal, proposal_eval)
             else:
                 trace.proposals_rejected += 1
+            completed = iteration
+            if checkpoint is not None and iteration % checkpoint_interval == 0:
+                checkpoint.append(
+                    encode_chain_snapshot(iteration, state, trace, self.rng)
+                )
+                snapshotted = iteration
+        if checkpoint is not None and snapshotted != completed:
+            checkpoint.append(
+                encode_chain_snapshot(completed, state, trace, self.rng)
+            )
         return state, trace

@@ -141,6 +141,9 @@ class Oppsla:
         training_pairs: Sequence[TrainingPair],
         initial: Optional[Program] = None,
         executor=None,
+        checkpoint=None,
+        resume: bool = False,
+        checkpoint_interval: int = 10,
     ) -> SynthesisResult:
         """Synthesize an adversarial program for ``classifier``.
 
@@ -154,6 +157,17 @@ class Oppsla:
         evaluation dominates the cost, and its parallel aggregation is
         bit-identical to the sequential one, so the synthesized program
         and query accounting do not depend on the worker count.
+
+        ``checkpoint`` (a
+        :class:`~repro.runtime.checkpoint.CheckpointStore` or directory
+        path) makes the run crash-safe: the MH chain is durably
+        snapshotted every ``checkpoint_interval`` iterations, and
+        ``resume=True`` continues a killed run from its latest snapshot
+        with a bit-identical accepted-program sequence (the manifest pins
+        the config, so resuming under different hyper-parameters raises
+        :class:`~repro.runtime.checkpoint.CheckpointMismatch`).  A
+        checkpoint directory holding snapshots is refused without
+        ``resume=True`` rather than silently overwritten.
         """
         training_pairs = list(training_pairs)
         if not training_pairs:
@@ -164,6 +178,31 @@ class Oppsla:
                 raise ValueError("all training images must share one shape")
         grammar = Grammar(shape)
         rng = np.random.default_rng(self.config.seed)
+
+        store = None
+        if checkpoint is not None:
+            from repro.core.synthesis.mh import latest_chain_snapshot
+            from repro.runtime.checkpoint import CheckpointError, as_store
+
+            store = as_store(checkpoint)
+            store.reconcile_manifest(
+                {
+                    "kind": "synthesis",
+                    "seed": self.config.seed,
+                    "beta": self.config.beta,
+                    "max_iterations": self.config.max_iterations,
+                    "per_image_budget": self.config.per_image_budget,
+                    "query_budget": self.config.query_budget,
+                    "score_failures": self.config.score_failures,
+                    "images": len(training_pairs),
+                }
+            )
+            if not resume and latest_chain_snapshot(store) is not None:
+                raise CheckpointError(
+                    f"checkpoint at {store.directory} already holds a chain; "
+                    "pass resume=True to continue it (or point at a fresh "
+                    "directory)"
+                )
 
         def evaluate(program: Program) -> ProgramEvaluation:
             return evaluate_program(
@@ -185,6 +224,9 @@ class Oppsla:
             self.config.max_iterations,
             initial=initial,
             query_budget=self.config.query_budget,
+            checkpoint=store,
+            checkpoint_interval=checkpoint_interval,
+            resume=resume,
         )
 
         def quality(entry):

@@ -11,6 +11,7 @@ Algorithm 2 stays pristine.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, replace
 from typing import Callable, List, Sequence
 
@@ -37,12 +38,22 @@ def synthesize_with_restarts(
     training_pairs: Sequence[TrainingPair],
     config: OppslaConfig = None,
     restarts: int = 3,
+    checkpoint_dir: str = None,
+    resume: bool = False,
+    checkpoint_interval: int = 10,
 ) -> RestartSummary:
     """Run ``restarts`` independent OPPSLA chains; keep the best program.
 
     Chain ``i`` uses seed ``config.seed + i``; "best" means most training
     successes, then the lowest (failure-penalized, if configured) average
     query count -- the same ordering OPPSLA itself uses.
+
+    ``checkpoint_dir`` gives each chain its own durable checkpoint under
+    ``checkpoint_dir/chain-<i>``.  With ``resume=True`` a killed restart
+    sweep picks up where it died: chains that already ran to their final
+    snapshot restore instantly (zero queries re-posed), and the chain
+    that was interrupted mid-run continues bit-identically from its last
+    snapshot.
     """
     if restarts < 1:
         raise ValueError("restarts must be at least 1")
@@ -50,8 +61,19 @@ def synthesize_with_restarts(
     results: List[SynthesisResult] = []
     for index in range(restarts):
         chain_config = replace(config, seed=config.seed + index)
+        chain_checkpoint = (
+            os.path.join(checkpoint_dir, f"chain-{index}")
+            if checkpoint_dir is not None
+            else None
+        )
         results.append(
-            Oppsla(chain_config).synthesize(classifier, training_pairs)
+            Oppsla(chain_config).synthesize(
+                classifier,
+                training_pairs,
+                checkpoint=chain_checkpoint,
+                resume=resume,
+                checkpoint_interval=checkpoint_interval,
+            )
         )
 
     def quality(result: SynthesisResult):

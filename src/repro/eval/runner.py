@@ -16,8 +16,16 @@ import numpy as np
 
 from repro.attacks.base import AttackResult, OnePixelAttack
 from repro.runtime.cache import CachedClassifier, normalized_cache_size
+from repro.runtime.checkpoint import (
+    CheckpointMismatch,
+    CheckpointStore,
+    as_store,
+    campaign_manifest,
+    campaign_record,
+    load_campaign,
+)
 from repro.runtime.events import NullRunLog, RunLog, ensure_log
-from repro.runtime.pool import WorkerPool
+from repro.runtime.pool import WorkerPool, task_seed
 from repro.runtime.tasks import AttackTaskRunner, run_single_attack
 
 Classifier = Callable[[np.ndarray], np.ndarray]
@@ -163,6 +171,41 @@ def _degraded_result(outcome, budget: Optional[int]) -> AttackResult:
     )
 
 
+def resume_campaign(
+    store: CheckpointStore,
+    attack_name: str,
+    total_images: int,
+    budget: Optional[int],
+    base_seed: int,
+) -> "Tuple[dict, bool]":
+    """Reconcile a checkpoint with this run; completed results by index.
+
+    Writes the manifest on a fresh store and verifies it on an old one
+    (:class:`CheckpointMismatch` on disagreement).  Every recorded unit's
+    seed is re-derived via :func:`~repro.runtime.pool.task_seed` and
+    checked against the record, so a checkpoint written under a
+    different ``base_seed`` -- whose units would not reproduce the same
+    randomness -- cannot be silently resumed.  Returns the completed
+    ``{index: AttackResult}`` map and whether a torn tail was dropped.
+    """
+    store.reconcile_manifest(
+        campaign_manifest(attack_name, total_images, budget, base_seed)
+    )
+    _, completed, seeds, truncated = load_campaign(store)
+    for index, seed in seeds.items():
+        if index < 0 or index >= total_images:
+            raise CheckpointMismatch(
+                f"checkpoint records image index {index}, outside the "
+                f"{total_images}-image campaign"
+            )
+        if seed != task_seed(base_seed, index):
+            raise CheckpointMismatch(
+                f"checkpoint seed for image {index} does not re-derive from "
+                f"base_seed={base_seed}; refusing to resume"
+            )
+    return completed, truncated
+
+
 def attack_dataset(
     attack: OnePixelAttack,
     classifier: Classifier,
@@ -172,6 +215,8 @@ def attack_dataset(
     run_log: Optional[RunLog] = None,
     cache_size: Optional[int] = None,
     freeze: bool = False,
+    checkpoint: Optional[CheckpointStore] = None,
+    base_seed: int = 0,
 ) -> AttackRunSummary:
     """Attack every (image, true_class) pair and collect the results.
 
@@ -200,12 +245,71 @@ def attack_dataset(
         latency, never how many submissions an attack makes -- but
         scores are only float-tolerance-close to the unfrozen path, so
         leave this off for bit-exact reproductions.
+    checkpoint:
+        A :class:`~repro.runtime.checkpoint.CheckpointStore` (or a
+        directory path) recording each completed per-image result as a
+        durable record.  When the store already holds records from an
+        interrupted run of the *same* campaign, those units are skipped
+        and their recorded results merged back in dataset order, so the
+        resumed summary is bit-identical to an uninterrupted run (each
+        per-image attack re-derives its randomness from its own seed,
+        never from position in the run).  Restored units are re-emitted
+        to ``run_log`` as ``attack_result`` events tagged
+        ``replayed=True`` so downstream telemetry readers still see one
+        event per image.
+    base_seed:
+        Campaign-level seed recorded per unit via
+        :func:`~repro.runtime.pool.task_seed` and verified on resume.
     """
     cache_size = normalized_cache_size(cache_size)
     if run_log is None and executor is not None:
         if not isinstance(executor.run_log, NullRunLog):
             run_log = executor.run_log
     log = ensure_log(run_log)
+
+    store = as_store(checkpoint)
+    completed: dict = {}
+    if store is not None:
+        completed, truncated = resume_campaign(
+            store, attack.name, len(test_pairs), budget, base_seed
+        )
+        if completed or truncated:
+            log.emit(
+                "campaign_resume",
+                attack=attack.name,
+                total=len(test_pairs),
+                completed=len(completed),
+                remaining=len(test_pairs) - len(completed),
+                truncated=truncated,
+                replayed_queries=0,
+            )
+            for index in sorted(completed):
+                restored = completed[index]
+                log.emit(
+                    "attack_result",
+                    index=index,
+                    success=restored.success,
+                    queries=restored.queries,
+                    error=restored.error,
+                    replayed=True,
+                )
+    pending = [index for index in range(len(test_pairs)) if index not in completed]
+
+    def record(index: int, result: AttackResult) -> None:
+        # Write-ahead of the in-memory merge: the unit is durable before
+        # the run acknowledges it, so a crash between units loses nothing.
+        if store is not None:
+            store.append(
+                campaign_record(index, task_seed(base_seed, index), result)
+            )
+        completed[index] = result
+        log.emit(
+            "attack_result",
+            index=index,
+            success=result.success,
+            queries=result.queries,
+            error=result.error,
+        )
 
     cache_stats = None
     if executor is None:
@@ -218,16 +322,11 @@ def attack_dataset(
         if cache_size is not None:
             cached = CachedClassifier(classifier, maxsize=cache_size)
             effective = cached
-        results = []
-        for index, (image, true_class) in enumerate(test_pairs):
-            result = run_single_attack(attack, effective, image, true_class, budget)
-            results.append(result)
-            log.emit(
-                "attack_result",
-                index=index,
-                success=result.success,
-                queries=result.queries,
-                error=result.error,
+        for index in pending:
+            image, true_class = test_pairs[index]
+            record(
+                index,
+                run_single_attack(attack, effective, image, true_class, budget),
             )
         if cached is not None:
             cache_stats = cached.stats()
@@ -238,26 +337,20 @@ def attack_dataset(
         )
         outcomes = executor.map(
             runner,
-            [(image, true_class) for image, true_class in test_pairs],
+            [test_pairs[index] for index in pending],
             task_name=f"attack:{attack.name}",
         )
-        results = []
         hits = misses = 0
         for outcome in outcomes:
+            index = pending[outcome.index]
             if outcome.ok:
                 envelope = outcome.value
-                results.append(envelope.result)
+                result = envelope.result
                 hits += envelope.cache_hits
                 misses += envelope.cache_misses
             else:
-                results.append(_degraded_result(outcome, budget))
-            log.emit(
-                "attack_result",
-                index=outcome.index,
-                success=results[-1].success,
-                queries=results[-1].queries,
-                error=results[-1].error,
-            )
+                result = _degraded_result(outcome, budget)
+            record(index, result)
         if cache_size is not None:
             total = hits + misses
             cache_stats = {
@@ -268,6 +361,7 @@ def attack_dataset(
             }
             log.emit("cache_stats", **cache_stats)
 
+    results = [completed[index] for index in range(len(test_pairs))]
     summary = AttackRunSummary(
         attack_name=attack.name, results=results, budget=budget
     )

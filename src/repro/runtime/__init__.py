@@ -16,9 +16,25 @@ that work to:
   run instead of killing it.
 - :class:`RunLog` (:mod:`repro.runtime.events`): structured JSONL
   telemetry for tasks, workers, caches and summaries.
+- :class:`CheckpointStore` (:mod:`repro.runtime.checkpoint`): durable
+  write-ahead records that make campaigns, synthesis runs, and serving
+  sessions resumable after a crash -- bit-identically.
 """
 
 from repro.runtime.cache import CachedClassifier, QueryCache, image_digest
+from repro.runtime.checkpoint import (
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointStore,
+    as_store,
+    campaign_manifest,
+    campaign_record,
+    decode_attack_result,
+    encode_attack_result,
+    encode_rng_state,
+    load_campaign,
+    restore_rng_state,
+)
 from repro.runtime.events import NullRunLog, RunLog, ensure_log
 from repro.runtime.faults import FaultPolicy, TaskError, TaskOutcome
 from repro.runtime.pool import WorkerPool, task_seed
@@ -33,6 +49,9 @@ __all__ = [
     "AttackTaskResult",
     "AttackTaskRunner",
     "CachedClassifier",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CheckpointStore",
     "FaultPolicy",
     "NullRunLog",
     "PairEvaluationRunner",
@@ -41,8 +60,16 @@ __all__ = [
     "TaskError",
     "TaskOutcome",
     "WorkerPool",
+    "as_store",
+    "campaign_manifest",
+    "campaign_record",
+    "decode_attack_result",
+    "encode_attack_result",
+    "encode_rng_state",
     "ensure_log",
     "image_digest",
+    "load_campaign",
+    "restore_rng_state",
     "run_single_attack",
     "task_seed",
 ]

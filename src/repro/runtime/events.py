@@ -83,13 +83,31 @@ class RunLog:
 
     @staticmethod
     def read(path: str) -> List[dict]:
-        """Load a JSONL event file back into a list of dicts."""
-        events = []
+        """Load a JSONL event file back into a list of dicts.
+
+        A truncated *final* line -- the signature a crash leaves when the
+        process died mid-append -- is tolerated: the partial record is
+        replaced by a synthetic ``log_truncated`` event (carrying its
+        1-based line number) so replay tooling can surface the data loss
+        instead of dying on it.  Corruption anywhere *before* the final
+        line still raises, because that means the file was damaged, not
+        merely torn.
+        """
+        lines = []
         with open(path) as handle:
-            for line in handle:
+            for number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if line:
-                    events.append(json.loads(line))
+                    lines.append((number, line))
+        events = []
+        for position, (number, line) in enumerate(lines):
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError:
+                if position == len(lines) - 1:
+                    events.append({"event": "log_truncated", "line": number})
+                else:
+                    raise
         return events
 
 

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 #: Error kinds recorded in :attr:`TaskError.kind`.
 ERROR_EXCEPTION = "exception"
 ERROR_TIMEOUT = "timeout"
@@ -39,12 +41,28 @@ class FaultPolicy:
     backoff_factor:
         Multiplier applied to the delay for each further retry
         (exponential backoff).
+    jitter:
+        Fraction of each delay randomized away, in ``[0, 1]``.  With
+        ``jitter=0.25`` a 1-second backoff becomes a draw from
+        ``[0.75s, 1s]``.  Jitter decorrelates retry storms when many
+        tasks fail together (e.g. a worker crash fails a whole batch),
+        so their retries do not hammer the classifier in lockstep.  The
+        draw is seeded from ``(jitter_seed, task index, attempt)``, so a
+        replayed run waits exactly as long as the original.
+    max_delay:
+        Cap in seconds on any single retry delay; ``None`` leaves the
+        exponential schedule uncapped.
+    jitter_seed:
+        Base seed for the deterministic jitter stream.
     """
 
     timeout: Optional[float] = None
     retries: int = 0
     backoff: float = 0.05
     backoff_factor: float = 2.0
+    jitter: float = 0.0
+    max_delay: Optional[float] = None
+    jitter_seed: int = 0
 
     def __post_init__(self):
         if self.timeout is not None and self.timeout <= 0:
@@ -55,16 +73,33 @@ class FaultPolicy:
             raise ValueError("backoff must be non-negative")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.max_delay is not None and self.max_delay <= 0:
+            raise ValueError("max_delay must be positive")
 
     @property
     def max_attempts(self) -> int:
         return self.retries + 1
 
-    def retry_delay(self, attempt: int) -> float:
-        """Seconds to wait before re-enqueueing after failed ``attempt``."""
+    def retry_delay(self, attempt: int, index: int = 0) -> float:
+        """Seconds to wait before re-enqueueing after failed ``attempt``.
+
+        ``index`` is the failing task's index; it keys the jitter draw so
+        simultaneous failures back off on decorrelated schedules while
+        each task's own schedule stays reproducible.
+        """
         if attempt < 1:
             raise ValueError("attempt numbering starts at 1")
-        return self.backoff * self.backoff_factor ** (attempt - 1)
+        delay = self.backoff * self.backoff_factor ** (attempt - 1)
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        if self.jitter > 0.0 and delay > 0.0:
+            rng = np.random.default_rng(
+                np.random.SeedSequence([self.jitter_seed, index, attempt])
+            )
+            delay *= 1.0 - self.jitter * rng.uniform(0.0, 1.0)
+        return delay
 
 
 @dataclass(frozen=True)

@@ -261,7 +261,7 @@ class WorkerPool:
                             attempt=attempts,
                             error=error.to_dict(),
                         )
-                        time.sleep(self.policy.retry_delay(attempts))
+                        time.sleep(self.policy.retry_delay(attempts, index))
                         continue
                     outcome = TaskOutcome(
                         index=index,
@@ -396,7 +396,7 @@ class WorkerPool:
         """Retry the task or finalize it as failed; returns tasks completed."""
         if state.attempts < self.policy.max_attempts:
             state.ready_at = time.monotonic() + self.policy.retry_delay(
-                state.attempts
+                state.attempts, state.index
             )
             pending.append(state.index)
             self.run_log.emit(

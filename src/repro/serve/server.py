@@ -36,6 +36,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import signal
 import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
@@ -46,6 +47,7 @@ from repro.classifier.blackbox import NetworkClassifier
 from repro.classifier.toy import SmoothLinearClassifier
 from repro.models.registry import ARCHITECTURES, build_model
 from repro.runtime.cache import QueryCache, normalized_cache_size
+from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.events import RunLog, ensure_log
 from repro.serve.admission import AdmissionControl, RateLimiter
 from repro.serve.broker import BatchPolicy, MicroBatchBroker
@@ -64,6 +66,7 @@ _STATUS_TEXT = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -88,6 +91,8 @@ class ServeConfig:
     log_path: Optional[str] = None
     freeze: bool = False  # serve network models on the inference fast path
     dtype: Optional[str] = None  # "float32" casts network models for speed
+    checkpoint: Optional[str] = None  # durable session store for graceful drain
+    resume: bool = False  # restore persisted sessions on startup
 
 
 def build_classifier(config: ServeConfig):
@@ -135,20 +140,145 @@ class AttackServer:
         )
         self.admission = AdmissionControl(config.max_sessions)
         self.rate_limiter = RateLimiter(rate=config.rate, burst=config.burst)
+        self.checkpoint = (
+            CheckpointStore(config.checkpoint) if config.checkpoint else None
+        )
+        self.draining = False
+        self._stopped = False
 
     def start(self) -> None:
         self.broker.start()
+        if self.config.resume:
+            self.restore_sessions()
 
     def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
         self.sessions.shutdown()
         self.broker.stop()
         self.run_log.close()
+
+    # ------------------------------------------------------------------
+    # graceful shutdown and resume
+    # ------------------------------------------------------------------
+
+    def drain_and_stop(self) -> Dict:
+        """SIGTERM path: finish in-flight batches, persist open sessions.
+
+        New submissions are rejected with 503 from the moment the flag
+        flips; session drivers park at their next query boundary (the
+        broker still answers every query already in flight); parked and
+        still-queued sessions are written to the checkpoint store; then
+        the broker and telemetry shut down.  Returns a summary dict for
+        the operator ("persisted 3/3 open sessions").
+
+        Restored sessions re-run their deterministic attacks from the
+        start on the next boot, so their final query counts are exactly
+        what an uninterrupted run would have charged (see
+        :meth:`~repro.serve.sessions.AttackSession.suspend`).
+        """
+        self.draining = True
+        open_sessions = self.sessions.drain()
+        persisted = skipped = 0
+        if self.checkpoint is not None:
+            self.checkpoint.reconcile_manifest(self._checkpoint_manifest())
+            for session in open_sessions:
+                if session.spec is None:
+                    skipped += 1  # programmatic session: nothing to rebuild from
+                    continue
+                self.checkpoint.append(
+                    {
+                        "kind": "session",
+                        "id": session.session_id,
+                        "client": session.client,
+                        "queries": session.queries,
+                        "state": session.state,
+                        "spec": session.spec,
+                    }
+                )
+                persisted += 1
+            self.checkpoint.close()
+        summary = {
+            "open": len(open_sessions),
+            "persisted": persisted,
+            "unpersistable": skipped,
+        }
+        self.run_log.emit("serve_drain", **summary)
+        self.broker.stop()
+        self.run_log.close()
+        self._stopped = True
+        return summary
+
+    def _checkpoint_manifest(self) -> Dict:
+        """Identity of the serving stack; a resume under a different
+        model would silently change every restored session's scores."""
+        return {
+            "kind": "serve",
+            "model": self.config.model,
+            "height": self.config.height,
+            "width": self.config.width,
+            "num_classes": self.config.num_classes,
+            "seed": self.config.seed,
+        }
+
+    def restore_sessions(self) -> int:
+        """Rebuild persisted sessions from the checkpoint and restart them.
+
+        Each record's original request is re-decoded through the same
+        protocol path as a live submission, re-created under its original
+        session id (clients polling across the restart keep their
+        handle), and handed to the driver pool.  The consumed records are
+        then cleared -- the restored sessions now live in memory and will
+        be re-persisted by the next graceful drain.  Returns the number
+        of sessions restored.
+        """
+        if self.checkpoint is None:
+            return 0
+        self.checkpoint.reconcile_manifest(self._checkpoint_manifest())
+        records, _truncated = self.checkpoint.records()
+        by_id: Dict[str, Dict] = {}
+        for record in records:
+            if record.get("kind") == "session":
+                by_id[record["id"]] = record  # latest drain wins per id
+        restored = 0
+        for session_id, record in by_id.items():
+            try:
+                request = decode_attack_request(record["spec"])
+            except ProtocolError as exc:
+                self.run_log.emit(
+                    "session_restore_failed", session=session_id, error=str(exc)
+                )
+                continue
+            session = self.sessions.create(
+                request.attack,
+                request.image,
+                request.true_class,
+                budget=request.budget,
+                target_class=request.target_class,
+                client=record.get("client"),
+                spec=record["spec"],
+                session_id=session_id,
+            )
+            self.sessions.start(session)
+            self.run_log.emit(
+                "session_restored",
+                session=session_id,
+                attack=request.attack_name,
+                queries_at_suspend=record.get("queries"),
+            )
+            restored += 1
+        if by_id:
+            self.checkpoint.clear_records()
+        return restored
 
     # ------------------------------------------------------------------
     # route handlers: (status, payload)
     # ------------------------------------------------------------------
 
     def handle_submit(self, body: bytes, client: str) -> Tuple[int, Dict]:
+        if self.draining:
+            return 503, {"error": "server is draining for shutdown"}
         if not self.rate_limiter.allow(client):
             return 429, {"error": "rate limit exceeded", "retry_after": 1}
         try:
@@ -172,6 +302,7 @@ class AttackServer:
             budget=request.budget,
             target_class=request.target_class,
             client=client,
+            spec=payload,
         )
         future = self.sessions.start(session)
         future.add_done_callback(lambda _: self.admission.release())
@@ -309,8 +440,25 @@ async def _handle_connection(
 
 
 async def serve(server: AttackServer) -> None:
-    """Run the server in the current event loop until cancelled."""
+    """Run the server until cancelled or signalled; drain gracefully.
+
+    SIGTERM and SIGINT trigger the graceful-shutdown path: the listening
+    socket keeps accepting connections so clients get explicit 503s
+    instead of connection refusals, in-flight broker batches complete,
+    open sessions are persisted to the checkpoint store (when one is
+    configured), and the coroutine returns normally so the process can
+    exit 0.
+    """
     server.start()
+    stop_requested = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop_requested.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # non-main thread, Windows
+            pass
     tcp = await asyncio.start_server(
         lambda r, w: _handle_connection(server, r, w),
         host=server.config.host,
@@ -318,8 +466,18 @@ async def serve(server: AttackServer) -> None:
     )
     try:
         async with tcp:
-            await tcp.serve_forever()
+            await stop_requested.wait()
+            # Flip the 503 gate before the blocking drain so requests
+            # racing the shutdown are rejected, not stalled.
+            server.draining = True
+            summary = await loop.run_in_executor(None, server.drain_and_stop)
+            print(
+                f"repro-serve: drained; {summary['persisted']}/"
+                f"{summary['open']} open sessions persisted"
+            )
     finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
         server.stop()
 
 
@@ -440,6 +598,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--burst", type=float, default=20.0)
     parser.add_argument("--log", default=None, dest="log_path",
                         help="JSONL telemetry file")
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="durable checkpoint directory: SIGTERM/SIGINT drain in-flight "
+        "batches and persist open sessions here instead of dropping them",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore sessions persisted in --checkpoint by a previous "
+        "graceful shutdown and finish them (paper-faithful query counts)",
+    )
     return parser
 
 

@@ -28,7 +28,6 @@ Two drive strategies:
 
 from __future__ import annotations
 
-import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -46,6 +45,9 @@ QUEUED = "queued"
 RUNNING = "running"
 DONE = "done"
 FAILED = "failed"
+#: Parked at a query boundary by a graceful drain; persistable and
+#: restartable (see :meth:`SessionManager.drain`).
+SUSPENDED = "suspended"
 
 #: Finished sessions kept for polling before the manager forgets them.
 DEFAULT_HISTORY = 1024
@@ -71,6 +73,7 @@ class AttackSession:
         target_class: Optional[int] = None,
         client: Optional[str] = None,
         observer=None,
+        spec: Optional[Dict] = None,
     ):
         self.session_id = session_id
         self.attack = attack
@@ -79,6 +82,11 @@ class AttackSession:
         self.budget = budget
         self.target_class = target_class
         self.client = client
+        #: JSON-safe request payload this session was built from; what a
+        #: graceful drain persists so ``--resume`` can rebuild the
+        #: session.  ``None`` for sessions created programmatically
+        #: (those cannot be persisted).
+        self.spec = spec
         #: Optional ``observer(query, scores)`` trace hook, called for
         #: every answered query before the attack resumes -- the serving
         #: side of the hook :func:`~repro.core.stepping.drive_steps`
@@ -145,6 +153,25 @@ class AttackSession:
         if self._steps is not None:
             self._steps.close()
 
+    def suspend(self) -> None:
+        """Park the session at its current query boundary (drain path).
+
+        The live generator cannot survive the process, so it is closed;
+        what persists is the session's original request (:attr:`spec`).
+        A restored session re-runs its attack from the start against the
+        same deterministic model, so it re-derives the same query stream
+        and finishes with exactly the query count an uninterrupted run
+        would have charged -- :attr:`queries` here is the progress marker
+        at suspension, not a resumption offset.
+        """
+        if self.state not in (QUEUED, RUNNING):
+            return
+        self.state = SUSPENDED
+        self.pending = None
+        if self._steps is not None:
+            self._steps.close()
+            self._steps = None
+
     def close(self) -> None:
         """Abandon the session, releasing generator resources."""
         if self.state == RUNNING:
@@ -201,7 +228,8 @@ class SessionManager:
         self._sessions: "Dict[str, AttackSession]" = {}
         self._finished_order: List[str] = []
         self._history = history
-        self._ids = itertools.count(1)
+        self._next_id = 1
+        self._draining = False
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="session"
         )
@@ -219,9 +247,25 @@ class SessionManager:
         target_class: Optional[int] = None,
         client: Optional[str] = None,
         observer=None,
+        spec: Optional[Dict] = None,
+        session_id: Optional[str] = None,
     ) -> AttackSession:
+        """Register a new session.
+
+        ``session_id`` lets checkpoint restoration re-create a persisted
+        session under its original id (so clients polling across a server
+        restart keep their handle); the id counter is advanced past any
+        restored numeric id so fresh sessions never collide.
+        """
         with self._lock:
-            session_id = f"s{next(self._ids)}"
+            if session_id is None:
+                session_id = f"s{self._next_id}"
+                self._next_id += 1
+            else:
+                if session_id in self._sessions:
+                    raise ValueError(f"session id {session_id} already exists")
+                if session_id.startswith("s") and session_id[1:].isdigit():
+                    self._next_id = max(self._next_id, int(session_id[1:]) + 1)
             session = AttackSession(
                 session_id,
                 attack,
@@ -231,6 +275,7 @@ class SessionManager:
                 target_class=target_class,
                 client=client,
                 observer=observer,
+                spec=spec,
             )
             self._sessions[session_id] = session
         self.run_log.emit(
@@ -251,16 +296,33 @@ class SessionManager:
         return self._executor.submit(self.drive, session)
 
     def drive(self, session: AttackSession) -> AttackSession:
-        """Run one session against the broker, blocking until it ends."""
+        """Run one session against the broker, blocking until it ends.
+
+        During a drain the loop exits at the next query boundary -- the
+        in-flight broker batch still completes and answers the pending
+        query, but no further query is submitted -- leaving the session
+        :data:`SUSPENDED` for persistence instead of failed.
+        """
         try:
             request = session.start()
             while request is not None:
+                if self._draining:
+                    session.suspend()
+                    break
                 scores = self.broker.submit(request.image)
                 request = session.advance(scores)
         except Exception as exc:
             session.fail(exc)
         finally:
-            self._retire(session)
+            if session.state == SUSPENDED:
+                self.run_log.emit(
+                    "session_suspended",
+                    session=session.session_id,
+                    attack=session.attack.name,
+                    queries=session.queries,
+                )
+            else:
+                self._retire(session)
         return session
 
     def run_cooperative(
@@ -301,6 +363,25 @@ class SessionManager:
     def shutdown(self) -> None:
         """Stop accepting work and release executor threads."""
         self._executor.shutdown(wait=False)
+
+    def drain(self) -> List[AttackSession]:
+        """Gracefully park every live session; return the parked ones.
+
+        Sets the draining flag (driver threads exit at their next query
+        boundary, after the broker answers their in-flight query), waits
+        for all drivers to finish, and cancels sessions still queued for
+        a driver thread.  Returns every session left :data:`QUEUED` or
+        :data:`SUSPENDED` -- the set a graceful shutdown persists.
+        Idempotent; the manager accepts no new drives afterwards.
+        """
+        self._draining = True
+        self._executor.shutdown(wait=True, cancel_futures=True)
+        with self._lock:
+            return [
+                session
+                for session in self._sessions.values()
+                if session.state in (QUEUED, RUNNING, SUSPENDED)
+            ]
 
     # ------------------------------------------------------------------
     # observability

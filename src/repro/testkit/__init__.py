@@ -14,6 +14,9 @@ serving layers cheap to validate (see DESIGN §9):
   :class:`~repro.attacks.base.AttackResult` everywhere;
 - :mod:`~repro.testkit.matrix` -- the fault matrix proving every fault
   kind degrades gracefully on every execution path;
+- :mod:`~repro.testkit.kill` -- the kill-and-resume harness: SIGKILL a
+  checkpointed campaign subprocess mid-run, resume it, and assert the
+  summary is bit-identical to an uninterrupted run;
 - :mod:`~repro.testkit.generators` -- hypothesis strategies for images,
   budgets, and DSL programs (present only when hypothesis is installed).
 """
@@ -37,6 +40,11 @@ from repro.testkit.faults import (
     InjectedFault,
     InjectedTimeout,
     SlowClassifier,
+)
+from repro.testkit.kill import (
+    kill_and_resume_campaign,
+    summary_fingerprint,
+    toy_campaign,
 )
 from repro.testkit.matrix import (
     DEFAULT_KINDS,
@@ -75,6 +83,7 @@ __all__ = [
     "TraceMismatch",
     "TraceRecorder",
     "diff_events",
+    "kill_and_resume_campaign",
     "load_trace",
     "network_runner",
     "pixel_diff",
@@ -82,6 +91,8 @@ __all__ = [
     "result_fingerprint",
     "results_equal",
     "run_fault_matrix",
+    "summary_fingerprint",
     "tiny_network_classifier",
+    "toy_campaign",
     "toy_runner",
 ]

@@ -1,0 +1,218 @@
+"""Kill-and-resume harness: prove checkpointed runs survive SIGKILL.
+
+The other testkit pillars inject faults *inside* a live process; this one
+kills the process itself.  A small, fully deterministic toy campaign
+(:func:`toy_campaign`) runs as a subprocess (``python -m
+repro.testkit.kill``) writing per-image records into a
+:class:`~repro.runtime.checkpoint.CheckpointStore`; the parent
+(:func:`kill_and_resume_campaign`) watches ``records.jsonl`` grow,
+SIGKILLs the child mid-campaign -- no cleanup handlers run, exactly like
+an OOM kill -- resumes the campaign, and compares the resumed summary
+against an uninterrupted golden run.  Bit-identical is the bar: same
+per-image successes, query counts, and aggregate summary.
+
+Both the pytest suite and the CI smoke step drive this module, so the
+crash scenario exercised in CI is byte-for-byte the one tested locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.attacks.fixed_sketch import FixedSketchAttack
+from repro.classifier.toy import SmoothLinearClassifier
+from repro.eval.runner import AttackRunSummary, attack_dataset
+from repro.runtime.checkpoint import RECORDS_NAME
+
+
+def _delayed(classifier, delay: float):
+    """Wrap a classifier with a per-query sleep (child-side throttle)."""
+    if delay <= 0:
+        return classifier
+
+    def slow(image):
+        time.sleep(delay)
+        return classifier(image)
+
+    return slow
+
+
+def toy_campaign(
+    checkpoint: Optional[str] = None,
+    images: int = 12,
+    budget: int = 64,
+    seed: int = 0,
+    delay: float = 0.0,
+) -> AttackRunSummary:
+    """A deterministic miniature attack campaign.
+
+    ``images`` random 8x8 images are attacked with the fixed-sketch
+    baseline against the toy classifier; every input derives from
+    ``seed``, so two runs with the same arguments are bit-identical --
+    which is what lets the harness compare a killed-and-resumed run
+    against an uninterrupted one.  ``delay`` throttles each query so the
+    parent process has time to aim its SIGKILL.
+    """
+    classifier = SmoothLinearClassifier(
+        image_shape=(8, 8, 3), num_classes=4, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    pairs = []
+    while len(pairs) < images:
+        image = rng.uniform(0.0, 1.0, size=(8, 8, 3))
+        pairs.append((image, int(np.argmax(classifier(image)))))
+    return attack_dataset(
+        FixedSketchAttack(),
+        _delayed(classifier, delay),
+        pairs,
+        budget=budget,
+        checkpoint=checkpoint,
+        base_seed=seed,
+    )
+
+
+def summary_fingerprint(summary: AttackRunSummary) -> Dict:
+    """Everything two campaign runs must agree on, JSON-safe.
+
+    Aggregates plus the full per-image ``(success, queries, error)``
+    sequence -- a resumed run that merely matches the averages but
+    shuffled per-image outcomes still fails the comparison.
+    """
+    return {
+        "summary": summary.to_dict(),
+        "per_image": [
+            [result.success, result.queries, result.error]
+            for result in summary.results
+        ],
+    }
+
+
+def _record_count(records_path: str) -> int:
+    """Complete records currently on disk (a torn tail does not count)."""
+    try:
+        with open(records_path, "rb") as handle:
+            return handle.read().count(b"\n")
+    except FileNotFoundError:
+        return 0
+
+
+def kill_and_resume_campaign(
+    checkpoint_dir: str,
+    kill_after: int = 3,
+    images: int = 12,
+    budget: int = 64,
+    seed: int = 0,
+    delay: float = 0.05,
+    timeout: float = 60.0,
+) -> Dict:
+    """SIGKILL a checkpointed campaign mid-run, resume it, compare.
+
+    Spawns :func:`toy_campaign` as a subprocess writing into
+    ``checkpoint_dir``, SIGKILLs it once ``kill_after`` records are
+    durable, resumes the campaign in-process, and returns::
+
+        {
+            "golden": <fingerprint of an uninterrupted run>,
+            "resumed": <fingerprint of the killed-then-resumed run>,
+            "records_at_kill": <completed units when the kill landed>,
+            "identical": <golden == resumed>,
+        }
+
+    The child inherits the environment plus a ``PYTHONPATH`` entry for
+    this source tree, so the helper works from a plain checkout.
+    """
+    import repro
+
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    args = [
+        sys.executable,
+        "-m",
+        "repro.testkit.kill",
+        "--checkpoint",
+        checkpoint_dir,
+        "--images",
+        str(images),
+        "--budget",
+        str(budget),
+        "--seed",
+        str(seed),
+        "--delay",
+        str(delay),
+    ]
+    records_path = os.path.join(checkpoint_dir, RECORDS_NAME)
+    child = subprocess.Popen(
+        args, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while (
+            _record_count(records_path) < kill_after
+            and child.poll() is None
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        records_at_kill = _record_count(records_path)
+        if child.poll() is None:
+            child.send_signal(signal.SIGKILL)
+    finally:
+        child.wait(timeout=timeout)
+
+    resumed = summary_fingerprint(
+        toy_campaign(
+            checkpoint=checkpoint_dir, images=images, budget=budget, seed=seed
+        )
+    )
+    golden = summary_fingerprint(
+        toy_campaign(checkpoint=None, images=images, budget=budget, seed=seed)
+    )
+    return {
+        "golden": golden,
+        "resumed": resumed,
+        "records_at_kill": records_at_kill,
+        "identical": golden == resumed,
+    }
+
+
+def main(argv=None) -> int:
+    """Child entry point: run the toy campaign, print its fingerprint."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testkit.kill",
+        description="deterministic toy campaign for kill-and-resume tests",
+    )
+    parser.add_argument("--checkpoint", default=None, metavar="DIR")
+    parser.add_argument("--images", type=int, default=12)
+    parser.add_argument("--budget", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        help="seconds to sleep per classifier query (lets a parent aim "
+        "its SIGKILL between durable records)",
+    )
+    args = parser.parse_args(argv)
+    summary = toy_campaign(
+        checkpoint=args.checkpoint,
+        images=args.images,
+        budget=args.budget,
+        seed=args.seed,
+        delay=args.delay,
+    )
+    json.dump(summary_fingerprint(summary), sys.stdout)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
