@@ -2,12 +2,16 @@
 """Inject the latest benchmark tables into EXPERIMENTS.md.
 
 Replaces each ``<!-- RESULTS:NAME -->`` marker's following placeholder
-paragraph with the corresponding files from ``benchmarks/results/``.
-Run after ``pytest benchmarks/ --benchmark-only``::
+paragraph with the corresponding files from ``benchmarks/results/``:
+``.txt`` tables for the benchmark sections, and ``campaign_<id>.md``
+reports (written by ``repro campaign report --out``) for the
+``<!-- RESULTS:CAMPAIGN -->`` section.  Run after
+``pytest benchmarks/ --benchmark-only``::
 
     python benchmarks/collect_results.py
 """
 
+import glob
 import os
 import re
 import sys
@@ -26,10 +30,10 @@ SECTIONS = {
 }
 
 
-def load_block(names):
+def load_block(names, extension="txt"):
     chunks = []
     for name in names:
-        path = os.path.join(RESULTS, f"{name}.txt")
+        path = os.path.join(RESULTS, f"{name}.{extension}")
         if os.path.exists(path):
             with open(path) as handle:
                 chunks.append(handle.read().rstrip())
@@ -38,15 +42,28 @@ def load_block(names):
     return "```\n" + "\n\n".join(chunks) + "\n```"
 
 
+def campaign_names():
+    """Campaign reports present in the results dir (``campaign_<id>.md``,
+    written by ``repro campaign report --out``)."""
+    return sorted(
+        os.path.splitext(os.path.basename(path))[0]
+        for path in glob.glob(os.path.join(RESULTS, "campaign_*.md"))
+    )
+
+
 def main():
     with open(EXPERIMENTS) as handle:
         text = handle.read()
-    for key, names in SECTIONS.items():
+    sections = {key: (names, "txt") for key, names in SECTIONS.items()}
+    campaigns = campaign_names()
+    if campaigns:
+        sections["CAMPAIGN"] = (campaigns, "md")
+    for key, (names, extension) in sections.items():
         marker = f"<!-- RESULTS:{key} -->"
         if marker not in text:
             print(f"marker {marker} missing, skipped", file=sys.stderr)
             continue
-        block = marker + "\n" + load_block(names)
+        block = marker + "\n" + load_block(names, extension)
         # replace marker plus everything up to the next blank-line-delimited
         # paragraph (the placeholder sentence or a previous injection)
         pattern = re.escape(marker) + r"\n(?:```.*?```|\*[^\n]*\*)"

@@ -38,3 +38,20 @@ def write_result(results_dir: str, name: str, text: str) -> None:
         handle.write(text + "\n")
     print()
     print(text)
+
+
+def write_bench_result(results_dir: str, suite: str, metrics) -> str:
+    """Persist ``BENCH_<suite>.json`` next to the text table.
+
+    ``metrics`` is an iterable of ``(name, value, unit)`` triples; the
+    file follows the ``repro-bench/1`` schema shared with campaign
+    reports, so one collector can chart benchmark and campaign numbers
+    on the same trajectory.
+    """
+    from repro.campaign.bench import bench_metric, write_bench
+
+    return write_bench(
+        results_dir,
+        suite,
+        [bench_metric(name, value, unit) for name, value, unit in metrics],
+    )

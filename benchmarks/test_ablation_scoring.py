@@ -15,7 +15,7 @@ the CNN zoo.
 
 import numpy as np
 
-from conftest import write_result
+from conftest import write_bench_result, write_result
 from repro.classifier.toy import SmoothLinearClassifier, make_toy_images
 from repro.core.synthesis.oppsla import Oppsla, OppslaConfig
 
@@ -64,6 +64,20 @@ def test_scoring_ablation(benchmark, results_dir):
             f"{row['successes']:>9}  {row['avg']:>8.1f}  {row['penalized']:>9.1f}"
         )
     write_result(results_dir, "ablation_scoring", "\n".join(lines))
+    write_bench_result(
+        results_dir,
+        "ablation_scoring",
+        [
+            (
+                f"seed{row['seed']}/"
+                f"{'penalized' if row['score_failures'] else 'literal'}"
+                f"/successes",
+                row["successes"],
+                "images",
+            )
+            for row in rows
+        ],
+    )
 
     by_seed = {}
     for row in rows:

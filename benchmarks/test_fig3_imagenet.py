@@ -8,7 +8,7 @@ queries.
 
 import pytest
 
-from conftest import write_result
+from conftest import write_bench_result, write_result
 from repro.eval.experiments import run_figure3
 from repro.eval.reporting import format_success_curves
 from repro.models.registry import IMAGENET_ARCHITECTURES
@@ -21,6 +21,15 @@ def test_fig3_imagenet(benchmark, context, results_dir, arch):
     )
     text = format_success_curves(f"imagenet/{arch}", curves)
     write_result(results_dir, f"fig3_imagenet_{arch}", text)
+    write_bench_result(
+        results_dir,
+        f"fig3_imagenet_{arch}",
+        [
+            (f"{attack}/rate_at_{threshold}", curve.rate_at(threshold), "fraction")
+            for attack, curve in sorted(curves.items())
+            for threshold in context.profile.imagenet_thresholds
+        ],
+    )
 
     oppsla = curves["OPPSLA"]
     sparse_rs = curves["Sparse-RS"]

@@ -7,7 +7,7 @@ queries than the zero-cost fixed-prioritization program (the paper
 reports a 2.7x reduction after ~50k synthesis queries).
 """
 
-from conftest import write_result
+from conftest import write_bench_result, write_result
 from repro.eval.experiments import run_figure4
 from repro.eval.reporting import format_synthesis_study
 
@@ -19,6 +19,15 @@ def test_fig4_synthesis(benchmark, context, results_dir):
     )
     text = format_synthesis_study(study)
     write_result(results_dir, "fig4_synthesis", text)
+    write_bench_result(
+        results_dir,
+        "fig4_synthesis",
+        [
+            ("best_avg_queries", study.best_avg_queries, "queries"),
+            ("fixed_avg_queries", study.fixed_avg_queries, "queries"),
+            ("accepted_programs", len(study.points), "programs"),
+        ],
+    )
 
     assert study.points, "the search must accept at least the initial program"
     # synthesis queries along the trace are monotone (cost accumulates)

@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from conftest import write_result
+from conftest import write_bench_result, write_result
 from repro.classifier.blackbox import NetworkClassifier
 from repro.models.registry import build_model
 
@@ -83,6 +83,15 @@ def test_inference_fastpath_throughput(results_dir):
         "  query counts unaffected: folding changes per-query latency only",
     ]
     write_result(results_dir, "inference_fastpath", "\n".join(lines))
+    write_bench_result(
+        results_dir,
+        "inference_fastpath",
+        [
+            ("baseline_ms_per_batch", baseline_time * 1000, "ms"),
+            ("fastpath_ms_per_batch", fast_time * 1000, "ms"),
+            ("speedup", speedup, "x"),
+        ],
+    )
 
     assert speedup >= 2.0, (
         f"frozen float32 path gained only {speedup:.2f}x over the seed "

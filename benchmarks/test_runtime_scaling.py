@@ -17,7 +17,7 @@ import time
 
 import numpy as np
 
-from conftest import write_result
+from conftest import write_bench_result, write_result
 from repro.attacks.fixed_sketch import FixedSketchAttack
 from repro.classifier.toy import (
     LatencyClassifier,
@@ -80,6 +80,15 @@ def test_runtime_scaling(results_dir):
         f"  results bit-identical: True",
     ]
     write_result(results_dir, "runtime_scaling", "\n".join(lines))
+    write_bench_result(
+        results_dir,
+        "runtime_scaling",
+        [
+            ("sequential_seconds", sequential_time, "s"),
+            ("parallel_seconds", parallel_time, "s"),
+            ("speedup", speedup, "x"),
+        ],
+    )
 
     run_end = log.of_type("run_end")
     assert run_end and run_end[0]["failed"] == 0

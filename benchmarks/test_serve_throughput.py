@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from conftest import write_result
+from conftest import write_bench_result, write_result
 from repro.attacks.fixed_sketch import FixedSketchAttack
 from repro.attacks.random_search import UniformRandomAttack, UniformRandomConfig
 from repro.classifier.toy import (
@@ -133,6 +133,16 @@ def test_serve_throughput(results_dir):
         "  per-session results bit-identical to direct runs: True",
     ]
     write_result(results_dir, "serve_throughput", "\n".join(lines))
+    write_bench_result(
+        results_dir,
+        "serve_throughput",
+        [
+            ("unbatched_qps", unbatched_qps, "queries/s"),
+            ("batched_qps", batched_qps, "queries/s"),
+            ("speedup", speedup, "x"),
+            ("mean_batch_size", batched_stats["batch_sizes"]["mean"], "queries"),
+        ],
+    )
 
     assert batched_stats["batch_sizes"]["max"] >= 2, "broker never batched"
     assert speedup >= 2.0, (

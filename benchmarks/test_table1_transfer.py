@@ -8,7 +8,7 @@ GoogLeNet's program on ResNet18).
 
 import math
 
-from conftest import write_result
+from conftest import write_bench_result, write_result
 from repro.eval.experiments import run_table1
 from repro.eval.reporting import format_transfer
 
@@ -17,6 +17,19 @@ def test_table1_transfer(benchmark, context, results_dir):
     matrix = benchmark.pedantic(run_table1, args=(context,), rounds=1, iterations=1)
     text = format_transfer(matrix)
     write_result(results_dir, "table1_transfer", text)
+    write_bench_result(
+        results_dir,
+        "table1_transfer",
+        [
+            (
+                f"{source}_to_{target}/overhead",
+                matrix.transfer_overhead(target, source),
+                "x",
+            )
+            for target in matrix.names
+            for source in matrix.names
+        ],
+    )
 
     for target in matrix.names:
         assert math.isfinite(matrix.diagonal(target)), (

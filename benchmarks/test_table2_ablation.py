@@ -17,7 +17,7 @@ columns are still reported for side-by-side reading with the paper.
 
 import pytest
 
-from conftest import write_result
+from conftest import write_bench_result, write_result
 from repro.eval.experiments import run_table2
 from repro.eval.reporting import format_ablation
 from repro.models.registry import CIFAR_ARCHITECTURES
@@ -30,6 +30,22 @@ def test_table2_ablation(benchmark, context, results_dir, arch):
     )
     text = format_ablation(rows)
     write_result(results_dir, f"table2_{arch}", text)
+    write_bench_result(
+        results_dir,
+        f"table2_{arch}",
+        [
+            (
+                f"{row.approach}/penalized_avg_queries",
+                row.penalized_avg_queries,
+                "queries",
+            )
+            for row in rows
+        ]
+        + [
+            (f"{row.approach}/success_rate", row.success_rate, "fraction")
+            for row in rows
+        ],
+    )
 
     by_name = {row.approach: row for row in rows}
     oppsla = by_name["OPPSLA"]

@@ -1,0 +1,94 @@
+"""Config-driven experiment matrices with durable, comparable results.
+
+The paper's evaluation sweeps {models x attacks x datasets x budgets};
+this package makes that cross-product a first-class, declarative object
+instead of a folder of ad-hoc scripts:
+
+- :mod:`repro.campaign.spec` -- the TOML/JSON campaign spec, validated,
+  with deterministic cell expansion (stable ids, seed-sequence seeds);
+- :mod:`repro.campaign.runner` -- executes cells over
+  :func:`~repro.eval.runner.attack_dataset` + checkpoint stores,
+  kill-and-resume safe at both cell and per-image granularity;
+- :mod:`repro.campaign.store` -- an append-only results store whose
+  entries, keyed by (campaign, cell, git rev, timestamp), form a
+  performance trendline across commits;
+- :mod:`repro.campaign.report` -- Markdown/CSV reports and
+  ``BENCH_campaign_*.json`` trajectory files;
+- :mod:`repro.campaign.bench` -- the shared ``repro-bench/1`` schema the
+  benchmark suite also emits.
+
+Entry point: ``repro campaign run|report|list`` (see ``repro.cli``).
+"""
+
+from repro.campaign.bench import (
+    BENCH_SCHEMA,
+    BenchSchemaError,
+    bench_metric,
+    bench_payload,
+    git_revision,
+    list_bench_files,
+    read_bench,
+    validate_bench,
+    write_bench,
+)
+from repro.campaign.report import (
+    ReportError,
+    campaign_bench_metrics,
+    campaign_csv,
+    campaign_markdown,
+    write_campaign_bench,
+)
+from repro.campaign.runner import (
+    CampaignRun,
+    CellOutcome,
+    build_attack,
+    build_cell_inputs,
+    campaign_status,
+    loaded_spec,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    ATTACK_KINDS,
+    TOY_MODELS,
+    CampaignSpec,
+    CellSpec,
+    SpecError,
+    cell_id,
+    cell_seeds,
+)
+from repro.campaign.store import ResultsStore, StoreError, make_record, result_key
+
+__all__ = [
+    "ATTACK_KINDS",
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
+    "CampaignRun",
+    "CampaignSpec",
+    "CellOutcome",
+    "CellSpec",
+    "ReportError",
+    "ResultsStore",
+    "SpecError",
+    "StoreError",
+    "TOY_MODELS",
+    "bench_metric",
+    "bench_payload",
+    "build_attack",
+    "build_cell_inputs",
+    "campaign_bench_metrics",
+    "campaign_csv",
+    "campaign_markdown",
+    "campaign_status",
+    "cell_id",
+    "cell_seeds",
+    "git_revision",
+    "list_bench_files",
+    "loaded_spec",
+    "make_record",
+    "read_bench",
+    "result_key",
+    "run_campaign",
+    "validate_bench",
+    "write_bench",
+    "write_campaign_bench",
+]

@@ -1,0 +1,191 @@
+"""The ``BENCH_*.json`` performance-trajectory schema.
+
+Benchmarks used to print text tables that CI forgot the moment the job
+ended; this module gives every perf-bearing number a durable,
+machine-readable form that re-anchors and CI can diff across commits.
+One file per suite (or per campaign), schema ``repro-bench/1``::
+
+    {
+      "schema": "repro-bench/1",
+      "suite": "runtime_scaling",
+      "git_rev": "1f7f2a8",
+      "timestamp": 1754640000.0,
+      "metrics": [
+        {"name": "speedup", "value": 3.25, "unit": "x"},
+        ...
+      ]
+    }
+
+``metrics[].name`` is a stable identifier (campaign benches namespace it
+as ``<cell>/<metric>``); ``value`` is a finite float or ``None`` for
+"undefined this run" (e.g. an average over zero successes); ``unit`` is
+a short human label (``x``, ``s``, ``queries``, ``fraction``, ...).
+Producers: ``benchmarks/conftest.py`` (suite benches) and
+:mod:`repro.campaign.report` (campaign benches).  Consumers:
+``benchmarks/collect_results.py``, CI artifact uploads, and the
+:class:`~repro.campaign.store.ResultsStore` trendline.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+BENCH_SCHEMA = "repro-bench/1"
+BENCH_PREFIX = "BENCH_"
+
+
+class BenchSchemaError(ValueError):
+    """A payload does not conform to the ``repro-bench/1`` schema."""
+
+
+def git_revision(directory: Optional[str] = None) -> str:
+    """The short git revision of ``directory`` (or CWD); ``"unknown"``
+    when git or the repository is unavailable -- BENCH files must still
+    be writable from an exported tarball."""
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=directory,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if completed.returncode != 0:
+        return "unknown"
+    return completed.stdout.strip() or "unknown"
+
+
+def bench_metric(name: str, value, unit: str) -> Dict:
+    """One schema-conforming metric entry (validated on construction)."""
+    if not isinstance(name, str) or not name:
+        raise BenchSchemaError(f"metric name must be a non-empty string: {name!r}")
+    if value is not None:
+        value = float(value)
+        if not math.isfinite(value):
+            # inf/nan mean "undefined this run" -- encode as null so the
+            # file stays strict JSON and diffs cleanly
+            value = None
+    if not isinstance(unit, str) or not unit:
+        raise BenchSchemaError(f"metric unit must be a non-empty string: {unit!r}")
+    return {"name": name, "value": value, "unit": unit}
+
+
+def bench_payload(
+    suite: str,
+    metrics: Iterable[Dict],
+    git_rev: Optional[str] = None,
+    timestamp: Optional[float] = None,
+) -> Dict:
+    """Assemble one validated ``repro-bench/1`` document."""
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "suite": suite,
+        "git_rev": git_rev if git_rev is not None else git_revision(),
+        "timestamp": timestamp if timestamp is not None else time.time(),
+        "metrics": [
+            bench_metric(m["name"], m["value"], m["unit"]) for m in metrics
+        ],
+    }
+    validate_bench(payload)
+    return payload
+
+
+def validate_bench(payload: Dict) -> None:
+    """Raise :class:`BenchSchemaError` unless ``payload`` conforms.
+
+    This is the contract CI and future re-anchors diff against, so it is
+    enforced on *both* sides: producers validate before writing and the
+    tests validate every file the suite leaves behind.
+    """
+    if not isinstance(payload, dict):
+        raise BenchSchemaError("payload must be a JSON object")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise BenchSchemaError(
+            f"schema must be {BENCH_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    for key in ("suite", "git_rev"):
+        if not isinstance(payload.get(key), str) or not payload[key]:
+            raise BenchSchemaError(f"{key} must be a non-empty string")
+    timestamp = payload.get("timestamp")
+    if not isinstance(timestamp, (int, float)) or isinstance(timestamp, bool):
+        raise BenchSchemaError("timestamp must be a number")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        raise BenchSchemaError("metrics must be a non-empty list")
+    seen = set()
+    for metric in metrics:
+        if not isinstance(metric, dict):
+            raise BenchSchemaError("each metric must be an object")
+        if set(metric) != {"name", "value", "unit"}:
+            raise BenchSchemaError(
+                f"metric keys must be exactly name/value/unit: {sorted(metric)}"
+            )
+        name = metric["name"]
+        if not isinstance(name, str) or not name:
+            raise BenchSchemaError("metric name must be a non-empty string")
+        if name in seen:
+            raise BenchSchemaError(f"duplicate metric name {name!r}")
+        seen.add(name)
+        value = metric["value"]
+        if value is not None and (
+            not isinstance(value, (int, float))
+            or isinstance(value, bool)
+            or not math.isfinite(value)
+        ):
+            raise BenchSchemaError(
+                f"metric {name!r} value must be a finite number or null"
+            )
+        if not isinstance(metric["unit"], str) or not metric["unit"]:
+            raise BenchSchemaError(f"metric {name!r} unit must be a string")
+
+
+def bench_path(directory: str, suite: str) -> str:
+    return os.path.join(directory, f"{BENCH_PREFIX}{suite}.json")
+
+
+def write_bench(
+    directory: str,
+    suite: str,
+    metrics: Sequence[Dict],
+    git_rev: Optional[str] = None,
+    timestamp: Optional[float] = None,
+) -> str:
+    """Validate and write ``BENCH_<suite>.json``; returns the path."""
+    payload = bench_payload(suite, metrics, git_rev=git_rev, timestamp=timestamp)
+    os.makedirs(directory, exist_ok=True)
+    path = bench_path(directory, suite)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def read_bench(path: str) -> Dict:
+    """Load and validate one BENCH file."""
+    with open(path) as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise BenchSchemaError(f"invalid JSON in {path}: {exc}") from exc
+    validate_bench(payload)
+    return payload
+
+
+def list_bench_files(directory: str) -> List[str]:
+    """All ``BENCH_*.json`` paths under ``directory``, sorted."""
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in names
+        if name.startswith(BENCH_PREFIX) and name.endswith(".json")
+    )

@@ -1,0 +1,211 @@
+"""Append-only campaign results store: repeated runs form a trendline.
+
+A campaign run is comparable *across time* only if its numbers outlive
+the process that produced them.  :class:`ResultsStore` is the durable
+side of that: one ``results.jsonl`` file accumulating a record per
+``(campaign, cell, git_rev, timestamp)`` completion, plus a rebuilt
+``index.json`` mapping ``campaign::cell`` keys to the line numbers of
+their entries so lookups never scan the whole history.
+
+Layout under the store directory::
+
+    results.jsonl   # append-only; one JSON object per completed cell run
+    index.json      # {"campaign::cell": [line, ...]}, atomically replaced
+
+Records carry the *deterministic* summary (success rate, query counts)
+and the wall-clock measurements side by side, so the trendline can plot
+either.  The JSONL file is the source of truth; the index is derived
+and is rebuilt from scratch if it is missing or stale (e.g. a crash
+between the append and the index replace).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.campaign.bench import git_revision
+
+RESULTS_NAME = "results.jsonl"
+INDEX_NAME = "index.json"
+
+
+class StoreError(RuntimeError):
+    """The results store is corrupt beyond a torn tail."""
+
+
+def result_key(campaign_id: str, cell_id: str) -> str:
+    return f"{campaign_id}::{cell_id}"
+
+
+def make_record(
+    campaign_id: str,
+    cell_id: str,
+    summary: Dict,
+    git_rev: Optional[str] = None,
+    timestamp: Optional[float] = None,
+    extra: Optional[Dict] = None,
+) -> Dict:
+    """One trendline entry; ``summary`` is an ``AttackRunSummary.to_dict``."""
+    record = {
+        "campaign": campaign_id,
+        "cell": cell_id,
+        "git_rev": git_rev if git_rev is not None else git_revision(),
+        "timestamp": timestamp if timestamp is not None else time.time(),
+        "summary": dict(summary),
+    }
+    if extra:
+        record.update(extra)
+    return record
+
+
+class ResultsStore:
+    """Durable, indexed history of campaign cell results."""
+
+    def __init__(self, directory: str):
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    @property
+    def results_path(self) -> str:
+        return os.path.join(self.directory, RESULTS_NAME)
+
+    @property
+    def index_path(self) -> str:
+        return os.path.join(self.directory, INDEX_NAME)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def append(self, record: Dict) -> int:
+        """Durably append one record; returns its 0-based line number.
+
+        The JSONL append lands (flushed + fsync'd) before the index is
+        replaced, so a crash in between leaves a *stale* index over a
+        complete log -- which :meth:`index` detects and rebuilds --
+        never a dangling index entry over a missing record.
+        """
+        for field in ("campaign", "cell", "git_rev", "timestamp"):
+            if field not in record:
+                raise StoreError(f"record is missing required field {field!r}")
+        line_number = self._line_count()
+        with open(self.results_path, "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        index = self._load_index_file() or {}
+        key = result_key(record["campaign"], record["cell"])
+        index.setdefault(key, []).append(line_number)
+        self._replace_index(index)
+        return line_number
+
+    def _line_count(self) -> int:
+        try:
+            with open(self.results_path, "rb") as handle:
+                return handle.read().count(b"\n")
+        except FileNotFoundError:
+            return 0
+
+    def _replace_index(self, index: Dict) -> None:
+        temp_path = self.index_path + ".tmp"
+        with open(temp_path, "w") as handle:
+            json.dump(index, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, self.index_path)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def records(self) -> List[Dict]:
+        """Every complete record, in append order.
+
+        The final line is allowed to be torn (crash mid-append) and is
+        skipped; corruption elsewhere raises :class:`StoreError`.
+        """
+        try:
+            with open(self.results_path) as handle:
+                lines = [line.strip() for line in handle if line.strip()]
+        except FileNotFoundError:
+            return []
+        records = []
+        for position, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if position == len(lines) - 1:
+                    break
+                raise StoreError(
+                    f"corrupt record at {self.results_path}:{position + 1}: {exc}"
+                ) from exc
+        return records
+
+    def _load_index_file(self) -> Optional[Dict]:
+        try:
+            with open(self.index_path) as handle:
+                return json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError:
+            return None  # derived data: rebuild rather than fail
+
+    def index(self) -> Dict[str, List[int]]:
+        """The ``campaign::cell -> [line, ...]`` map, rebuilt if stale.
+
+        Staleness check: the index must reference exactly the lines the
+        log holds for each key.  A missing, corrupt, or stale index is
+        reconstructed from ``results.jsonl`` (the source of truth) and
+        re-persisted.
+        """
+        records = self.records()
+        fresh: Dict[str, List[int]] = {}
+        for line_number, record in enumerate(records):
+            key = result_key(record["campaign"], record["cell"])
+            fresh.setdefault(key, []).append(line_number)
+        existing = self._load_index_file()
+        if existing != fresh:
+            self._replace_index(fresh)
+        return fresh
+
+    def query(
+        self,
+        campaign_id: Optional[str] = None,
+        cell_id: Optional[str] = None,
+    ) -> List[Dict]:
+        """Records filtered by campaign and/or cell, in append order."""
+        selected = []
+        for record in self.records():
+            if campaign_id is not None and record.get("campaign") != campaign_id:
+                continue
+            if cell_id is not None and record.get("cell") != cell_id:
+                continue
+            selected.append(record)
+        return selected
+
+    def campaigns(self) -> List[str]:
+        """Distinct campaign ids present in the store, sorted."""
+        return sorted({record["campaign"] for record in self.records()})
+
+    def trendline(
+        self, campaign_id: str, cell_id: str, metric: str
+    ) -> List[Tuple[float, str, Optional[float]]]:
+        """``(timestamp, git_rev, value)`` per run, oldest first.
+
+        ``metric`` names a key inside each record's ``summary`` dict
+        (e.g. ``success_rate``, ``median_queries``, ``attack_seconds``);
+        runs whose summary lacks the key contribute ``None`` so gaps in
+        the trend stay visible instead of silently vanishing.
+        """
+        points = [
+            (
+                float(record["timestamp"]),
+                str(record["git_rev"]),
+                record.get("summary", {}).get(metric),
+            )
+            for record in self.query(campaign_id, cell_id)
+        ]
+        return sorted(points, key=lambda point: point[0])

@@ -203,7 +203,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
     store = None
     if args.checkpoint:
         store = CheckpointStore(args.checkpoint)
-        _, restored, _, _ = load_campaign(store)
+        _, restored, _, _, _ = load_campaign(store)
         if restored:
             print(
                 f"# resumed {len(restored)}/{len(pairs)} images, "
@@ -229,6 +229,81 @@ def cmd_attack(args: argparse.Namespace) -> int:
         f"median {summary.median_queries:.1f} "
         f"({summary.successes}/{summary.total_images} images)"
     )
+    return 0
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import CampaignSpec, SpecError
+    from repro.campaign.store import ResultsStore
+
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except SpecError as exc:
+        raise SystemExit(f"error: {args.spec}: {exc}") from exc
+    executor, run_log = _runtime(args)
+    results_store = ResultsStore(args.store) if args.store else None
+    run = run_campaign(
+        spec,
+        args.root,
+        executor=executor,
+        run_log=run_log,
+        results_store=results_store,
+        progress=print,
+        zoo_cache_dir=args.cache_dir,
+    )
+    if run_log is not None:
+        run_log.close()
+    replayed = sum(1 for outcome in run.outcomes if outcome.replayed)
+    print(
+        f"campaign {spec.campaign_id}: {len(run.outcomes)} cells complete "
+        f"({replayed} replayed from checkpoint)"
+    )
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from repro.campaign.report import (
+        campaign_csv,
+        campaign_markdown,
+        write_campaign_bench,
+    )
+
+    from repro.campaign.report import ReportError
+
+    include_timing = not args.no_timing
+    try:
+        if args.format == "csv":
+            rendered = campaign_csv(args.root, include_timing=include_timing)
+        else:
+            rendered = campaign_markdown(args.root, include_timing=include_timing)
+    except ReportError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"# report written to {args.out}")
+    else:
+        print(rendered, end="")
+    if args.bench_dir:
+        path = write_campaign_bench(args.root, args.bench_dir)
+        print(f"# BENCH trajectory written to {path}")
+    return 0
+
+
+def cmd_campaign_list(args: argparse.Namespace) -> int:
+    from repro.campaign.runner import campaign_status, loaded_spec
+    from repro.campaign.spec import SpecError
+
+    try:
+        spec = loaded_spec(args.root)
+    except SpecError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    states = campaign_status(spec, args.root)
+    done = sum(1 for _, state in states if state == "done")
+    print(f"campaign {spec.campaign_id}: {done}/{len(states)} cells done")
+    for cell, state in states:
+        print(f"  {state:>7}  {cell.cell_id}")
     return 0
 
 
@@ -333,6 +408,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_runtime_arguments(attack)
     attack.set_defaults(func=cmd_attack)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run/report a declarative experiment matrix "
+        "({models x attacks x datasets x budgets} from a TOML/JSON spec)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="execute every cell of a campaign spec (resumes implicitly: "
+        "completed cells are skipped, the in-flight cell resumes at "
+        "per-image granularity)",
+    )
+    campaign_run.add_argument("--spec", required=True, metavar="PATH",
+                              help="campaign spec (.toml or .json)")
+    campaign_run.add_argument("--root", required=True, metavar="DIR",
+                              help="campaign working directory (checkpoints, "
+                              "manifests, per-cell records)")
+    campaign_run.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="append completed cells to this long-lived results store "
+        "(the cross-commit perf trendline)",
+    )
+    campaign_run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="model-zoo cache directory for cifar/imagenet cells",
+    )
+    _add_runtime_arguments(campaign_run)
+    campaign_run.set_defaults(func=cmd_campaign_run)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="render a campaign as Markdown/CSV and BENCH JSON"
+    )
+    campaign_report.add_argument("--root", required=True, metavar="DIR")
+    campaign_report.add_argument(
+        "--format", choices=["md", "csv"], default="md"
+    )
+    campaign_report.add_argument("--out", default=None, metavar="PATH",
+                                 help="write the report here instead of stdout")
+    campaign_report.add_argument(
+        "--bench-dir",
+        default=None,
+        metavar="DIR",
+        help="also write BENCH_campaign_<id>.json into this directory",
+    )
+    campaign_report.add_argument(
+        "--no-timing",
+        action="store_true",
+        help="omit wall-clock columns; the remaining report is a "
+        "deterministic function of the attack results (bit-identical "
+        "across kill-and-resume)",
+    )
+    campaign_report.set_defaults(func=cmd_campaign_report)
+
+    campaign_list = campaign_sub.add_parser(
+        "list", help="show per-cell status (done/partial/pending)"
+    )
+    campaign_list.add_argument("--root", required=True, metavar="DIR")
+    campaign_list.set_defaults(func=cmd_campaign_list)
 
     experiment = subparsers.add_parser(
         "experiment", help="run a paper experiment end to end"

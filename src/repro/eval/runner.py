@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import math
 import statistics
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,13 +40,29 @@ def _json_safe(value: float) -> Optional[float]:
     return value
 
 
+#: ``to_dict`` keys that carry wall-clock measurements.  Everything else
+#: in the dict is a deterministic function of the attack results, so
+#: determinism consumers (kill-and-resume fingerprints, differential
+#: oracles, golden reports) compare ``to_dict(include_timing=False)``.
+TIMING_KEYS = ("attack_seconds", "total_seconds", "avg_seconds_per_image")
+
+
 @dataclass
 class AttackRunSummary:
-    """Aggregated results of one attack over one test set."""
+    """Aggregated results of one attack over one test set.
+
+    ``image_seconds`` holds per-image attack wall time keyed by dataset
+    index (missing for images whose timing is unknown, e.g. degraded
+    pool tasks); ``total_seconds`` is the wall time of the whole dataset
+    run including engine overhead.  Both are measurements, not functions
+    of the results -- see :data:`TIMING_KEYS`.
+    """
 
     attack_name: str
     results: List[AttackResult]
     budget: Optional[int]
+    image_seconds: Dict[int, float] = field(default_factory=dict)
+    total_seconds: Optional[float] = None
 
     @property
     def total_images(self) -> int:
@@ -125,15 +142,35 @@ class AttackRunSummary:
                 counts[result.error] = counts.get(result.error, 0) + 1
         return counts
 
-    def to_dict(self) -> dict:
+    @property
+    def attack_seconds(self) -> Optional[float]:
+        """Summed per-image attack wall time; ``None`` when untimed."""
+        if not self.image_seconds:
+            return None
+        return sum(self.image_seconds.values())
+
+    @property
+    def avg_seconds_per_image(self) -> Optional[float]:
+        """Mean per-image attack wall time over the timed images."""
+        if not self.image_seconds:
+            return None
+        return self.attack_seconds / len(self.image_seconds)
+
+    def to_dict(self, include_timing: bool = True) -> dict:
         """JSON-safe aggregate view (``inf`` averages become ``None``).
 
         This is the serialization contract shared by
         :class:`~repro.runtime.events.RunLog` events and
         ``benchmarks/collect_results.py``; per-image results are reduced
         to aggregates so the dict stays log-line sized.
+
+        ``include_timing=False`` drops the wall-clock keys
+        (:data:`TIMING_KEYS`), leaving a dict that is a deterministic
+        function of the results alone -- the form determinism tests and
+        resumed-vs-golden comparisons must use, because two runs of the
+        same campaign never agree on wall time.
         """
-        return {
+        payload = {
             "attack": self.attack_name,
             "budget": self.budget,
             "total_images": self.total_images,
@@ -145,6 +182,11 @@ class AttackRunSummary:
             "total_queries": self.total_queries,
             "errors": self.error_counts(),
         }
+        if include_timing:
+            payload["attack_seconds"] = self.attack_seconds
+            payload["total_seconds"] = self.total_seconds
+            payload["avg_seconds_per_image"] = self.avg_seconds_per_image
+        return payload
 
 
 def degraded_result(error_tag: Optional[str], budget: Optional[int]) -> AttackResult:
@@ -177,7 +219,7 @@ def resume_campaign(
     total_images: int,
     budget: Optional[int],
     base_seed: int,
-) -> "Tuple[dict, bool]":
+) -> "Tuple[dict, dict, bool]":
     """Reconcile a checkpoint with this run; completed results by index.
 
     Writes the manifest on a fresh store and verifies it on an old one
@@ -186,12 +228,13 @@ def resume_campaign(
     checked against the record, so a checkpoint written under a
     different ``base_seed`` -- whose units would not reproduce the same
     randomness -- cannot be silently resumed.  Returns the completed
-    ``{index: AttackResult}`` map and whether a torn tail was dropped.
+    ``{index: AttackResult}`` map, the recorded ``{index: seconds}``
+    timings, and whether a torn tail was dropped.
     """
     store.reconcile_manifest(
         campaign_manifest(attack_name, total_images, budget, base_seed)
     )
-    _, completed, seeds, truncated = load_campaign(store)
+    _, completed, seeds, seconds, truncated = load_campaign(store)
     for index, seed in seeds.items():
         if index < 0 or index >= total_images:
             raise CheckpointMismatch(
@@ -203,7 +246,7 @@ def resume_campaign(
                 f"checkpoint seed for image {index} does not re-derive from "
                 f"base_seed={base_seed}; refusing to resume"
             )
-    return completed, truncated
+    return completed, seconds, truncated
 
 
 def attack_dataset(
@@ -267,10 +310,12 @@ def attack_dataset(
             run_log = executor.run_log
     log = ensure_log(run_log)
 
+    run_started = time.perf_counter()
     store = as_store(checkpoint)
     completed: dict = {}
+    image_seconds: Dict[int, float] = {}
     if store is not None:
-        completed, truncated = resume_campaign(
+        completed, image_seconds, truncated = resume_campaign(
             store, attack.name, len(test_pairs), budget, base_seed
         )
         if completed or truncated:
@@ -295,20 +340,27 @@ def attack_dataset(
                 )
     pending = [index for index in range(len(test_pairs)) if index not in completed]
 
-    def record(index: int, result: AttackResult) -> None:
+    def record(
+        index: int, result: AttackResult, seconds: Optional[float] = None
+    ) -> None:
         # Write-ahead of the in-memory merge: the unit is durable before
         # the run acknowledges it, so a crash between units loses nothing.
         if store is not None:
             store.append(
-                campaign_record(index, task_seed(base_seed, index), result)
+                campaign_record(
+                    index, task_seed(base_seed, index), result, seconds=seconds
+                )
             )
         completed[index] = result
+        if seconds is not None:
+            image_seconds[index] = seconds
         log.emit(
             "attack_result",
             index=index,
             success=result.success,
             queries=result.queries,
             error=result.error,
+            seconds=seconds,
         )
 
     cache_stats = None
@@ -324,10 +376,9 @@ def attack_dataset(
             effective = cached
         for index in pending:
             image, true_class = test_pairs[index]
-            record(
-                index,
-                run_single_attack(attack, effective, image, true_class, budget),
-            )
+            started = time.perf_counter()
+            result = run_single_attack(attack, effective, image, true_class, budget)
+            record(index, result, seconds=time.perf_counter() - started)
         if cached is not None:
             cache_stats = cached.stats()
             log.emit("cache_stats", **cache_stats)
@@ -343,14 +394,16 @@ def attack_dataset(
         hits = misses = 0
         for outcome in outcomes:
             index = pending[outcome.index]
+            seconds = None
             if outcome.ok:
                 envelope = outcome.value
                 result = envelope.result
+                seconds = envelope.seconds
                 hits += envelope.cache_hits
                 misses += envelope.cache_misses
             else:
                 result = _degraded_result(outcome, budget)
-            record(index, result)
+            record(index, result, seconds=seconds)
         if cache_size is not None:
             total = hits + misses
             cache_stats = {
@@ -363,7 +416,11 @@ def attack_dataset(
 
     results = [completed[index] for index in range(len(test_pairs))]
     summary = AttackRunSummary(
-        attack_name=attack.name, results=results, budget=budget
+        attack_name=attack.name,
+        results=results,
+        budget=budget,
+        image_seconds=image_seconds,
+        total_seconds=time.perf_counter() - run_started,
     )
     log.emit("attack_summary", cache=cache_stats, **summary.to_dict())
     return summary

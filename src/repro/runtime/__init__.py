@@ -29,10 +29,13 @@ from repro.runtime.checkpoint import (
     as_store,
     campaign_manifest,
     campaign_record,
+    cell_record,
     decode_attack_result,
     encode_attack_result,
     encode_rng_state,
     load_campaign,
+    load_matrix,
+    matrix_manifest,
     restore_rng_state,
 )
 from repro.runtime.events import NullRunLog, RunLog, ensure_log
@@ -63,12 +66,15 @@ __all__ = [
     "as_store",
     "campaign_manifest",
     "campaign_record",
+    "cell_record",
     "decode_attack_result",
     "encode_attack_result",
     "encode_rng_state",
     "ensure_log",
     "image_digest",
     "load_campaign",
+    "load_matrix",
+    "matrix_manifest",
     "restore_rng_state",
     "run_single_attack",
     "task_seed",

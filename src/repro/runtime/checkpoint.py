@@ -383,31 +383,102 @@ def campaign_manifest(
     }
 
 
-def campaign_record(index: int, seed: int, result: AttackResult) -> Dict:
-    return {
+def campaign_record(
+    index: int, seed: int, result: AttackResult, seconds: Optional[float] = None
+) -> Dict:
+    """One durable per-image unit; ``seconds`` is its measured wall time.
+
+    Timing rides along so a resumed campaign restores the *original*
+    per-image latency of completed units instead of reporting zero --
+    the perf trendline stays meaningful across kills.
+    """
+    record = {
         "kind": CAMPAIGN_RECORD,
         "index": index,
         "seed": seed,
         "result": encode_attack_result(result),
     }
+    if seconds is not None:
+        record["seconds"] = seconds
+    return record
 
 
 def load_campaign(
     store: CheckpointStore,
-) -> Tuple[Optional[Dict], Dict[int, AttackResult], Dict[int, int], bool]:
+) -> Tuple[
+    Optional[Dict],
+    Dict[int, AttackResult],
+    Dict[int, int],
+    Dict[int, float],
+    bool,
+]:
     """Read a campaign checkpoint back.
 
-    Returns ``(manifest, results_by_index, seeds_by_index, truncated)``.
-    Later records win on duplicate indices (a unit re-executed after a
-    torn tail overwrites the dropped original).
+    Returns ``(manifest, results_by_index, seeds_by_index,
+    seconds_by_index, truncated)``.  Later records win on duplicate
+    indices (a unit re-executed after a torn tail overwrites the dropped
+    original).  Records written before timing existed simply have no
+    entry in the seconds map.
     """
     records, truncated = store.records()
     results: Dict[int, AttackResult] = {}
     seeds: Dict[int, int] = {}
+    seconds: Dict[int, float] = {}
     for record in records:
         if record.get("kind") != CAMPAIGN_RECORD:
             continue
         index = int(record["index"])
         results[index] = decode_attack_result(record["result"])
         seeds[index] = int(record["seed"])
-    return store.manifest(), results, seeds, truncated
+        if record.get("seconds") is not None:
+            seconds[index] = float(record["seconds"])
+        else:
+            seconds.pop(index, None)
+    return store.manifest(), results, seeds, seconds, truncated
+
+
+# ----------------------------------------------------------------------
+# campaign-matrix records (repro.campaign)
+# ----------------------------------------------------------------------
+
+MATRIX_MANIFEST_KIND = "campaign_matrix"
+CELL_RECORD = "cell_result"
+
+
+def matrix_manifest(
+    campaign_id: str, fingerprint: str, total_cells: int, spec: Dict
+) -> Dict:
+    """The identity a campaign *matrix* pins in its root manifest.
+
+    Same contract as :func:`campaign_manifest` one level up: the
+    fingerprint covers the canonical spec, so a matrix checkpoint cannot
+    be resumed under an edited spec (``CheckpointMismatch`` instead of a
+    silent merge of incompatible cells).
+    """
+    return {
+        "kind": MATRIX_MANIFEST_KIND,
+        "campaign": campaign_id,
+        "fingerprint": fingerprint,
+        "cells": total_cells,
+        "spec": spec,
+    }
+
+
+def cell_record(cell_id: str, payload: Dict) -> Dict:
+    """One durable completed-cell unit in a matrix checkpoint."""
+    return {"kind": CELL_RECORD, "cell": cell_id, **payload}
+
+
+def load_matrix(store: CheckpointStore) -> Tuple[Optional[Dict], Dict[str, Dict], bool]:
+    """Read a matrix checkpoint back: ``(manifest, cells_by_id, truncated)``.
+
+    Later records win on duplicate cell ids, mirroring
+    :func:`load_campaign`'s torn-tail semantics.
+    """
+    records, truncated = store.records()
+    cells: Dict[str, Dict] = {}
+    for record in records:
+        if record.get("kind") != CELL_RECORD:
+            continue
+        cells[str(record["cell"])] = record
+    return store.manifest(), cells, truncated

@@ -14,6 +14,7 @@ numbers in the returned envelopes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -58,12 +59,16 @@ class AttackTaskResult:
 
     ``cache_hits`` / ``cache_misses`` are the *deltas* this task added to
     its worker-local query cache, so the parent can aggregate a global
-    hit rate without sharing memory across processes.
+    hit rate without sharing memory across processes.  ``seconds`` is
+    the wall-clock time the attack itself took inside the worker
+    (excluding pool scheduling and transport), which is what campaign
+    reports and the perf trendline track as per-image latency.
     """
 
     result: AttackResult
     cache_hits: int = 0
     cache_misses: int = 0
+    seconds: Optional[float] = None
 
 
 class AttackTaskRunner:
@@ -126,16 +131,19 @@ class AttackTaskRunner:
         if self._cached is not None:
             hits_before = self._cached.cache.hits
             misses_before = self._cached.cache.misses
+        started = time.perf_counter()
         result = run_single_attack(
             self.attack, classifier, image, true_class, self.budget
         )
+        seconds = time.perf_counter() - started
         if self._cached is not None:
             return AttackTaskResult(
                 result=result,
                 cache_hits=self._cached.cache.hits - hits_before,
                 cache_misses=self._cached.cache.misses - misses_before,
+                seconds=seconds,
             )
-        return AttackTaskResult(result=result)
+        return AttackTaskResult(result=result, seconds=seconds)
 
 
 class PairEvaluationRunner:

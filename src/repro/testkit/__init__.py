@@ -43,8 +43,11 @@ from repro.testkit.faults import (
 )
 from repro.testkit.kill import (
     kill_and_resume_campaign,
+    kill_and_resume_matrix,
+    matrix_fingerprint,
     summary_fingerprint,
     toy_campaign,
+    toy_matrix_spec,
 )
 from repro.testkit.matrix import (
     DEFAULT_KINDS,
@@ -84,6 +87,9 @@ __all__ = [
     "TraceRecorder",
     "diff_events",
     "kill_and_resume_campaign",
+    "kill_and_resume_matrix",
+    "matrix_fingerprint",
+    "toy_matrix_spec",
     "load_trace",
     "network_runner",
     "pixel_diff",

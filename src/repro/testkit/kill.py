@@ -85,10 +85,13 @@ def summary_fingerprint(summary: AttackRunSummary) -> Dict:
 
     Aggregates plus the full per-image ``(success, queries, error)``
     sequence -- a resumed run that merely matches the averages but
-    shuffled per-image outcomes still fails the comparison.
+    shuffled per-image outcomes still fails the comparison.  Wall-clock
+    timing is excluded (``include_timing=False``): it is a measurement,
+    not a function of the results, so two bit-identical runs never agree
+    on it.
     """
     return {
-        "summary": summary.to_dict(),
+        "summary": summary.to_dict(include_timing=False),
         "per_image": [
             [result.success, result.queries, result.error]
             for result in summary.results
@@ -176,6 +179,168 @@ def kill_and_resume_campaign(
     golden = summary_fingerprint(
         toy_campaign(checkpoint=None, images=images, budget=budget, seed=seed)
     )
+    return {
+        "golden": golden,
+        "resumed": resumed,
+        "records_at_kill": records_at_kill,
+        "identical": golden == resumed,
+    }
+
+
+# ----------------------------------------------------------------------
+# matrix-level kill-and-resume (campaign subsystem)
+# ----------------------------------------------------------------------
+
+
+def toy_matrix_spec(
+    images: int = 4,
+    budget: int = 64,
+    seed: int = 7,
+    latency: float = 0.0,
+    campaign_id: str = "toy-2x2",
+) -> Dict:
+    """A 2x2 toy campaign spec payload (models x attacks), JSON-safe.
+
+    ``latency`` is seconds per classifier query; the matrix harness uses
+    it to slow the child down enough to aim a SIGKILL between durable
+    records.  It never affects scores, so a throttled and an unthrottled
+    run produce identical deterministic reports.
+    """
+    model = {"height": 6, "width": 6, "classes": 3}
+    if latency > 0:
+        model = {**model, "latency": latency}
+    return {
+        "campaign": {
+            "id": campaign_id,
+            "seed": seed,
+            "images": images,
+            "budget": budget,
+        },
+        "matrix": {
+            "models": ["toy-smooth", "toy-linear"],
+            "attacks": ["fixed", "random"],
+            "datasets": ["toy"],
+        },
+        "model": {"toy-smooth": model, "toy-linear": model},
+    }
+
+
+def _matrix_record_count(root: str) -> int:
+    """Durable records across the campaign root and every cell store."""
+    import glob
+
+    total = _record_count(os.path.join(root, RECORDS_NAME))
+    pattern = os.path.join(root, "cells", "*", RECORDS_NAME)
+    for records_path in glob.glob(pattern):
+        total += _record_count(records_path)
+    return total
+
+
+def matrix_fingerprint(root: str) -> Dict:
+    """Everything two campaign-matrix runs must agree on, JSON-safe.
+
+    The deterministic Markdown report (``include_timing=False``) plus
+    each cell's full per-image outcome sequence.  Timing, git revisions
+    and timestamps are measurements of one execution and are excluded.
+    """
+    from repro.campaign.report import campaign_markdown
+    from repro.runtime.checkpoint import CheckpointStore, load_matrix
+
+    _, cells, _ = load_matrix(CheckpointStore(root))
+    return {
+        "report": campaign_markdown(root, include_timing=False),
+        "cells": {
+            cell_id: {
+                "summary": record["summary"],
+                "per_image": record["per_image"],
+            }
+            for cell_id, record in cells.items()
+        },
+    }
+
+
+def kill_and_resume_matrix(
+    workdir: str,
+    kill_after: int = 6,
+    images: int = 4,
+    budget: int = 64,
+    seed: int = 7,
+    latency: float = 0.01,
+    timeout: float = 120.0,
+) -> Dict:
+    """SIGKILL a ``repro campaign run`` mid-matrix, resume it, compare.
+
+    Drives the real CLI as the child (``python -m repro.cli campaign
+    run``) against a 2x2 toy matrix under ``<workdir>/campaign``,
+    SIGKILLs it once ``kill_after`` durable records exist across the
+    root and cell stores, resumes the campaign in-process, renders the
+    deterministic report, and compares it against an uninterrupted
+    golden run under ``<workdir>/golden``.  Returns::
+
+        {
+            "golden": <matrix fingerprint of the uninterrupted run>,
+            "resumed": <matrix fingerprint of the killed-then-resumed run>,
+            "records_at_kill": <durable records when the kill landed>,
+            "identical": <golden == resumed>,
+        }
+    """
+    from repro.campaign.runner import run_campaign
+    from repro.campaign.spec import CampaignSpec
+
+    import repro
+
+    os.makedirs(workdir, exist_ok=True)
+    payload = toy_matrix_spec(
+        images=images, budget=budget, seed=seed, latency=latency
+    )
+    spec_path = os.path.join(workdir, "spec.json")
+    with open(spec_path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    root = os.path.join(workdir, "campaign")
+    golden_root = os.path.join(workdir, "golden")
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "campaign",
+            "run",
+            "--spec",
+            spec_path,
+            "--root",
+            root,
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while (
+            _matrix_record_count(root) < kill_after
+            and child.poll() is None
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        records_at_kill = _matrix_record_count(root)
+        if child.poll() is None:
+            child.send_signal(signal.SIGKILL)
+    finally:
+        child.wait(timeout=timeout)
+
+    # Resume (and golden-run) under the *same* spec the child used: the
+    # matrix manifest pins the spec fingerprint, and the latency knob
+    # only adds sleep -- scores, and therefore the deterministic report,
+    # are unaffected.
+    spec = CampaignSpec.from_dict(payload)
+    run_campaign(spec, root)
+    run_campaign(spec, golden_root)
+    golden = matrix_fingerprint(golden_root)
+    resumed = matrix_fingerprint(root)
     return {
         "golden": golden,
         "resumed": resumed,

@@ -243,7 +243,7 @@ class TestCampaignResume:
                 checkpoint=str(tmp_path),
                 base_seed=0,
             )
-        _, partial, _, _ = load_campaign(CheckpointStore(str(tmp_path)))
+        _, partial, _, _, _ = load_campaign(CheckpointStore(str(tmp_path)))
         assert 0 < len(partial) < 12
         resumed = toy_campaign(checkpoint=str(tmp_path))
         assert summary_fingerprint(resumed) == golden

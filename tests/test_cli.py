@@ -218,3 +218,67 @@ class TestCheckpointFlags:
         assert [line for line in first.splitlines() if "[" in line] == [
             line for line in second.splitlines() if "[" in line
         ]
+
+
+class TestCampaignCommands:
+    def spec_path(self, tmp_path):
+        from repro.testkit.kill import toy_matrix_spec
+
+        path = tmp_path / "spec.json"
+        path.write_text(
+            json.dumps(toy_matrix_spec(images=2, budget=16, campaign_id="cli"))
+        )
+        return str(path)
+
+    def test_run_report_list_round_trip(self, tmp_path, capsys):
+        spec = self.spec_path(tmp_path)
+        root = str(tmp_path / "camp")
+        assert main(["campaign", "run", "--spec", spec, "--root", root]) == 0
+        run_output = capsys.readouterr().out
+        assert "[4/4]" in run_output
+
+        assert main(["campaign", "report", "--root", root, "--no-timing"]) == 0
+        report = capsys.readouterr().out
+        assert "# campaign cli" in report
+        assert "4/4 cells complete" in report
+
+        assert main(["campaign", "list", "--root", root]) == 0
+        listing = capsys.readouterr().out
+        assert listing.count("done  toy.") == 4
+
+    def test_rerun_replays_and_report_is_stable(self, tmp_path, capsys):
+        spec = self.spec_path(tmp_path)
+        root = str(tmp_path / "camp")
+        main(["campaign", "run", "--spec", spec, "--root", root])
+        capsys.readouterr()
+        main(["campaign", "report", "--root", root, "--no-timing"])
+        first = capsys.readouterr().out
+        assert main(["campaign", "run", "--spec", spec, "--root", root]) == 0
+        assert "replayed" in capsys.readouterr().out
+        main(["campaign", "report", "--root", root, "--no-timing"])
+        assert capsys.readouterr().out == first
+
+    def test_report_writes_bench_and_csv(self, tmp_path, capsys):
+        from repro.campaign.bench import read_bench
+
+        spec = self.spec_path(tmp_path)
+        root = str(tmp_path / "camp")
+        main(["campaign", "run", "--spec", spec, "--root", root])
+        out_path = str(tmp_path / "report.csv")
+        assert main([
+            "campaign", "report", "--root", root, "--format", "csv",
+            "--out", out_path, "--bench-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert "cell,total_images" in open(out_path).read()
+        payload = read_bench(str(tmp_path / "BENCH_campaign_cli.json"))
+        assert payload["suite"] == "campaign_cli"
+
+    def test_invalid_spec_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"campaign": {"id": "x"}}))
+        with pytest.raises(SystemExit):
+            main([
+                "campaign", "run", "--spec", str(bad),
+                "--root", str(tmp_path / "camp"),
+            ])

@@ -42,6 +42,12 @@ class TestExamples:
         assert "batch-size distribution" in output
         assert "failed" not in output
 
+    def test_run_campaign(self):
+        output = run_example("run_campaign.py")
+        assert "rerun replayed 4/4 cells" in output
+        assert "# campaign toy-2x2" in output
+        assert "BENCH trajectory written" in output
+
     def test_all_examples_exist_and_are_documented(self):
         expected = {
             "quickstart.py",
@@ -51,6 +57,7 @@ class TestExamples:
             "analyze_attacks.py",
             "detect_and_heal.py",
             "serve_clients.py",
+            "run_campaign.py",
         }
         present = {
             name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")

@@ -93,6 +93,60 @@ class TestSummaryToDict:
         assert payload["errors"] == {}
 
 
+class TestSummaryTiming:
+    def test_timing_keys_round_trip_through_json(self):
+        import json
+
+        summary = AttackRunSummary(
+            "t",
+            [ok(10), fail(100)],
+            budget=100,
+            image_seconds={0: 0.25, 1: 0.75},
+            total_seconds=1.5,
+        )
+        payload = json.loads(json.dumps(summary.to_dict()))
+        assert payload["attack_seconds"] == pytest.approx(1.0)
+        assert payload["total_seconds"] == pytest.approx(1.5)
+        assert payload["avg_seconds_per_image"] == pytest.approx(0.5)
+
+    def test_include_timing_false_strips_every_timing_key(self):
+        from repro.eval.runner import TIMING_KEYS
+
+        summary = AttackRunSummary(
+            "t",
+            [ok(10)],
+            budget=100,
+            image_seconds={0: 0.25},
+            total_seconds=0.5,
+        )
+        deterministic = summary.to_dict(include_timing=False)
+        for key in TIMING_KEYS:
+            assert key not in deterministic
+        full = summary.to_dict()
+        assert {
+            key: value for key, value in full.items() if key not in TIMING_KEYS
+        } == deterministic
+
+    def test_missing_timing_serializes_as_null(self):
+        import json
+
+        summary = AttackRunSummary("t", [ok(10)], budget=100)
+        payload = json.loads(json.dumps(summary.to_dict()))
+        assert payload["attack_seconds"] is None
+        assert payload["total_seconds"] is None
+        assert payload["avg_seconds_per_image"] is None
+
+    def test_partial_image_timing_sums_what_exists(self):
+        summary = AttackRunSummary(
+            "t",
+            [ok(10), ok(20)],
+            budget=100,
+            image_seconds={1: 0.5},  # e.g. index 0 replayed from checkpoint
+        )
+        assert summary.attack_seconds == pytest.approx(0.5)
+        assert summary.avg_seconds_per_image == pytest.approx(0.5)
+
+
 class TestSketchDeterminismProperty:
     @settings(max_examples=15, deadline=None)
     @given(st.integers(0, 10_000))

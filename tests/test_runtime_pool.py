@@ -227,7 +227,10 @@ class TestAttackDatasetDeterminism:
             executor=WorkerPool(workers=4),
         )
         assert _results_signature(sequential) == _results_signature(parallel)
-        assert sequential.to_dict() == parallel.to_dict()
+        # wall-clock keys are measurements and legitimately differ
+        assert sequential.to_dict(include_timing=False) == parallel.to_dict(
+            include_timing=False
+        )
 
     def test_parallel_matches_sequential_seeded_sparse_rs(self, toy_setup):
         classifier, pairs = toy_setup
