@@ -18,9 +18,11 @@ Point it at an external server instead by exporting
 
 import json
 import os
+import random
 import sys
 import threading
 import time
+import urllib.error
 import urllib.request
 
 import numpy as np
@@ -30,10 +32,43 @@ from repro.serve.server import ServeConfig, ServerHandle
 SHAPE = (8, 8, 3)
 BUDGET = 200
 POLL_INTERVAL = 0.02
+#: Exponential backoff for 429 (shed load) and 503 (draining, or a
+#: cluster rebalancing a session between replicas): base doubles per
+#: attempt, each wait jittered to avoid synchronized client stampedes.
+BACKOFF_BASE = 0.1
+BACKOFF_CAP = 2.0
+MAX_RETRIES = 30
 
 
-def submit_and_poll(base, image, true_class, seed, outcomes, position):
-    """One client: POST an attack, poll until it resolves."""
+def _request_with_backoff(request, retry_counter, timeout=30):
+    """urlopen that retries 429/503 with jittered exponential backoff.
+
+    Any other status (or exhausting the retry budget) propagates: those
+    are real errors, not transient server states.  Increments
+    ``retry_counter`` (a one-element list, shared per client) on every
+    retried response so the report can show how often clients backed
+    off.
+    """
+    for attempt in range(MAX_RETRIES):
+        try:
+            return urllib.request.urlopen(request, timeout=timeout)
+        except urllib.error.HTTPError as error:
+            if error.code not in (429, 503) or attempt == MAX_RETRIES - 1:
+                raise
+            error.close()
+            retry_counter[0] += 1
+            wait = min(BACKOFF_CAP, BACKOFF_BASE * (2 ** attempt))
+            time.sleep(wait * random.uniform(0.5, 1.0))
+    raise RuntimeError("unreachable: retry loop exits via return or raise")
+
+
+def submit_and_poll(base, image, true_class, seed, outcomes, retries, position):
+    """One client: POST an attack, poll until it resolves.
+
+    Both the submission and every poll ride the backoff helper, so the
+    client survives admission-control sheds (429), a draining server
+    (503), and a cluster tier rebalancing its session mid-flight (503).
+    """
     body = json.dumps(
         {
             "attack": "random" if seed % 2 else "fixed",
@@ -43,20 +78,21 @@ def submit_and_poll(base, image, true_class, seed, outcomes, position):
             "params": {"seed": seed},
         }
     ).encode()
+    retry_counter = [0]
     request = urllib.request.Request(
         base + "/attacks",
         data=body,
         headers={"Content-Type": "application/json", "X-Client-Id": f"client-{seed}"},
     )
-    with urllib.request.urlopen(request, timeout=30) as response:
+    with _request_with_backoff(request, retry_counter) as response:
         session_id = json.load(response)["id"]
     while True:
-        with urllib.request.urlopen(
-            f"{base}/attacks/{session_id}", timeout=30
-        ) as response:
+        poll = urllib.request.Request(f"{base}/attacks/{session_id}")
+        with _request_with_backoff(poll, retry_counter) as response:
             status = json.load(response)
         if status["state"] in ("done", "failed"):
             outcomes[position] = status
+            retries[position] = retry_counter[0]
             return
         time.sleep(POLL_INTERVAL)
 
@@ -96,9 +132,11 @@ def main():
         jobs.append((image, true_class, seed))
 
     outcomes = [None] * clients
+    retries = [0] * clients
     threads = [
         threading.Thread(
-            target=submit_and_poll, args=(base, image, label, seed, outcomes, seed)
+            target=submit_and_poll,
+            args=(base, image, label, seed, outcomes, retries, seed),
         )
         for image, label, seed in jobs
     ]
@@ -109,12 +147,16 @@ def main():
         thread.join()
     elapsed = time.perf_counter() - started
 
-    print(f"{'client':>8} {'attack':>14} {'state':>7} {'success':>8} {'queries':>8}")
+    print(
+        f"{'client':>8} {'attack':>14} {'state':>7} {'success':>8} "
+        f"{'queries':>8} {'retries':>8}"
+    )
     for seed, status in enumerate(outcomes):
         result = status.get("result") or {}
         print(
             f"{seed:>8} {status['attack']:>14} {status['state']:>7} "
-            f"{str(result.get('success')):>8} {status['queries']:>8}"
+            f"{str(result.get('success')):>8} {status['queries']:>8} "
+            f"{retries[seed]:>8}"
         )
 
     metrics = json.load(urllib.request.urlopen(base + "/metrics", timeout=10))
@@ -135,6 +177,11 @@ def main():
     cache = broker.get("cache")
     if cache:
         print(f"cache: {cache['hits']} hits / {cache['misses']} misses")
+    total_retries = sum(retries)
+    print(
+        f"backoff retries (429/503): {total_retries} total, "
+        f"max per client {max(retries)}"
+    )
 
     if handle is not None:
         handle.stop()

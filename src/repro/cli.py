@@ -489,6 +489,14 @@ def build_parser() -> argparse.ArgumentParser:
         add_help=False,
     )
     serve.set_defaults(func=cmd_serve)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="serve through a sharded multi-worker tier with replica "
+        "supervision and rebalancing (see repro cluster --help)",
+        add_help=False,
+    )
+    cluster.set_defaults(func=cmd_cluster)
     return parser
 
 
@@ -498,17 +506,27 @@ def cmd_serve(args) -> int:  # pragma: no cover - dispatch happens in main()
     return serve_main([])
 
 
+def cmd_cluster(args) -> int:  # pragma: no cover - dispatch happens in main()
+    from repro.cluster.router import main as cluster_main
+
+    return cluster_main([])
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    # ``serve`` forwards its flags verbatim to the repro-serve parser;
-    # argparse's REMAINDER cannot pass leading optionals through a
-    # subparser, so dispatch before parsing.  Lazy import: the serving
+    # ``serve`` and ``cluster`` forward their flags verbatim to their own
+    # parsers; argparse's REMAINDER cannot pass leading optionals through
+    # a subparser, so dispatch before parsing.  Lazy import: the serving
     # stack is not needed for any other subcommand.
     if argv and argv[0] == "serve":
         from repro.serve.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        from repro.cluster.router import main as cluster_main
+
+        return cluster_main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -1,0 +1,46 @@
+"""repro.cluster -- sharded multi-worker serving for attack sessions.
+
+A cluster is N ``repro-serve`` worker processes, each owning a frozen
+model replica with its own micro-batch broker and query cache, behind a
+front-end router that shards sessions across workers by consistent hash
+of the session id.  The router supervises worker health (heartbeats,
+crash detection, bounded restart with backoff), rebalances a dead
+worker's open sessions onto survivors via a durable session ledger, and
+aggregates per-worker metrics into a cluster-wide ``/metrics`` plane.
+
+Entry points: ``repro cluster --workers N`` and
+``repro-serve --cluster N``; in-process, use :class:`ClusterHandle`.
+"""
+
+from repro.cluster.config import ClusterConfig, worker_argv
+from repro.cluster.hashing import HashRing
+from repro.cluster.metrics import (
+    aggregate_worker_metrics,
+    merge_cache_stats,
+    merge_histograms,
+)
+from repro.cluster.router import (
+    ClusterHandle,
+    ClusterRouter,
+    ClusterSupervisor,
+    open_sessions_from_records,
+    run_cluster,
+)
+from repro.cluster.workers import WorkerProcess, free_port, http_json
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterHandle",
+    "ClusterRouter",
+    "ClusterSupervisor",
+    "HashRing",
+    "WorkerProcess",
+    "aggregate_worker_metrics",
+    "free_port",
+    "http_json",
+    "merge_cache_stats",
+    "merge_histograms",
+    "open_sessions_from_records",
+    "run_cluster",
+    "worker_argv",
+]

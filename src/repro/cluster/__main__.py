@@ -1,0 +1,6 @@
+"""``python -m repro.cluster`` -- run a sharded serve tier."""
+
+from repro.cluster.router import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Cluster tier configuration.
+
+One :class:`ClusterConfig` describes the whole tier: how many worker
+processes to run, the model every replica serves (all workers build the
+*same* deterministic classifier -- same architecture, same seed -- so a
+session produces identical scores no matter which replica answers it),
+the router's listen address, and the supervision knobs (heartbeat
+cadence, restart budget, backoff).
+
+The worker-side fields deliberately mirror
+:class:`~repro.serve.server.ServeConfig`: a cluster worker *is* a
+``repro-serve`` process, spawned with :func:`worker_argv`, so every
+serve-layer behaviour (micro-batching, admission, drain) is inherited
+rather than re-implemented.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to assemble a sharded serve tier."""
+
+    workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 8870  # the router; workers take ephemeral loopback ports
+
+    # -- model replica (identical on every worker) ---------------------
+    model: str = "toy"
+    height: int = 8
+    width: int = 8
+    num_classes: int = 4
+    seed: int = 0
+    freeze: bool = False
+    dtype: Optional[str] = None
+    latency: float = 0.0  # simulated per-image model cost (benchmarks)
+
+    # -- per-worker serve knobs ----------------------------------------
+    max_batch_size: int = 32
+    max_wait: float = 0.002
+    cache_size: int = 4096
+    max_sessions: int = 64
+    max_threads: int = 16  # session-driver threads per worker
+    rate: float = 50.0
+    burst: float = 20.0
+
+    # -- supervision ---------------------------------------------------
+    heartbeat: float = 0.5  # seconds between worker health sweeps
+    heartbeat_misses: int = 3  # consecutive failures before death
+    max_restarts: int = 3  # per worker slot, over the tier's lifetime
+    backoff: float = 0.5  # restart delay base; doubles per restart
+    boot_timeout: float = 30.0  # seconds for a worker to become healthy
+
+    # -- durability and telemetry --------------------------------------
+    checkpoint: Optional[str] = None  # router session ledger directory
+    resume: bool = False
+    log_path: Optional[str] = None  # cluster_event JSONL
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.heartbeat <= 0:
+            raise ValueError("heartbeat must be positive")
+        if self.heartbeat_misses < 1:
+            raise ValueError("heartbeat_misses must be at least 1")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+        if self.backoff < 0:
+            raise ValueError("backoff must be non-negative")
+
+    def manifest(self) -> dict:
+        """The identity the router ledger pins; resuming sessions under a
+        different model would silently change every restored score."""
+        return {
+            "kind": "cluster",
+            "model": self.model,
+            "height": self.height,
+            "width": self.width,
+            "num_classes": self.num_classes,
+            "seed": self.seed,
+        }
+
+
+def worker_argv(config: ClusterConfig, port: int) -> List[str]:
+    """The ``repro-serve`` command line for one worker replica."""
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.serve",
+        "--host",
+        "127.0.0.1",
+        "--port",
+        str(port),
+        "--model",
+        config.model,
+        "--height",
+        str(config.height),
+        "--width",
+        str(config.width),
+        "--classes",
+        str(config.num_classes),
+        "--seed",
+        str(config.seed),
+        "--batch-size",
+        str(config.max_batch_size),
+        "--max-wait",
+        str(config.max_wait),
+        "--cache",
+        str(config.cache_size),
+        "--max-sessions",
+        str(config.max_sessions),
+        "--workers",
+        str(config.max_threads),
+        "--rate",
+        str(config.rate),
+        "--burst",
+        str(config.burst),
+    ]
+    if config.freeze:
+        argv.append("--freeze")
+    if config.dtype:
+        argv.extend(["--dtype", config.dtype])
+    if config.latency > 0:
+        argv.extend(["--latency", str(config.latency)])
+    return argv

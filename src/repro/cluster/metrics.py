@@ -1,0 +1,115 @@
+"""Cluster-wide metrics: per-worker snapshots rolled up into one plane.
+
+Each worker already exposes a complete ``/metrics`` document (broker
+counters, batch-size histograms, cache hits, session states).  The
+router's job is purely additive: fetch every live worker's snapshot and
+fold them into cluster totals without losing the per-replica view --
+operators need both "the tier answered 40k queries at a 0.31 cluster
+cache hit rate" and "worker w2's queue is 10x deeper than the others".
+
+Histogram merging relies on the serve layer's fixed default bounds
+(:class:`~repro.serve.metrics.Histogram`): same bucket labels on every
+worker, so bucket-wise addition is exact.  Means are recomputed from
+merged totals rather than averaged-of-averages.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def merge_histograms(snapshots: List[Dict]) -> Dict:
+    """Fold per-worker histogram snapshots into one cluster histogram."""
+    merged: Dict = {"count": 0, "mean": 0.0, "max": 0.0, "buckets": {}}
+    total = 0.0
+    for snapshot in snapshots:
+        if not snapshot:
+            continue
+        count = snapshot.get("count", 0)
+        merged["count"] += count
+        total += snapshot.get("mean", 0.0) * count
+        merged["max"] = max(merged["max"], snapshot.get("max", 0.0))
+        for label, value in snapshot.get("buckets", {}).items():
+            merged["buckets"][label] = merged["buckets"].get(label, 0) + value
+    if merged["count"]:
+        merged["mean"] = total / merged["count"]
+    return merged
+
+
+def merge_cache_stats(per_worker: Dict[str, Optional[Dict]]) -> Dict:
+    """Cluster-level cache rollup over per-replica caches.
+
+    Caches are replicated, not shared: each worker warms its own.  The
+    rollup answers the capacity question anyway -- what fraction of the
+    tier's logical queries were absorbed before a model forward pass --
+    while the per-worker map keeps each replica's hit rate visible.
+    """
+    hits = misses = 0
+    sized = False
+    for stats in per_worker.values():
+        if not stats:
+            continue
+        sized = True
+        hits += stats.get("hits", 0)
+        misses += stats.get("misses", 0)
+    total = hits + misses
+    return {
+        "per_worker": per_worker,
+        "cluster": None
+        if not sized
+        else {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / total) if total else 0.0,
+        },
+    }
+
+
+def aggregate_worker_metrics(per_worker: Dict[str, Optional[Dict]]) -> Dict:
+    """Fold worker ``/metrics`` documents into the cluster rollup.
+
+    ``per_worker`` maps worker name to its metrics payload, or ``None``
+    for a worker that could not be scraped (dead or mid-restart); those
+    are reported in ``unscraped`` rather than silently averaged away.
+    """
+    broker_totals = {
+        "submitted": 0,
+        "flushes": 0,
+        "coalesced_duplicates": 0,
+        "rejected": 0,
+    }
+    batch_histograms: List[Dict] = []
+    model_histograms: List[Dict] = []
+    caches: Dict[str, Optional[Dict]] = {}
+    sessions_in_flight = 0
+    queue_depth = 0
+    session_states: Dict[str, int] = {}
+    unscraped: List[str] = []
+
+    for name, payload in per_worker.items():
+        if payload is None:
+            unscraped.append(name)
+            continue
+        broker = payload.get("broker", {})
+        for key in broker_totals:
+            broker_totals[key] += broker.get(key, 0)
+        batch_histograms.append(broker.get("batch_sizes", {}))
+        model_histograms.append(broker.get("model_batch_sizes", {}))
+        caches[name] = broker.get("cache")
+        sessions_in_flight += payload.get("sessions_in_flight", 0)
+        queue_depth += payload.get("broker_queue_depth", 0)
+        for state, count in payload.get("sessions", {}).get("states", {}).items():
+            session_states[state] = session_states.get(state, 0) + count
+
+    return {
+        "broker": {
+            **broker_totals,
+            "batch_sizes": merge_histograms(batch_histograms),
+            "model_batch_sizes": merge_histograms(model_histograms),
+        },
+        "cache": merge_cache_stats(caches),
+        "sessions_in_flight": sessions_in_flight,
+        "broker_queue_depth": queue_depth,
+        "session_states": session_states,
+        "unscraped": sorted(unscraped),
+    }

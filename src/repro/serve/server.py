@@ -38,6 +38,7 @@ import asyncio
 import json
 import signal
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -63,6 +64,7 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -93,6 +95,34 @@ class ServeConfig:
     dtype: Optional[str] = None  # "float32" casts network models for speed
     checkpoint: Optional[str] = None  # durable session store for graceful drain
     resume: bool = False  # restore persisted sessions on startup
+    latency: float = 0.0  # simulated per-image model seconds (benchmarks)
+
+
+class PerImageLatencyClassifier:
+    """A classifier that charges a fixed wall-clock cost per image.
+
+    Turns the toy model into a stand-in for a compute-bound replica:
+    scoring N images costs N * latency seconds of model time no matter
+    how they are batched.  Deliberately exposes no ``batch`` method --
+    :func:`~repro.classifier.blackbox.batch_scores` then falls back to
+    per-image calls, so the simulated cost scales with queries answered,
+    which is what cluster scaling benchmarks need to measure (a
+    per-*batch* cost would be amortised away by the broker and show no
+    difference between one worker and four).
+    """
+
+    def __init__(self, inner, latency: float):
+        self._inner = inner
+        self.latency = float(latency)
+
+    def __call__(self, image):
+        time.sleep(self.latency)
+        return self._inner(image)
+
+    def __getattr__(self, name):
+        if name == "batch":  # force the per-image batch_scores fallback
+            raise AttributeError("batch")
+        return getattr(self._inner, name)
 
 
 def build_classifier(config: ServeConfig):
@@ -108,12 +138,18 @@ def build_classifier(config: ServeConfig):
     """
     shape = (config.height, config.width, 3)
     if config.model == "toy":
-        return SmoothLinearClassifier(
+        classifier = SmoothLinearClassifier(
             image_shape=shape, num_classes=config.num_classes, seed=config.seed
         )
-    model = build_model(config.model, num_classes=config.num_classes, seed=config.seed)
-    dtype = np.dtype(config.dtype) if config.dtype else None
-    return NetworkClassifier(model, dtype=dtype, freeze=config.freeze)
+    else:
+        model = build_model(
+            config.model, num_classes=config.num_classes, seed=config.seed
+        )
+        dtype = np.dtype(config.dtype) if config.dtype else None
+        classifier = NetworkClassifier(model, dtype=dtype, freeze=config.freeze)
+    if config.latency > 0:
+        classifier = PerImageLatencyClassifier(classifier, config.latency)
+    return classifier
 
 
 class AttackServer:
@@ -276,7 +312,15 @@ class AttackServer:
     # route handlers: (status, payload)
     # ------------------------------------------------------------------
 
-    def handle_submit(self, body: bytes, client: str) -> Tuple[int, Dict]:
+    def handle_submit(
+        self, body: bytes, client: str, session_id: Optional[str] = None
+    ) -> Tuple[int, Dict]:
+        """Accept one attack submission.
+
+        ``session_id`` lets a trusted upstream (the cluster router) pin
+        the session's id so its own sharding and rebalance bookkeeping
+        stay authoritative; a duplicate id is a 409 conflict.
+        """
         if self.draining:
             return 503, {"error": "server is draining for shutdown"}
         if not self.rate_limiter.allow(client):
@@ -295,15 +339,20 @@ class AttackServer:
                 "active_sessions": self.admission.active,
                 "retry_after": 1,
             }
-        session = self.sessions.create(
-            request.attack,
-            request.image,
-            request.true_class,
-            budget=request.budget,
-            target_class=request.target_class,
-            client=client,
-            spec=payload,
-        )
+        try:
+            session = self.sessions.create(
+                request.attack,
+                request.image,
+                request.true_class,
+                budget=request.budget,
+                target_class=request.target_class,
+                client=client,
+                spec=payload,
+                session_id=session_id,
+            )
+        except ValueError as exc:
+            self.admission.release()
+            return 409, {"error": str(exc)}
         future = self.sessions.start(session)
         future.add_done_callback(lambda _: self.admission.release())
         return 202, {"id": session.session_id, "state": session.state}
@@ -345,19 +394,32 @@ class AttackServer:
                 "active": self.sessions.active_count(),
                 "query_counts": self.sessions.query_counts(),
             },
+            # top-level gauges: what a load balancer or the cluster
+            # router needs without digging through nested documents
+            "sessions_in_flight": self.sessions.active_count(),
+            "broker_queue_depth": self.broker.queue_depth,
             "admission": self.admission.stats(),
             "rate_limiter": self.rate_limiter.stats(),
         }
 
-    def route(self, method: str, path: str, body: bytes, client: str):
+    def route(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        client: str,
+        session_id: Optional[str] = None,
+    ):
         if path == "/healthz" and method == "GET":
+            if self.draining:
+                return 503, {"status": "draining"}
             return 200, {"status": "ok", "model": self.config.model}
         if path == "/metrics" and method == "GET":
             return self.handle_metrics()
         if path == "/models" and method == "GET":
             return self.handle_models()
         if path == "/attacks" and method == "POST":
-            return self.handle_submit(body, client)
+            return self.handle_submit(body, client, session_id=session_id)
         if path == "/attacks" and method == "GET":
             return self.handle_list_sessions()
         if path.startswith("/attacks/") and method == "GET":
@@ -424,8 +486,11 @@ async def _handle_connection(
             return
         peer = writer.get_extra_info("peername")
         client = headers.get("x-client-id") or (peer[0] if peer else "unknown")
+        session_id = headers.get("x-session-id") or None
         try:
-            status, payload = server.route(method, path, body, client)
+            status, payload = server.route(
+                method, path, body, client, session_id=session_id
+            )
         except Exception as exc:  # route bugs must not kill the server
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
         extra = {"Retry-After": payload["retry_after"]} if status == 429 else None
@@ -592,6 +657,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="cast network models for inference (float32 is ~2x faster "
         "on CPU; scores differ from float64 in the last ulps)",
     )
+    parser.add_argument(
+        "--latency",
+        type=float,
+        default=0.0,
+        help="simulated per-image model seconds (benchmark knob: makes "
+        "the toy model behave like a compute-bound replica)",
+    )
     parser.add_argument("--max-sessions", type=int, default=64)
     parser.add_argument("--workers", type=int, default=16, dest="max_workers")
     parser.add_argument("--rate", type=float, default=50.0)
@@ -611,12 +683,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="restore sessions persisted in --checkpoint by a previous "
         "graceful shutdown and finish them (paper-faithful query counts)",
     )
+    parser.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve through a sharded tier of N worker replicas instead "
+        "of a single process (same flags; see `repro cluster --help`)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    config = ServeConfig(**vars(args))
+    options = vars(args)
+    cluster_workers = options.pop("cluster")
+    if cluster_workers:
+        from repro.cluster.config import ClusterConfig
+        from repro.cluster.router import run_cluster
+
+        return run_cluster(
+            ClusterConfig(
+                workers=cluster_workers,
+                host=options["host"],
+                port=options["port"],
+                model=options["model"],
+                height=options["height"],
+                width=options["width"],
+                num_classes=options["num_classes"],
+                seed=options["seed"],
+                freeze=options["freeze"],
+                dtype=options["dtype"],
+                latency=options["latency"],
+                max_batch_size=options["max_batch_size"],
+                max_wait=options["max_wait"],
+                cache_size=options["cache_size"],
+                max_sessions=options["max_sessions"],
+                max_threads=options["max_workers"],
+                rate=options["rate"],
+                burst=options["burst"],
+                checkpoint=options["checkpoint"],
+                resume=options["resume"],
+                log_path=options["log_path"],
+            )
+        )
+    config = ServeConfig(**options)
     server = AttackServer(config)
     print(
         f"repro-serve: {config.model} on http://{config.host}:{config.port} "

@@ -349,8 +349,161 @@ def kill_and_resume_matrix(
     }
 
 
+# ----------------------------------------------------------------------
+# cluster-level worker kill and rebalance (cluster subsystem)
+# ----------------------------------------------------------------------
+
+
+#: Image seeds whose ``default_rng(seed)`` 6x6 image the fixed-sketch
+#: attack never cracks against the seed-1 three-class toy model: every
+#: one exhausts the full 288-query pair space.  Distinct hard images
+#: matter when many sessions must do *independent* work -- the broker
+#: coalesces identical in-flight queries, so sessions attacking the
+#: same image would share model passes and fake any scaling number.
+HARD_IMAGE_SEEDS = (
+    1, 8, 20, 26, 28, 31, 43, 48, 54, 55, 57, 62, 69, 72, 85, 96,
+)
+
+
+def hard_cluster_spec(image_seed: int = 1) -> Dict:
+    """A HARD_SEED attack submission, as a wire-format spec.
+
+    Every ``image_seed`` from :data:`HARD_IMAGE_SEEDS` yields a session
+    that deterministically runs exactly 288 queries: long-lived enough
+    to kill a worker under, with a single golden final query count to
+    differential-check against.
+    """
+    image = np.random.default_rng(image_seed).random((6, 6, 3))
+    classifier = SmoothLinearClassifier(
+        image_shape=(6, 6, 3), num_classes=3, seed=1
+    )
+    return {
+        "attack": "fixed",
+        "image": image.tolist(),
+        "true_class": int(np.argmax(classifier(image))),
+        "budget": 100000,
+    }
+
+
+def _cluster_submit(address, spec: Dict) -> Dict:
+    from repro.cluster.workers import http_json
+
+    status, payload = http_json(
+        address, "POST", "/attacks", body=json.dumps(spec).encode("utf-8")
+    )
+    if status != 202:
+        raise RuntimeError(f"cluster refused the submission: {status} {payload}")
+    return payload
+
+
+def _cluster_poll(address, session_id: str) -> Optional[Dict]:
+    """One poll; ``None`` during rebalance windows (503) or hiccups."""
+    from repro.cluster.workers import http_json
+
+    try:
+        status, payload = http_json(address, "GET", f"/attacks/{session_id}")
+    except OSError:
+        return None
+    return payload if status == 200 else None
+
+
+def _wait_session(address, session_id: str, predicate, timeout: float) -> Dict:
+    deadline = time.monotonic() + timeout
+    payload = None
+    while time.monotonic() < deadline:
+        payload = _cluster_poll(address, session_id)
+        if payload is not None and predicate(payload):
+            return payload
+        time.sleep(0.05)
+    raise TimeoutError(
+        f"session {session_id} did not reach the awaited state in "
+        f"{timeout}s; last payload: {payload}"
+    )
+
+
+def kill_worker_and_rebalance(
+    workers: int = 2,
+    latency: float = 0.02,
+    progress_queries: int = 5,
+    timeout: float = 120.0,
+) -> Dict:
+    """SIGKILL the worker owning a live session; prove nothing is lost.
+
+    Runs the deterministic HARD_SEED session twice through real cluster
+    tiers: once uninterrupted (the golden run), and once on a
+    ``workers``-replica tier where the owning worker is SIGKILLed after
+    the session has answered at least ``progress_queries`` queries.  The
+    router must detect the death, rebalance the session onto a survivor,
+    and finish it with *exactly* the golden final query count -- the
+    paper-faithful accounting invariant.  Both tiers exit through the
+    SIGTERM drain path.  Returns::
+
+        {
+            "golden_queries": <uninterrupted final count>,
+            "rebalanced_queries": <killed-and-rebalanced final count>,
+            "identical": <the two counts match>,
+            "submitted_on": <worker that first owned the session>,
+            "finished_on": <worker that completed it>,
+            "deaths": <worker deaths the router recorded>,
+            "rebalanced_sessions": <sessions the router re-placed>,
+        }
+    """
+    from repro.cluster.config import ClusterConfig
+    from repro.cluster.router import ClusterHandle
+
+    spec = hard_cluster_spec()
+    base = dict(
+        port=0, height=6, width=6, num_classes=3, seed=1,
+        heartbeat=0.2, backoff=0.2,
+    )
+
+    with ClusterHandle(ClusterConfig(workers=1, **base)) as tier:
+        accepted = _cluster_submit(tier.address, spec)
+        final = _wait_session(
+            tier.address, accepted["id"],
+            lambda p: p["state"] in ("done", "failed"), timeout,
+        )
+        golden = final["result"]["queries"]
+
+    with ClusterHandle(
+        ClusterConfig(workers=workers, latency=latency, **base)
+    ) as tier:
+        accepted = _cluster_submit(tier.address, spec)
+        owner = accepted["worker"]
+        _wait_session(
+            tier.address, accepted["id"],
+            lambda p: p.get("queries", 0) >= progress_queries, timeout,
+        )
+        tier.router.worker_named(owner).kill()
+        final = _wait_session(
+            tier.address, accepted["id"],
+            lambda p: p["state"] in ("done", "failed"), timeout,
+        )
+        rebalanced = final["result"]["queries"]
+        finisher = final["worker"]
+        deaths = tier.router.deaths
+        moved = tier.router.rebalanced_sessions
+
+    return {
+        "golden_queries": golden,
+        "rebalanced_queries": rebalanced,
+        "identical": golden == rebalanced,
+        "submitted_on": owner,
+        "finished_on": finisher,
+        "deaths": deaths,
+        "rebalanced_sessions": moved,
+    }
+
+
 def main(argv=None) -> int:
-    """Child entry point: run the toy campaign, print its fingerprint."""
+    """Child entry point: run the toy campaign, print its fingerprint.
+
+    With ``--cluster-workers N`` the module instead drives the cluster
+    worker-kill harness (:func:`kill_worker_and_rebalance`), prints its
+    verdict as JSON, and exits non-zero unless the rebalanced session
+    matched the golden query count -- which is what the CI cluster smoke
+    step asserts.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.testkit.kill",
         description="deterministic toy campaign for kill-and-resume tests",
@@ -366,7 +519,20 @@ def main(argv=None) -> int:
         help="seconds to sleep per classifier query (lets a parent aim "
         "its SIGKILL between durable records)",
     )
+    parser.add_argument(
+        "--cluster-workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the cluster worker-kill harness against an N-worker "
+        "tier instead of the toy campaign",
+    )
     args = parser.parse_args(argv)
+    if args.cluster_workers:
+        verdict = kill_worker_and_rebalance(workers=args.cluster_workers)
+        json.dump(verdict, sys.stdout, indent=2)
+        print()
+        return 0 if verdict["identical"] else 1
     summary = toy_campaign(
         checkpoint=args.checkpoint,
         images=args.images,

@@ -1,0 +1,443 @@
+"""Tests for :mod:`repro.cluster` -- the sharded multi-worker serve tier.
+
+The fast half exercises the pure machinery in-process: consistent
+hashing, metrics aggregation, the ledger's open-session algebra, config
+validation, and the router's routing table without any worker processes.
+The slow half (``-m slow``) boots real tiers -- ``repro-serve``
+subprocesses behind the threaded router -- and pins the subsystem's load
+-bearing invariants: end-to-end attack completion across replicas,
+worker-kill rebalance with paper-faithful query counts (differentially
+checked via :func:`repro.testkit.kill.kill_worker_and_rebalance`),
+crashed-worker restart, and whole-tier SIGTERM drain with durable
+resume through the router ledger.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig, worker_argv
+from repro.cluster.hashing import DEFAULT_VNODES, HashRing
+from repro.cluster.metrics import (
+    aggregate_worker_metrics,
+    merge_cache_stats,
+    merge_histograms,
+)
+from repro.cluster.router import ClusterRouter, open_sessions_from_records
+from repro.runtime.checkpoint import CheckpointMismatch, CheckpointStore
+
+
+class TestHashRing:
+    def test_assignment_is_deterministic(self):
+        one, two = HashRing(), HashRing()
+        for member in ("w0", "w1", "w2"):
+            one.add(member)
+            two.add(member)
+        keys = [f"c{i}" for i in range(200)]
+        assert [one.assign(k) for k in keys] == [two.assign(k) for k in keys]
+
+    def test_assignment_order_independent(self):
+        one, two = HashRing(), HashRing()
+        for member in ("w0", "w1", "w2"):
+            one.add(member)
+        for member in ("w2", "w0", "w1"):
+            two.add(member)
+        keys = [f"c{i}" for i in range(200)]
+        assert [one.assign(k) for k in keys] == [two.assign(k) for k in keys]
+
+    def test_removal_only_remaps_the_dead_members_keys(self):
+        ring = HashRing()
+        for member in ("w0", "w1", "w2", "w3"):
+            ring.add(member)
+        keys = [f"c{i}" for i in range(500)]
+        before = {k: ring.assign(k) for k in keys}
+        ring.remove("w2")
+        after = {k: ring.assign(k) for k in keys}
+        for key in keys:
+            if before[key] != "w2":
+                assert after[key] == before[key]  # survivors keep theirs
+            else:
+                assert after[key] != "w2"  # orphans land elsewhere
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing()
+        for member in ("w0", "w1", "w2", "w3"):
+            ring.add(member)
+        spread = ring.spread(f"c{i}" for i in range(2000))
+        assert sum(spread.values()) == 2000
+        for member, count in spread.items():
+            assert count > 200, f"{member} owns only {count}/2000 keys"
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing()
+        ring.add("w0")
+        points = len(ring._points)
+        ring.add("w0")
+        assert len(ring._points) == points
+        ring.remove("w0")
+        ring.remove("w0")
+        assert len(ring) == 0
+
+    def test_empty_ring_assigns_none(self):
+        assert HashRing().assign("c1") is None
+
+    def test_membership_protocol(self):
+        ring = HashRing(vnodes=8)
+        ring.add("w0")
+        assert "w0" in ring and "w1" not in ring
+        assert ring.members() == ["w0"]
+        assert len(ring) == 1
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+        assert HashRing().vnodes == DEFAULT_VNODES
+
+
+class TestMetricsMerge:
+    def test_histograms_merge_bucketwise(self):
+        a = {"count": 4, "mean": 2.0, "max": 4.0, "buckets": {"<=2": 3, "<=4": 1}}
+        b = {"count": 6, "mean": 8.0, "max": 16.0, "buckets": {"<=4": 2, "<=16": 4}}
+        merged = merge_histograms([a, b])
+        assert merged["count"] == 10
+        assert merged["max"] == 16.0
+        assert merged["buckets"] == {"<=2": 3, "<=4": 3, "<=16": 4}
+        # mean from totals (4*2 + 6*8)/10, not the average of means
+        assert merged["mean"] == pytest.approx(5.6)
+
+    def test_empty_histograms_merge_to_zero(self):
+        merged = merge_histograms([{}, {}])
+        assert merged["count"] == 0 and merged["mean"] == 0.0
+
+    def test_cache_rollup_sums_hits_across_replicas(self):
+        stats = merge_cache_stats(
+            {
+                "w0": {"hits": 30, "misses": 70},
+                "w1": {"hits": 10, "misses": 90},
+                "w2": None,
+            }
+        )
+        assert stats["cluster"] == {
+            "hits": 40,
+            "misses": 160,
+            "hit_rate": pytest.approx(0.2),
+        }
+        assert stats["per_worker"]["w2"] is None
+
+    def test_cache_rollup_without_any_scrape_is_none(self):
+        assert merge_cache_stats({"w0": None})["cluster"] is None
+
+    def test_aggregate_reports_unscraped_workers(self):
+        payload = {
+            "broker": {
+                "submitted": 5,
+                "flushes": 2,
+                "coalesced_duplicates": 0,
+                "rejected": 0,
+                "batch_sizes": {"count": 2, "mean": 2.5, "max": 3, "buckets": {}},
+                "model_batch_sizes": {"count": 2, "mean": 2.5, "max": 3,
+                                      "buckets": {}},
+                "cache": {"hits": 1, "misses": 4},
+            },
+            "sessions": {"states": {"done": 1, "running": 2}},
+            "sessions_in_flight": 2,
+            "broker_queue_depth": 7,
+        }
+        rollup = aggregate_worker_metrics({"w0": payload, "w1": None})
+        assert rollup["unscraped"] == ["w1"]
+        assert rollup["broker"]["submitted"] == 5
+        assert rollup["sessions_in_flight"] == 2
+        assert rollup["broker_queue_depth"] == 7
+        assert rollup["session_states"] == {"done": 1, "running": 2}
+
+
+class TestLedgerAlgebra:
+    def test_done_marker_closes_a_session(self):
+        records = [
+            {"kind": "session", "id": "c1", "spec": {"a": 1}},
+            {"kind": "session", "id": "c2", "spec": {"a": 2}},
+            {"kind": "session_done", "id": "c1"},
+        ]
+        open_sessions = open_sessions_from_records(records)
+        assert list(open_sessions) == ["c2"]
+
+    def test_later_session_record_wins(self):
+        records = [
+            {"kind": "session", "id": "c1", "spec": {"v": "old"}},
+            {"kind": "session", "id": "c1", "spec": {"v": "rebalanced"}},
+        ]
+        assert open_sessions_from_records(records)["c1"]["spec"] == {
+            "v": "rebalanced"
+        }
+
+    def test_unknown_kinds_ignored(self):
+        records = [{"kind": "noise"}, {"kind": "session_done", "id": "ghost"}]
+        assert open_sessions_from_records(records) == {}
+
+
+class TestClusterConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(workers=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(heartbeat=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(heartbeat_misses=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(max_restarts=-1)
+        with pytest.raises(ValueError):
+            ClusterConfig(backoff=-0.1)
+
+    def test_worker_argv_is_a_repro_serve_invocation(self):
+        config = ClusterConfig(
+            model="toy", height=6, width=6, num_classes=3, seed=1,
+            latency=0.02, freeze=True, dtype="float32",
+        )
+        argv = worker_argv(config, 9999)
+        assert argv[1:3] == ["-m", "repro.serve"]
+        assert "--port" in argv and "9999" in argv
+        assert "--latency" in argv and "0.02" in argv
+        assert "--freeze" in argv
+        assert argv[argv.index("--dtype") + 1] == "float32"
+        # workers never inherit the router's checkpoint or resume flags
+        assert "--checkpoint" not in argv and "--resume" not in argv
+
+    def test_manifest_pins_model_identity(self):
+        manifest = ClusterConfig(seed=3).manifest()
+        assert manifest["kind"] == "cluster"
+        assert manifest["seed"] == 3
+
+
+class TestRouterTable:
+    """Router logic that needs no worker processes."""
+
+    def test_submit_with_no_live_workers_is_503(self):
+        router = ClusterRouter(ClusterConfig(workers=2))
+        status, payload = router.submit(b"{}", client="t")
+        assert status == 503
+        assert "no live workers" in payload["error"]
+
+    def test_submit_rejects_bad_json(self):
+        router = ClusterRouter(ClusterConfig(workers=1))
+        router.ring.add("w0")
+        status, payload = router.submit(b"not json", client="t")
+        assert status == 400
+        status, payload = router.submit(b"[1,2]", client="t")
+        assert status == 400
+
+    def test_draining_router_sheds_submissions(self):
+        router = ClusterRouter(ClusterConfig(workers=1))
+        router.draining = True
+        status, payload = router.submit(b"{}", client="t")
+        assert status == 503 and "draining" in payload["error"]
+        assert router.healthz() == (503, {"status": "draining"})
+
+    def test_unknown_session_is_404_and_unknown_path_routes(self):
+        router = ClusterRouter(ClusterConfig(workers=1))
+        assert router.get_session("c404")[0] == 404
+        assert router.route("GET", "/nope", b"", "t")[0] == 404
+        assert router.route("DELETE", "/attacks", b"", "t")[0] == 405
+
+    def test_generated_ids_are_sequential_and_resume_safe(self):
+        router = ClusterRouter(ClusterConfig(workers=1))
+        assert router._generate_id() == "c1"
+        router._note_restored_id("c41")
+        assert router._generate_id() == "c42"
+        router._note_restored_id("s9")  # worker-local ids never collide
+        assert router._generate_id() == "c43"
+
+    def test_ledger_manifest_guard(self, tmp_path):
+        store = CheckpointStore(str(tmp_path))
+        store.write_manifest(ClusterConfig(seed=1).manifest())
+        store.close()
+        router = ClusterRouter(
+            ClusterConfig(workers=1, seed=2, checkpoint=str(tmp_path))
+        )
+        with pytest.raises(CheckpointMismatch):
+            router.ledger.reconcile_manifest(router.config.manifest())
+
+
+# ----------------------------------------------------------------------
+# slow: real tiers with worker subprocesses
+# ----------------------------------------------------------------------
+
+
+def _post_json(base, path, payload, headers=None):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def _get_json(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return response.status, json.load(response)
+
+
+def _wait_done(base, session_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            _, payload = _get_json(base, f"/attacks/{session_id}")
+        except urllib.error.HTTPError:
+            time.sleep(0.1)
+            continue
+        if payload["state"] in ("done", "failed"):
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"session {session_id} never finished")
+
+
+def _tier_config(**overrides):
+    settings = dict(
+        workers=2, port=0, height=6, width=6, num_classes=3, seed=1,
+        heartbeat=0.2, backoff=0.2,
+    )
+    settings.update(overrides)
+    return ClusterConfig(**settings)
+
+
+@pytest.fixture
+def toy_spec():
+    from repro.classifier.toy import SmoothLinearClassifier
+
+    classifier = SmoothLinearClassifier(
+        image_shape=(6, 6, 3), num_classes=3, seed=1
+    )
+
+    def build(seed):
+        image = np.random.default_rng(seed).random((6, 6, 3))
+        return {
+            "attack": "fixed",
+            "image": image.tolist(),
+            "true_class": int(np.argmax(classifier(image))),
+            "budget": 100000,
+        }
+
+    return build
+
+
+@pytest.mark.slow
+class TestTierEndToEnd:
+    def test_sessions_complete_across_replicas(self, toy_spec):
+        from repro.cluster.router import ClusterHandle
+
+        with ClusterHandle(_tier_config()) as tier:
+            base = "http://%s:%d" % tier.address
+            status, health = _get_json(base, "/healthz")
+            assert status == 200
+            assert health["workers"] == {"live": 2, "total": 2}
+
+            accepted = []
+            for seed in range(6):
+                status, payload = _post_json(base, "/attacks", toy_spec(seed))
+                assert status == 202
+                assert payload["id"].startswith("c")
+                accepted.append(payload)
+            # the ring spreads deterministic ids over both replicas
+            owners = {payload["worker"] for payload in accepted}
+            assert owners == {"w0", "w1"}
+
+            for payload in accepted:
+                final = _wait_done(base, payload["id"])
+                assert final["state"] == "done"
+                assert final["worker"] == payload["worker"]  # sticky
+
+            _, listing = _get_json(base, "/attacks")
+            assert len(listing["sessions"]) == 6
+            assert all(entry["done"] for entry in listing["sessions"])
+
+            _, metrics = _get_json(base, "/metrics")
+            assert metrics["cluster"]["routed"] == 6
+            assert metrics["cluster"]["live"] == 2
+            assert metrics["broker"]["submitted"] > 0
+            assert metrics["unscraped"] == []
+            assert metrics["cache"]["cluster"] is not None
+        # exiting the context drains the tier; both workers exit cleanly
+        assert all(
+            worker.proc.returncode == 0 for worker in tier.router.workers
+        )
+
+    def test_worker_kill_rebalances_with_golden_query_count(self):
+        from repro.testkit.kill import kill_worker_and_rebalance
+
+        verdict = kill_worker_and_rebalance(workers=2)
+        assert verdict["identical"], verdict
+        assert verdict["finished_on"] != verdict["submitted_on"]
+        assert verdict["deaths"] == 1
+        assert verdict["rebalanced_sessions"] == 1
+
+    def test_killed_worker_restarts_into_its_slot(self, toy_spec):
+        from repro.cluster.router import ClusterHandle
+
+        with ClusterHandle(_tier_config()) as tier:
+            base = "http://%s:%d" % tier.address
+            victim = tier.router.workers[0]
+            old_pid = victim.pid
+            victim.kill()
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                _, health = _get_json(base, "/healthz")
+                if (
+                    health.get("workers", {}).get("live") == 2
+                    and victim.pid != old_pid
+                ):
+                    break
+                time.sleep(0.1)
+            assert victim.pid != old_pid
+            assert victim.restarts == 1
+            # the reborn replica serves traffic again
+            status, payload = _post_json(base, "/attacks", toy_spec(0))
+            assert status == 202
+            assert _wait_done(base, payload["id"])["state"] == "done"
+            events = tier.router.run_log.of_type("worker_restart")
+            assert [e["worker"] for e in events] == [victim.name]
+
+    def test_tier_drain_persists_and_resumes_open_sessions(
+        self, tmp_path, toy_spec
+    ):
+        from repro.cluster.router import ClusterHandle
+        from repro.testkit.kill import hard_cluster_spec
+
+        ledger_dir = str(tmp_path / "ledger")
+        config = _tier_config(
+            workers=2, latency=0.02, checkpoint=ledger_dir
+        )
+        tier = ClusterHandle(config).start()
+        base = "http://%s:%d" % tier.address
+        status, accepted = _post_json(base, "/attacks", hard_cluster_spec())
+        assert status == 202
+        time.sleep(0.5)  # a handful of 20ms queries in
+        summary = tier.drain()
+        assert summary["open"] == 1
+        assert summary["durable"] == 1
+        assert all(code == 0 for code in summary["exit_codes"].values())
+        assert tier.router.healthz() == (503, {"status": "draining"})
+
+        # the open session is durable in the ledger
+        records, truncated = CheckpointStore(ledger_dir).records()
+        assert truncated is False
+        assert any(
+            r["kind"] == "session" and r["id"] == accepted["id"]
+            for r in records
+        )
+
+        # a restarted tier resumes it and finishes with the golden count
+        resumed = ClusterHandle(
+            _tier_config(workers=2, checkpoint=ledger_dir, resume=True)
+        )
+        with resumed:
+            base = "http://%s:%d" % resumed.address
+            final = _wait_done(base, accepted["id"], timeout=90.0)
+            assert final["state"] == "done"
+            assert final["result"]["queries"] == 288
+            events = resumed.router.run_log.of_type("cluster_resume")
+            assert events and events[0]["sessions"] == 1

@@ -199,6 +199,46 @@ class TestRestore:
         with pytest.raises(CheckpointMismatch):
             mismatched.start()
 
+    def test_restore_refuses_corrupt_manifest(self, tmp_path):
+        """A manifest that is not JSON is a hard, explicit refusal."""
+        server = AttackServer(_config(tmp_path))
+        _slow_broker(server)
+        server.broker.start()
+        _submit(server, _hard_request(server))
+        time.sleep(0.05)
+        server.drain_and_stop()
+        manifest_path = tmp_path / "manifest.json"
+        manifest_path.write_text('{"kind": "serve", trailing garbage')
+
+        from repro.runtime.checkpoint import CheckpointError
+
+        corrupted = AttackServer(_config(tmp_path, resume=True))
+        with pytest.raises(CheckpointError):
+            corrupted.start()
+        corrupted.stop()
+
+    def test_mismatch_refusal_restores_nothing(self, tmp_path):
+        """A refused resume is all-or-nothing: no partial restore, and
+        the checkpoint records stay on disk for the right server."""
+        server = AttackServer(_config(tmp_path))
+        _slow_broker(server)
+        server.broker.start()
+        _submit(server, _hard_request(server))
+        time.sleep(0.05)
+        server.drain_and_stop()
+
+        from repro.runtime.checkpoint import CheckpointMismatch
+
+        mismatched = AttackServer(_config(tmp_path, seed=2, resume=True))
+        with pytest.raises(CheckpointMismatch):
+            mismatched.start()
+        assert mismatched.sessions.list_sessions() == []
+        mismatched.stop()
+        # the records were not consumed by the refused resume
+        records, truncated = CheckpointStore(str(tmp_path)).records()
+        assert truncated is False
+        assert len(records) == 1 and records[0]["kind"] == "session"
+
     def test_bad_spec_is_skipped_not_fatal(self, tmp_path):
         store = CheckpointStore(str(tmp_path))
         server = AttackServer(_config(tmp_path))

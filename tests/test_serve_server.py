@@ -20,10 +20,12 @@ def _get(base, path):
         return response.status, json.load(response)
 
 
-def _post(base, path, payload, client=None):
+def _post(base, path, payload, client=None, session_id=None):
     headers = {"Content-Type": "application/json"}
     if client:
         headers["X-Client-Id"] = client
+    if session_id:
+        headers["X-Session-Id"] = session_id
     request = urllib.request.Request(
         base + path, data=json.dumps(payload).encode(), headers=headers
     )
@@ -128,6 +130,71 @@ class TestEndpoints:
             _get(base, "/nope")
         assert info.value.code == 404
 
+    def test_metrics_top_level_gauges(self, served):
+        """What a load balancer scrapes without unpacking sub-documents."""
+        _, metrics = _get(served[1], "/metrics")
+        assert metrics["sessions_in_flight"] == metrics["sessions"]["active"]
+        assert metrics["broker_queue_depth"] >= 0
+
+
+class TestClusterSurface:
+    """The serve-layer hooks the cluster router builds on."""
+
+    def test_x_session_id_pins_the_session(self, served, attackable):
+        _, base = served
+        image, label = attackable
+        status, accepted = _post(
+            base, "/attacks",
+            {"image": image.tolist(), "true_class": label, "budget": 50},
+            session_id="c777",
+        )
+        assert status == 202
+        assert accepted["id"] == "c777"
+        assert _poll_done(base, "c777")["id"] == "c777"
+
+    def test_duplicate_session_id_is_409(self, served, attackable):
+        handle, base = served
+        image, label = attackable
+        spec = {"image": image.tolist(), "true_class": label, "budget": 50}
+        assert _post(base, "/attacks", spec, session_id="c778")[0] == 202
+        before = handle.server.admission.active
+        with pytest.raises(urllib.error.HTTPError) as info:
+            _post(base, "/attacks", spec, session_id="c778")
+        assert info.value.code == 409
+        # the refused submission released its admission slot
+        deadline = time.monotonic() + 10.0
+        while handle.server.admission.active > before:
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+
+    def test_draining_healthz_is_503(self):
+        server = AttackServer(
+            ServeConfig(height=6, width=6, num_classes=3, seed=1)
+        )
+        assert server.route("GET", "/healthz", b"", "t")[0] == 200
+        server.draining = True
+        status, payload = server.route("GET", "/healthz", b"", "t")
+        assert (status, payload) == (503, {"status": "draining"})
+        server.stop()
+
+    def test_latency_classifier_charges_per_image(self):
+        from repro.serve.server import PerImageLatencyClassifier, build_classifier
+
+        config = ServeConfig(
+            height=6, width=6, num_classes=3, seed=1, latency=0.01
+        )
+        classifier = build_classifier(config)
+        assert isinstance(classifier, PerImageLatencyClassifier)
+        assert not hasattr(classifier, "batch")  # per-image fallback
+        image = np.zeros((6, 6, 3))
+        start = time.monotonic()
+        scores = classifier(image)
+        assert time.monotonic() - start >= 0.01
+        bare = build_classifier(
+            ServeConfig(height=6, width=6, num_classes=3, seed=1)
+        )
+        np.testing.assert_array_equal(scores, bare(image))
+
     def test_missing_session_404(self, served):
         _, base = served
         with pytest.raises(urllib.error.HTTPError) as info:
@@ -201,8 +268,9 @@ class TestShedding:
 
 class TestCli:
     def test_parser_defaults(self):
-        args = build_parser().parse_args([])
-        config = ServeConfig(**vars(args))
+        options = vars(build_parser().parse_args([]))
+        assert options.pop("cluster") == 0  # 0 = single-process serving
+        config = ServeConfig(**options)
         assert config.model == "toy"
         assert config.max_batch_size == 32
 
@@ -228,7 +296,9 @@ class TestCli:
         ``ValueError: maxsize must be positive``."""
         args = build_parser().parse_args(["--cache", "0"])
         assert args.cache_size == 0
-        server = AttackServer(ServeConfig(**vars(args)))
+        options = vars(args)
+        options.pop("cluster")
+        server = AttackServer(ServeConfig(**options))
         assert server.cache is None
         server.stop()
 
@@ -238,7 +308,9 @@ class TestCli:
 
     def test_freeze_and_dtype_plumb_to_classifier(self):
         args = build_parser().parse_args(["--freeze", "--dtype", "float32"])
-        config = ServeConfig(**vars(args))
+        options = vars(args)
+        options.pop("cluster")
+        config = ServeConfig(**options)
         assert config.freeze is True and config.dtype == "float32"
         network = ServeConfig(
             model="resnet18", height=8, width=8, num_classes=3,
