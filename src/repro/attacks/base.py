@@ -69,6 +69,13 @@ class OnePixelAttack(abc.ABC):
     ``attack`` via a helper thread, so *every* attack is steppable.
     """
 
+    #: Default speculation window for batch-native stepping.  ``None``
+    #: (the library default) keeps ``steps()`` on the legacy scalar
+    #: protocol; the serving layer and CLI opt into batching by passing
+    #: ``batch_size=`` explicitly or setting this attribute.  Attacks
+    #: without a native ``steps`` implementation ignore it.
+    batch_size: Optional[int] = None
+
     @abc.abstractmethod
     def attack(
         self,
@@ -91,6 +98,7 @@ class OnePixelAttack(abc.ABC):
         true_class: int,
         budget: Optional[int] = None,
         target_class: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ):
         """The attack as a query-yielding generator.
 
@@ -98,6 +106,14 @@ class OnePixelAttack(abc.ABC):
         vector via ``send``, and returns the :class:`AttackResult` as
         the generator's return value.  Driven generators are
         bit-identical to :meth:`attack` against the same classifier.
+
+        ``batch_size`` opts into batch-native stepping for attacks with
+        a native generator: ``None`` defers to :attr:`batch_size` on the
+        instance, ``0`` forces the scalar protocol, ``N > 0`` allows
+        speculative :class:`~repro.core.stepping.QueryBatch` yields of
+        up to ``N`` queries.  The threaded fallback here is inherently
+        scalar (one classifier call per yield), so it accepts and
+        ignores the argument.
         """
         from repro.core.stepping import threaded_steps
 

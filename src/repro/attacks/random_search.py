@@ -15,7 +15,14 @@ from typing import Optional
 import numpy as np
 
 from repro.attacks.base import AttackResult, Classifier, OnePixelAttack
-from repro.core.stepping import AttackSteps, StepCounter, drive_steps
+from repro.core.stepping import (
+    AttackSteps,
+    Query,
+    QueryBatch,
+    StepCounter,
+    drive_steps,
+    resolve_batch_window,
+)
 from repro.classifier.blackbox import QueryBudgetExceeded
 from repro.core.geometry import NUM_CORNERS, RGB_CORNERS
 
@@ -54,34 +61,82 @@ class UniformRandomAttack(OnePixelAttack):
         true_class: int,
         budget: Optional[int] = None,
         target_class: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> AttackSteps:
+        """The random walk as a generator; batches candidate blocks.
+
+        With a batch window, consecutive candidates from the random
+        order are posed as one :class:`QueryBatch` (Sparse-RS style
+        candidate-block evaluation).  Blocks never outrun the budget --
+        the block size is capped at the remaining allowance -- and each
+        member is charged and checked for success in walk order, so an
+        early win returns with exactly the scalar path's query count.
+        """
         self._validate(image)
+        if batch_size is None:
+            batch_size = self.batch_size
+        window = resolve_batch_window(batch_size)
         rng = np.random.default_rng(self.config.seed)
         counter = StepCounter(budget)
         d1, d2 = image.shape[:2]
         order = rng.permutation(d1 * d2 * NUM_CORNERS)
-        try:
-            for flat in order:
-                corner = int(flat % NUM_CORNERS)
-                location_index = int(flat // NUM_CORNERS)
-                row, col = location_index // d2, location_index % d2
-                perturbed = image.copy()
-                perturbed[row, col] = RGB_CORNERS[corner]
-                scores = yield counter.submit(perturbed)
-                winner = int(np.argmax(scores))
-                won = (
-                    winner != true_class
-                    if target_class is None
-                    else winner == target_class
+
+        def decode(flat: int):
+            corner = int(flat % NUM_CORNERS)
+            location_index = int(flat // NUM_CORNERS)
+            row, col = location_index // d2, location_index % d2
+            perturbed = image.copy()
+            perturbed[row, col] = RGB_CORNERS[corner]
+            return corner, row, col, perturbed
+
+        def verdict(corner, row, col, scores) -> Optional[AttackResult]:
+            winner = int(np.argmax(scores))
+            won = (
+                winner != true_class
+                if target_class is None
+                else winner == target_class
+            )
+            if won:
+                return AttackResult(
+                    success=True,
+                    queries=counter.count,
+                    location=(row, col),
+                    perturbation=RGB_CORNERS[corner],
+                    adversarial_class=winner,
                 )
-                if won:
-                    return AttackResult(
-                        success=True,
-                        queries=counter.count,
-                        location=(row, col),
-                        perturbation=RGB_CORNERS[corner],
-                        adversarial_class=winner,
-                    )
+            return None
+
+        try:
+            if window <= 0:
+                for flat in order:
+                    corner, row, col, perturbed = decode(flat)
+                    scores = yield counter.submit(perturbed)
+                    result = verdict(corner, row, col, scores)
+                    if result is not None:
+                        return result
+            else:
+                position = 0
+                while position < len(order):
+                    if counter.allowance == 0:
+                        counter.charge()  # raises at the scalar stop point
+                    size = len(order) - position
+                    size = min(size, window)
+                    if counter.budget is not None:
+                        size = min(size, counter.allowance)
+                    block = [decode(flat) for flat in order[position:position + size]]
+                    batch = QueryBatch(tuple(
+                        Query(perturbed) for _, _, _, perturbed in block
+                    ))
+                    answers = np.asarray((yield batch), dtype=np.float64)
+                    for (corner, row, col, _), query, scores in zip(
+                        block, batch.queries, answers
+                    ):
+                        counter.charge()
+                        batch.note(query, scores)
+                        result = verdict(corner, row, col, scores)
+                        if result is not None:
+                            return result
+                    position += size
         except QueryBudgetExceeded:
             pass
         return AttackResult(success=False, queries=counter.count)

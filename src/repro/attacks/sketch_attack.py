@@ -43,10 +43,17 @@ class SketchAttack(OnePixelAttack):
         true_class: int,
         budget: Optional[int] = None,
         target_class: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> AttackSteps:
         self._validate(image)
+        if batch_size is None:
+            batch_size = self.batch_size
         result = yield from self.sketch.steps(
-            image, true_class, budget=budget, target_class=target_class
+            image,
+            true_class,
+            budget=budget,
+            target_class=target_class,
+            batch_size=batch_size,
         )
         if result.success:
             return AttackResult(

@@ -21,7 +21,14 @@ from typing import Optional
 import numpy as np
 
 from repro.attacks.base import AttackResult, Classifier, OnePixelAttack
-from repro.core.stepping import AttackSteps, StepCounter, drive_steps
+from repro.core.stepping import (
+    AttackSteps,
+    Query,
+    QueryBatch,
+    StepCounter,
+    drive_steps,
+    resolve_batch_window,
+)
 from repro.classifier.blackbox import QueryBudgetExceeded
 
 
@@ -72,26 +79,47 @@ class SuOPA(OnePixelAttack):
         true_class: int,
         budget: Optional[int] = None,
         target_class: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> AttackSteps:
+        """DE as a generator; batches population/generation evaluations.
+
+        With a batch window, the initial population and each DE
+        generation are evaluated in blocks of up to ``batch_size``
+        speculative queries.  A generation's random index draws are
+        score-independent, so they are precomputed in index order (the
+        rng stream is identical to the scalar path's); mutants are built
+        from the population *as of batch construction*, and a block is
+        rebuilt from the first member whose donors ``{r1, r2, r3}`` were
+        replaced by an earlier consumption -- the precomputed draws are
+        reused, never redrawn, so the rebuilt mutant is exactly the
+        scalar path's.  Charges happen per consumed member, keeping
+        query counts and truncation points bit-identical.
+        """
         self._validate(image)
+        if batch_size is None:
+            batch_size = self.batch_size
+        window = resolve_batch_window(batch_size)
         config = self.config
         rng = np.random.default_rng(config.seed)
         counter = StepCounter(budget)
         d1, d2 = image.shape[:2]
 
-        def evaluate(candidate: np.ndarray):
-            """Fitness to minimize, or a success result (subgenerator).
+        def perturbed_for(candidate: np.ndarray) -> np.ndarray:
+            row, col = int(round(candidate[0])), int(round(candidate[1]))
+            perturbed = image.copy()
+            perturbed[row, col] = candidate[2:5]
+            return perturbed
+
+        def judge(candidate: np.ndarray, scores):
+            """Fitness to minimize, or a success result (pure).
 
             Untargeted fitness is the true class's confidence; targeted
             fitness is the target's negated confidence.
             """
-            row, col = int(round(candidate[0])), int(round(candidate[1]))
-            perturbed = image.copy()
-            perturbed[row, col] = candidate[2:5]
-            scores = yield counter.submit(perturbed)
             winner = int(np.argmax(scores))
             won = winner != true_class if target_class is None else winner == target_class
             if won:
+                row, col = int(round(candidate[0])), int(round(candidate[1]))
                 return None, AttackResult(
                     success=True,
                     queries=counter.count,
@@ -103,11 +131,25 @@ class SuOPA(OnePixelAttack):
                 return float(scores[true_class]), None
             return -float(scores[target_class]), None
 
+        def evaluate(candidate: np.ndarray):
+            """Scalar-mode evaluation of one candidate (subgenerator)."""
+            scores = yield counter.submit(perturbed_for(candidate))
+            return judge(candidate, scores)
+
         def clip(candidate: np.ndarray) -> np.ndarray:
             candidate[0] = np.clip(candidate[0], 0, d1 - 1)
             candidate[1] = np.clip(candidate[1], 0, d2 - 1)
             candidate[2:5] = np.clip(candidate[2:5], 0.0, 1.0)
             return candidate
+
+        def block_span(remaining: int) -> int:
+            """Next block size: the window, capped by work and budget."""
+            if counter.allowance == 0:
+                counter.charge()  # raises at the scalar stop point
+            span = min(window, remaining)
+            if counter.budget is not None:
+                span = min(span, counter.allowance)
+            return span
 
         size = config.population_size
         population = np.empty((size, 5))
@@ -119,24 +161,84 @@ class SuOPA(OnePixelAttack):
         fitness = np.empty(size)
 
         try:
-            for index in range(size):
-                value, result = yield from evaluate(population[index])
-                if result is not None:
-                    return result
-                fitness[index] = value
-            for _ in range(config.max_generations):
+            if window <= 0:
                 for index in range(size):
-                    r1, r2, r3 = _distinct_indices(rng, size, exclude=index)
-                    mutant = population[r1] + config.differential_weight * (
-                        population[r2] - population[r3]
-                    )
-                    mutant = clip(mutant)
-                    value, result = yield from evaluate(mutant)
+                    value, result = yield from evaluate(population[index])
                     if result is not None:
                         return result
-                    if value < fitness[index]:
-                        population[index] = mutant
+                    fitness[index] = value
+            else:
+                position = 0
+                while position < size:
+                    span = block_span(size - position)
+                    members = range(position, position + span)
+                    batch = QueryBatch(tuple(
+                        Query(perturbed_for(population[i])) for i in members
+                    ))
+                    answers = np.asarray((yield batch), dtype=np.float64)
+                    for offset, index in enumerate(members):
+                        counter.charge()
+                        batch.note(batch.queries[offset], answers[offset])
+                        value, result = judge(population[index], answers[offset])
+                        if result is not None:
+                            return result
                         fitness[index] = value
+                    position += span
+            for _ in range(config.max_generations):
+                if window <= 0:
+                    for index in range(size):
+                        r1, r2, r3 = _distinct_indices(rng, size, exclude=index)
+                        mutant = population[r1] + config.differential_weight * (
+                            population[r2] - population[r3]
+                        )
+                        mutant = clip(mutant)
+                        value, result = yield from evaluate(mutant)
+                        if result is not None:
+                            return result
+                        if value < fitness[index]:
+                            population[index] = mutant
+                            fitness[index] = value
+                    continue
+                # Batched generation.  The draws are score-independent,
+                # so precomputing them in index order leaves the rng
+                # stream exactly as the scalar path consumed it.
+                draws = [
+                    _distinct_indices(rng, size, exclude=index)
+                    for index in range(size)
+                ]
+                index = 0
+                while index < size:
+                    span = block_span(size - index)
+                    members = list(range(index, index + span))
+                    mutants = []
+                    for j in members:
+                        r1, r2, r3 = draws[j]
+                        mutant = population[r1] + config.differential_weight * (
+                            population[r2] - population[r3]
+                        )
+                        mutants.append(clip(mutant))
+                    batch = QueryBatch(tuple(
+                        Query(perturbed_for(mutant)) for mutant in mutants
+                    ))
+                    answers = np.asarray((yield batch), dtype=np.float64)
+                    replaced = set()
+                    for offset, j in enumerate(members):
+                        if replaced.intersection(draws[j]):
+                            # Donors changed since this mutant was built:
+                            # the speculation is stale.  Discard the rest
+                            # of the block (uncharged) and rebuild from j
+                            # with the same draws and fresh population.
+                            break
+                        counter.charge()
+                        batch.note(batch.queries[offset], answers[offset])
+                        value, result = judge(mutants[offset], answers[offset])
+                        if result is not None:
+                            return result
+                        if value < fitness[j]:
+                            population[j] = mutants[offset]
+                            fitness[j] = value
+                            replaced.add(j)
+                        index = j + 1
         except QueryBudgetExceeded:
             pass
         return AttackResult(success=False, queries=counter.count)

@@ -37,6 +37,13 @@ def batch_scores(classifier: Classifier, images) -> np.ndarray:
     ``images`` may be a list of (H, W, 3) arrays or an (N, H, W, 3)
     array; an empty input yields a ``(0, 0)``-or-wider empty array
     without querying the model.
+
+    The result always honours the batch contract regardless of how
+    sloppy the underlying classifier is: ``float64`` dtype, shape
+    ``(len(images), num_classes)`` -- including for single-image
+    batches, where a ``(num_classes,)`` return from a native ``batch``
+    method or a list-returning ``__call__`` used to leak through and
+    poison downstream per-row assembly (``CachedClassifier.batch``).
     """
     if not isinstance(images, np.ndarray):
         images = list(images)
@@ -44,8 +51,20 @@ def batch_scores(classifier: Classifier, images) -> np.ndarray:
         return np.zeros((0, 0), dtype=np.float64)
     batch_method = getattr(classifier, "batch", None)
     if batch_method is not None:
-        return np.asarray(batch_method(np.asarray(images)))
-    return np.stack([np.asarray(classifier(image)) for image in images])
+        scores = np.asarray(batch_method(np.asarray(images)), dtype=np.float64)
+    else:
+        scores = np.stack([
+            np.asarray(classifier(image), dtype=np.float64).reshape(-1)
+            for image in images
+        ])
+    if scores.ndim == 1:
+        scores = scores.reshape(1, -1)
+    if scores.shape[0] != len(images):
+        raise ValueError(
+            f"batch classifier returned {scores.shape[0]} score rows "
+            f"for {len(images)} images"
+        )
+    return scores
 
 
 class _Unchanged:

@@ -220,6 +220,7 @@ def cmd_attack(args: argparse.Namespace) -> int:
         freeze=args.freeze,
         checkpoint=store,
         base_seed=args.seed,
+        step_batch=0 if args.scalar_steps else args.step_batch,
     )
     if run_log is not None:
         run_log.close()
@@ -405,6 +406,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="record each completed image in this directory; rerunning "
         "with the same flags resumes the campaign, skipping completed "
         "images with bit-identical results (resume is implicit)",
+    )
+    attack.add_argument(
+        "--step-batch",
+        type=_nonnegative_int,
+        default=32,
+        metavar="N",
+        help="batch-native stepping window: speculate up to N queries "
+        "per vectorized forward pass (bit-identical results and query "
+        "counts; 0 = scalar)",
+    )
+    attack.add_argument(
+        "--scalar-steps",
+        action="store_true",
+        help="drive attacks with the legacy one-query-at-a-time "
+        "protocol (equivalent to --step-batch 0; differential escape "
+        "hatch)",
     )
     _add_runtime_arguments(attack)
     attack.set_defaults(func=cmd_attack)

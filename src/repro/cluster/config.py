@@ -47,6 +47,7 @@ class ClusterConfig:
     max_threads: int = 16  # session-driver threads per worker
     rate: float = 50.0
     burst: float = 20.0
+    scalar_steps: bool = False  # pin workers to legacy scalar stepping
 
     # -- supervision ---------------------------------------------------
     heartbeat: float = 0.5  # seconds between worker health sweeps
@@ -126,4 +127,6 @@ def worker_argv(config: ClusterConfig, port: int) -> List[str]:
         argv.extend(["--dtype", config.dtype])
     if config.latency > 0:
         argv.extend(["--latency", str(config.latency)])
+    if config.scalar_steps:
+        argv.append("--scalar-steps")
     return argv

@@ -788,6 +788,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--log", default=None, dest="log_path",
                         help="cluster_event JSONL telemetry file")
+    parser.add_argument(
+        "--scalar-steps", action="store_true",
+        help="pin every worker to the legacy one-query-at-a-time "
+        "stepping protocol (bit-identical; differential escape hatch)",
+    )
     return parser
 
 

@@ -78,6 +78,22 @@ class PairQueue:
         """All queued pairs in queue order (O(n log n); for inspection)."""
         return [pair for _, pair in sorted((self._stamp[p], p) for p in self._stamp)]
 
+    def peek(self, count: int) -> List[Pair]:
+        """The next ``count`` pairs in pop order, without removing them.
+
+        Batched stepping uses this to speculate on upcoming queue
+        entries.  Works on a copy of the heap with the same lazy-deletion
+        filter as :meth:`pop`, so stale entries are skipped but remain
+        in the real heap.
+        """
+        heap = list(self._heap)
+        front: List[Pair] = []
+        while heap and len(front) < count:
+            stamp, pair = heapq.heappop(heap)
+            if self._stamp.get(pair) == stamp:
+                front.append(pair)
+        return front
+
     # -- mutations ---------------------------------------------------------------
 
     def pop(self) -> Pair:

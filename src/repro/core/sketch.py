@@ -29,8 +29,10 @@ import numpy as np
 from repro.core.stepping import (
     AttackSteps,
     Query,
+    QueryBatch,
     StepCounter,
     drive_steps,
+    resolve_batch_window,
 )
 from repro.classifier.blackbox import QueryBudgetExceeded
 from repro.core.context import EvalContext
@@ -131,6 +133,7 @@ class OnePixelSketch:
         clean_scores: Optional[np.ndarray] = None,
         target_class: Optional[int] = None,
         stats: Optional[SketchStats] = None,
+        batch_size: Optional[int] = None,
     ) -> AttackSteps:
         """The attack as a query-yielding generator (see
         :mod:`repro.core.stepping` for the protocol).
@@ -139,6 +142,18 @@ class OnePixelSketch:
         the *clean* image marked ``counted=False`` -- the paper treats
         ``N(x)`` as a threat-model input, not an attack submission, so it
         never touches the budget or the reported query count.
+
+        With ``batch_size=N`` the generator yields speculative
+        :class:`~repro.core.stepping.QueryBatch` objects: whenever a
+        pair's scores are demanded and not already prefetched, the next
+        queue entries ride along in the same forward pass (up to ``N``
+        members, capped so prefetches never outrun the remaining
+        budget).  Prefetched answers are kept until their pair is
+        actually demanded -- dynamic reordering only changes *when* a
+        pair is consumed, never its image, so no pair is ever posed
+        twice.  Counting happens at consumption via
+        :meth:`StepCounter.charge`, making results and per-query
+        accounting bit-identical to the scalar path.
         """
         if image.ndim != 3 or image.shape[2] != 3:
             raise ValueError(f"image must be (H, W, 3), got {image.shape}")
@@ -158,10 +173,58 @@ class OnePixelSketch:
                 return winner != true_class
             return winner == target_class
 
+        window = resolve_batch_window(batch_size)
+        #: pair -> (query, scores row, origin batch) for posed-but-not-yet-
+        #: demanded speculation; entries stay valid across queue reordering
+        #: because a pair's perturbed image never changes.
+        prefetched: Dict[Pair, tuple] = {}
+
+        def fetch(pair: Pair, perturbed: np.ndarray):
+            """Scores for ``pair`` (subgenerator), batched when enabled.
+
+            Scalar mode submits one counted query.  Batched mode serves
+            from the prefetch map, posing a new speculative batch (the
+            demanded pair plus upcoming queue entries) on a miss; the
+            charge and observer notification happen here, at
+            consumption, in exact scalar order.
+            """
+            if window <= 0:
+                return np.asarray(
+                    (yield counter.submit(perturbed)), dtype=np.float64
+                )
+            entry = prefetched.pop(pair, None)
+            if entry is None:
+                if counter.allowance == 0:
+                    counter.charge()  # raises where the scalar path stops
+                room = window
+                if counter.budget is not None:
+                    room = max(
+                        1, min(window, counter.allowance - len(prefetched))
+                    )
+                targets = [pair]
+                if room > 1:
+                    for upcoming in queue.peek(room - 1 + len(prefetched)):
+                        if len(targets) >= room:
+                            break
+                        if upcoming not in prefetched:
+                            targets.append(upcoming)
+                batch = QueryBatch(tuple(
+                    Query(perturbed if target is pair else target.apply(image))
+                    for target in targets
+                ))
+                answers = np.asarray((yield batch), dtype=np.float64)
+                for target, query, row in zip(targets, batch.queries, answers):
+                    prefetched[target] = (query, row, batch)
+                entry = prefetched.pop(pair)
+            query, row, origin = entry
+            counter.charge()
+            origin.note(query, row)
+            return row
+
         def check(pair: Pair):
             """Query one pair (subgenerator); returns (scores, result)."""
             perturbed = pair.apply(image)
-            scores = np.asarray((yield counter.submit(perturbed)), dtype=np.float64)
+            scores = yield from fetch(pair, perturbed)
             winner = int(np.argmax(scores))
             if is_success(winner):
                 return scores, SketchResult(

@@ -22,6 +22,15 @@ Attacks with a natural incremental structure override
 the base class falls back to :func:`threaded_steps`, which adapts any
 ``attack()`` implementation by running it on a helper thread and turning
 its classifier calls into yields.
+
+Generators may also yield a :class:`QueryBatch` -- several queries
+answered by one vectorized forward pass.  Batches are *speculative*:
+they are posed before any of their answers have been seen, so paper
+accounting moves from pose time to **consumption time**.  The generator
+charges :meth:`StepCounter.charge` for each member as it actually reads
+that member's answer, and notifies the batch's ``observer`` in the same
+order, so the observed query stream and every count are identical to the
+scalar path by construction (see DESIGN §14).
 """
 
 from __future__ import annotations
@@ -29,11 +38,11 @@ from __future__ import annotations
 import queue
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.classifier.blackbox import QueryBudgetExceeded
+from repro.classifier.blackbox import QueryBudgetExceeded, batch_scores
 
 Classifier = Callable[[np.ndarray], np.ndarray]
 
@@ -56,9 +65,97 @@ class Query:
     counted: bool = True
 
 
-#: The protocol type: yields queries, receives score vectors, returns the
-#: attack's result object.
-AttackSteps = Generator[Query, np.ndarray, object]
+#: Observer signature shared by drivers and batches: called as
+#: ``observer(query, scores)`` once per *consumed* query.
+StepObserver = Callable[["Query", np.ndarray], None]
+
+
+@dataclass
+class QueryBatch:
+    """Several queries answered by one vectorized forward pass.
+
+    A batch is *speculative*: the generator poses queries it has not yet
+    decided to consume (upcoming queue entries, a whole DE generation),
+    and the executor answers all of them at once with ``scores[i]``
+    belonging to ``queries[i]``.  Because answers arrive before the
+    generator has charged anything, accounting happens at consumption:
+
+    - the driver sets :attr:`observer` **before** sending the answers
+      back, so the generator can notify per consumed member;
+    - the generator calls :meth:`note` exactly when it reads a member's
+      answer -- after :meth:`StepCounter.charge` succeeded -- keeping the
+      observed stream in scalar consumption order;
+    - members whose answers are never read (budget truncation, early
+      success, stale speculation) are never charged and never observed.
+
+    ``consumed`` therefore counts how many members were actually used;
+    ``len(batch) - consumed`` is the speculation waste for that batch.
+    """
+
+    queries: Tuple[Query, ...]
+    consumed: int = 0
+    observer: Optional[StepObserver] = None
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def images(self) -> List[np.ndarray]:
+        """The member images, in pose order, for a vectorized scorer."""
+        return [query.image for query in self.queries]
+
+    def note(self, query: Query, scores: np.ndarray) -> None:
+        """Record the consumption of one member (in scalar order)."""
+        self.consumed += 1
+        if self.observer is not None:
+            self.observer(query, scores)
+
+
+#: What a steppable attack may yield: one query, or a speculative batch.
+StepRequest = Union[Query, QueryBatch]
+
+#: The protocol type: yields queries (or batches), receives score
+#: vectors (or score matrices), returns the attack's result object.
+AttackSteps = Generator[StepRequest, np.ndarray, object]
+
+
+#: Process-wide escape hatch (``--scalar-steps``): when set, every
+#: generator resolves its batch window to zero and the legacy
+#: one-query-at-a-time protocol is emitted verbatim.
+_SCALAR_OVERRIDE = False
+
+
+def set_scalar_steps(enabled: bool) -> bool:
+    """Force the legacy scalar stepping path process-wide.
+
+    Returns the previous setting so callers (tests, embedders) can
+    restore it.  This backs the ``--scalar-steps`` flag on the serve,
+    cluster, and attack CLIs.
+    """
+    global _SCALAR_OVERRIDE
+    previous = _SCALAR_OVERRIDE
+    _SCALAR_OVERRIDE = bool(enabled)
+    return previous
+
+
+def scalar_steps_forced() -> bool:
+    """Whether ``--scalar-steps`` is in effect for this process."""
+    return _SCALAR_OVERRIDE
+
+
+def resolve_batch_window(batch_size: Optional[int]) -> int:
+    """Normalize a ``batch_size`` request into an effective window.
+
+    ``None`` or ``0`` means scalar; the process-wide
+    :func:`set_scalar_steps` override forces scalar regardless.  A
+    window of 1 is legal (batches of one query) but pointless, so
+    callers normally pass 0 instead.
+    """
+    if _SCALAR_OVERRIDE or batch_size is None:
+        return 0
+    window = int(batch_size)
+    if window < 0:
+        raise ValueError(f"batch_size must be >= 0, got {batch_size}")
+    return window
 
 
 @dataclass
@@ -86,6 +183,27 @@ class StepCounter:
         self.count += 1
         return Query(image)
 
+    def charge(self) -> None:
+        """Account for one *consumed* batch member.
+
+        Identical check-then-increment to :meth:`submit`, but without
+        building a query: batched generators pose speculatively and
+        charge at the moment they read an answer, so the ``k``-th charge
+        corresponds exactly to the ``k``-th scalar submission.  Calling
+        ``charge()`` with zero allowance raises at precisely the point
+        the scalar path would have stopped.
+        """
+        if self.budget is not None and self.count >= self.budget:
+            raise QueryBudgetExceeded(self.budget)
+        self.count += 1
+
+    @property
+    def allowance(self) -> Optional[int]:
+        """Counted queries still permitted (``None`` when unbudgeted)."""
+        if self.budget is None:
+            return None
+        return max(self.budget - self.count, 0)
+
 
 def drive_steps(steps: AttackSteps, classifier: Classifier, observer=None):
     """Run a steppable attack to completion against a plain classifier.
@@ -99,10 +217,25 @@ def drive_steps(steps: AttackSteps, classifier: Classifier, observer=None):
     This is the trace hook :class:`repro.testkit.trace.TraceRecorder`
     uses to capture golden query traces; observers must not mutate
     either argument.
+
+    A yielded :class:`QueryBatch` is answered by one
+    :func:`~repro.classifier.blackbox.batch_scores` call.  The observer
+    is installed on the batch *before* the answers are sent, and the
+    generator notifies it per member as each answer is consumed -- so
+    the observed stream stays in exact scalar order even though the
+    forward passes were vectorized.
     """
     try:
         request = next(steps)
         while True:
+            if isinstance(request, QueryBatch):
+                request.observer = observer
+                answers = np.asarray(
+                    batch_scores(classifier, request.images()),
+                    dtype=np.float64,
+                )
+                request = steps.send(answers)
+                continue
             scores = classifier(request.image)
             if observer is not None:
                 observer(request, scores)

@@ -260,6 +260,7 @@ def attack_dataset(
     freeze: bool = False,
     checkpoint: Optional[CheckpointStore] = None,
     base_seed: int = 0,
+    step_batch: Optional[int] = None,
 ) -> AttackRunSummary:
     """Attack every (image, true_class) pair and collect the results.
 
@@ -303,8 +304,16 @@ def attack_dataset(
     base_seed:
         Campaign-level seed recorded per unit via
         :func:`~repro.runtime.pool.task_seed` and verified on resume.
+    step_batch:
+        Batch-native stepping window applied to the attack (``None``
+        keeps the attack's own default, ``0`` pins the legacy scalar
+        protocol, ``N > 0`` speculates up to N queries per forward
+        pass).  Bit-identical results and query counts either way; the
+        win is latency, especially with ``freeze=True``.
     """
     cache_size = normalized_cache_size(cache_size)
+    if step_batch is not None:
+        attack.batch_size = step_batch
     if run_log is None and executor is not None:
         if not isinstance(executor.run_log, NullRunLog):
             run_log = executor.run_log
@@ -384,7 +393,12 @@ def attack_dataset(
             log.emit("cache_stats", **cache_stats)
     else:
         runner = AttackTaskRunner(
-            attack, classifier, budget=budget, cache_size=cache_size, freeze=freeze
+            attack,
+            classifier,
+            budget=budget,
+            cache_size=cache_size,
+            freeze=freeze,
+            step_batch=step_batch,
         )
         outcomes = executor.map(
             runner,

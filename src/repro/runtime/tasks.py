@@ -88,6 +88,12 @@ class AttackTaskRunner:
     (see :meth:`repro.nn.Module.freeze`) on first use in each worker --
     after unpickling, so the flag is spawn-safe.  Classifiers without a
     ``freeze`` method are left untouched.
+
+    ``step_batch`` sets the attack's batch-native stepping window
+    (:attr:`~repro.attacks.base.OnePixelAttack.batch_size`) inside the
+    worker: ``None`` leaves the attack's own default, ``0`` pins the
+    legacy scalar protocol, ``N > 0`` speculates up to N queries per
+    vectorized forward pass.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -97,12 +103,14 @@ class AttackTaskRunner:
         budget: Optional[int] = None,
         cache_size: Optional[int] = None,
         freeze: bool = False,
+        step_batch: Optional[int] = None,
     ):
         self.attack = attack
         self.classifier = classifier
         self.budget = budget
         self.cache_size = normalized_cache_size(cache_size)
         self.freeze = freeze
+        self.step_batch = step_batch
         self._cached: Optional[CachedClassifier] = None
         self._frozen = False
 
@@ -126,6 +134,10 @@ class AttackTaskRunner:
 
     def __call__(self, payload: TaskPayload) -> AttackTaskResult:
         image, true_class = payload
+        if self.step_batch is not None:
+            # worker-side so the window survives pickling regardless of
+            # how the attack class handles unknown attributes
+            self.attack.batch_size = self.step_batch
         classifier = self._effective_classifier()
         hits_before = misses_before = 0
         if self._cached is not None:

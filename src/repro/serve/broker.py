@@ -278,6 +278,29 @@ class MicroBatchBroker:
             raise query.error
         return query.scores
 
+    def submit_many(self, images: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Score one session's ready-made query batch in a single flush.
+
+        The batch-native stepping path: a yielded
+        :class:`~repro.core.stepping.QueryBatch` arrives here whole, so
+        it bypasses the micro-batching queue (the caller already built a
+        model-sized batch) and goes straight through :meth:`evaluate`,
+        which still gives it the shared cache, intra-batch dedup, and
+        flush accounting.  Each member is recorded as one submitted
+        logical query.  Thread-safe; serialized against concurrent
+        flushes by the model lock inside :meth:`evaluate`.
+        """
+        images = list(images)
+        if not images:
+            return []
+        with self._cond:
+            if not self._running:
+                self.metrics.record_rejected()
+                raise BrokerStopped("submit_many on a broker that is not running")
+        for _ in images:
+            self.metrics.record_submit()
+        return self.evaluate(images)
+
     @property
     def queue_depth(self) -> int:
         with self._cond:

@@ -96,6 +96,10 @@ class ServeConfig:
     checkpoint: Optional[str] = None  # durable session store for graceful drain
     resume: bool = False  # restore persisted sessions on startup
     latency: float = 0.0  # simulated per-image model seconds (benchmarks)
+    #: ``--scalar-steps``: pin sessions to the legacy one-query-at-a-time
+    #: protocol instead of batch-native stepping (bit-identical results
+    #: either way; this is the differential escape hatch).
+    scalar_steps: bool = False
 
 
 class PerImageLatencyClassifier:
@@ -172,7 +176,12 @@ class AttackServer:
             run_log=self.run_log,
         )
         self.sessions = SessionManager(
-            self.broker, max_workers=config.max_workers, run_log=self.run_log
+            self.broker,
+            max_workers=config.max_workers,
+            run_log=self.run_log,
+            # Batch-native stepping by default: sessions speculate up to
+            # one broker batch per step.  0 pins the legacy scalar path.
+            step_batch=0 if config.scalar_steps else config.max_batch_size,
         )
         self.admission = AdmissionControl(config.max_sessions)
         self.rate_limiter = RateLimiter(rate=config.rate, burst=config.burst)
@@ -691,6 +700,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through a sharded tier of N worker replicas instead "
         "of a single process (same flags; see `repro cluster --help`)",
     )
+    parser.add_argument(
+        "--scalar-steps",
+        action="store_true",
+        help="drive attacks with the legacy one-query-at-a-time stepping "
+        "protocol instead of batch-native QueryBatch stepping "
+        "(bit-identical results; differential escape hatch)",
+    )
     return parser
 
 
@@ -725,6 +741,7 @@ def main(argv=None) -> int:
                 checkpoint=options["checkpoint"],
                 resume=options["resume"],
                 log_path=options["log_path"],
+                scalar_steps=options["scalar_steps"],
             )
         )
     config = ServeConfig(**options)

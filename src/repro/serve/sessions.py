@@ -10,10 +10,14 @@ queries coalesce into batched forward passes.
 
 Query accounting is per-session and paper-faithful: a session counts
 exactly the queries its attack marks ``counted`` (the sketch's clean-
-image probe is not an attack submission), at pose time, mirroring
-:class:`~repro.classifier.blackbox.CountingClassifier`.  The final
-``AttackResult.queries`` from the attack's own internal accounting must
-agree -- a pinned invariant.
+image probe is not an attack submission) -- at pose time for scalar
+queries, mirroring :class:`~repro.classifier.blackbox.
+CountingClassifier`, and at *consumption* time for members of a
+speculative :class:`~repro.core.stepping.QueryBatch` (the batch's
+observer hook fires per member exactly when the attack charges it, so
+speculative members the attack never uses are never counted).  The
+final ``AttackResult.queries`` from the attack's own internal
+accounting must agree -- a pinned invariant.
 
 Two drive strategies:
 
@@ -36,7 +40,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.attacks.base import AttackResult, OnePixelAttack
-from repro.core.stepping import Query
+from repro.core.stepping import Query, QueryBatch, StepRequest
 from repro.runtime.events import RunLog, ensure_log
 from repro.serve.broker import MicroBatchBroker
 
@@ -74,6 +78,7 @@ class AttackSession:
         client: Optional[str] = None,
         observer=None,
         spec: Optional[Dict] = None,
+        batch_size: Optional[int] = None,
     ):
         self.session_id = session_id
         self.attack = attack
@@ -82,6 +87,10 @@ class AttackSession:
         self.budget = budget
         self.target_class = target_class
         self.client = client
+        #: Speculation window for batch-native stepping: ``None`` leaves
+        #: the attack's own default in place, ``0`` forces the scalar
+        #: protocol, ``N > 0`` allows QueryBatch yields of up to N.
+        self.batch_size = batch_size
         #: JSON-safe request payload this session was built from; what a
         #: graceful drain persists so ``--resume`` can rebuild the
         #: session.  ``None`` for sessions created programmatically
@@ -98,31 +107,52 @@ class AttackSession:
         self.error: Optional[str] = None
         self.created_at = time.time()
         self.finished_at: Optional[float] = None
-        self.pending: Optional[Query] = None
+        self.pending: Optional[StepRequest] = None
         self._steps = None
 
-    def start(self) -> Optional[Query]:
-        """Prime the attack generator; returns the first query (if any)."""
+    def start(self) -> Optional[StepRequest]:
+        """Prime the attack generator; returns the first request (if any)."""
         if self.state != QUEUED:
             raise RuntimeError(f"session {self.session_id} already {self.state}")
         self.state = RUNNING
+        kwargs = {}
+        if self.batch_size is not None:
+            kwargs["batch_size"] = self.batch_size
         self._steps = self.attack.steps(
             self.image,
             self.true_class,
             budget=self.budget,
             target_class=self.target_class,
+            **kwargs,
         )
         return self._resume(lambda: next(self._steps))
 
-    def advance(self, scores: np.ndarray) -> Optional[Query]:
-        """Answer the pending query; returns the next one (if any)."""
+    def advance(self, scores: np.ndarray) -> Optional[StepRequest]:
+        """Answer the pending request; returns the next one (if any).
+
+        For a pending :class:`QueryBatch` the answers are speculative:
+        counting and the trace hook are deferred to the batch's observer,
+        which the attack fires per member exactly as it consumes that
+        member's answer -- so the observed stream and the session's
+        query count stay in scalar order no matter how the batch was
+        posed.
+        """
         if self.state != RUNNING or self.pending is None:
             raise RuntimeError(f"session {self.session_id} has no pending query")
-        if self.observer is not None:
+        if isinstance(self.pending, QueryBatch):
+            self.pending.observer = self._note_batch_member
+        elif self.observer is not None:
             self.observer(self.pending, scores)
         return self._resume(lambda: self._steps.send(scores))
 
-    def _resume(self, step) -> Optional[Query]:
+    def _note_batch_member(self, query: Query, scores: np.ndarray) -> None:
+        """Per-member consumption hook for batched stepping."""
+        if query.counted:
+            self.queries += 1
+        if self.observer is not None:
+            self.observer(query, scores)
+
+    def _resume(self, step) -> Optional[StepRequest]:
         try:
             query = step()
         except StopIteration as stop:
@@ -134,7 +164,10 @@ class AttackSession:
             self.fail(exc)
             raise
         self.pending = query
-        if query.counted:
+        # Scalar queries are counted at pose time (the classic
+        # CountingClassifier boundary); batch members are counted at
+        # consumption via _note_batch_member.
+        if isinstance(query, Query) and query.counted:
             self.queries += 1
         return query
 
@@ -217,12 +250,18 @@ class SessionManager:
         max_workers: int = 16,
         run_log: Optional[RunLog] = None,
         history: int = DEFAULT_HISTORY,
+        step_batch: Optional[int] = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if history < 0:
             raise ValueError("history must be non-negative")
         self.broker = broker
+        #: Default speculation window handed to new sessions: ``None``
+        #: keeps the attacks' own (scalar) default, ``0`` pins the
+        #: legacy scalar protocol (``--scalar-steps``), ``N > 0`` turns
+        #: on batch-native stepping.
+        self.step_batch = step_batch
         self.run_log = ensure_log(run_log)
         self._lock = threading.Lock()
         self._sessions: "Dict[str, AttackSession]" = {}
@@ -249,6 +288,7 @@ class SessionManager:
         observer=None,
         spec: Optional[Dict] = None,
         session_id: Optional[str] = None,
+        batch_size: Optional[int] = None,
     ) -> AttackSession:
         """Register a new session.
 
@@ -256,7 +296,12 @@ class SessionManager:
         session under its original id (so clients polling across a server
         restart keep their handle); the id counter is advanced past any
         restored numeric id so fresh sessions never collide.
+
+        ``batch_size`` overrides the manager-wide :attr:`step_batch`
+        speculation window for this session (``None`` inherits it).
         """
+        if batch_size is None:
+            batch_size = self.step_batch
         with self._lock:
             if session_id is None:
                 session_id = f"s{self._next_id}"
@@ -276,6 +321,7 @@ class SessionManager:
                 client=client,
                 observer=observer,
                 spec=spec,
+                batch_size=batch_size,
             )
             self._sessions[session_id] = session
         self.run_log.emit(
@@ -309,7 +355,10 @@ class SessionManager:
                 if self._draining:
                     session.suspend()
                     break
-                scores = self.broker.submit(request.image)
+                if isinstance(request, QueryBatch):
+                    scores = self.broker.submit_many(request.images())
+                else:
+                    scores = self.broker.submit(request.image)
                 request = session.advance(scores)
         except Exception as exc:
             session.fail(exc)
@@ -330,12 +379,15 @@ class SessionManager:
     ) -> List[AttackSession]:
         """Drive sessions in deterministic lock-step rounds.
 
-        Each round gathers every active session's pending query into one
-        list, scores the whole round through
+        Each round gathers every active session's pending request into
+        one list -- a pending :class:`QueryBatch` contributes all its
+        member images, a scalar query contributes one -- scores the
+        whole round through
         :meth:`~repro.serve.broker.MicroBatchBroker.evaluate`, and
-        advances each session with its answer.  Single-threaded: results
-        are bit-identical to driving each attack alone, and the batch
-        size is the number of concurrently live sessions.
+        advances each session with its slice of the answers.
+        Single-threaded: results are bit-identical to driving each
+        attack alone, and the round's model batch is the concatenation
+        of every live session's pending work.
         """
         active: List[AttackSession] = []
         for session in sessions:
@@ -344,13 +396,29 @@ class SessionManager:
             else:
                 self._retire(session)
         while active:
-            answers = self.broker.evaluate(
-                [session.pending.image for session in active]
-            )
+            spans: List[int] = []
+            images: List[np.ndarray] = []
+            for session in active:
+                pending = session.pending
+                if isinstance(pending, QueryBatch):
+                    spans.append(len(pending))
+                    images.extend(pending.images())
+                else:
+                    spans.append(1)
+                    images.append(pending.image)
+            answers = self.broker.evaluate(images)
             still: List[AttackSession] = []
-            for session, scores in zip(active, answers):
+            offset = 0
+            for session, span in zip(active, spans):
+                rows = answers[offset:offset + span]
+                offset += span
+                payload = (
+                    np.asarray(rows)
+                    if isinstance(session.pending, QueryBatch)
+                    else rows[0]
+                )
                 try:
-                    request = session.advance(scores)
+                    request = session.advance(payload)
                 except Exception:
                     request = None  # session already failed in advance()
                 if request is not None:

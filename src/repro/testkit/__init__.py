@@ -12,6 +12,9 @@ serving layers cheap to validate (see DESIGN §9):
 - :mod:`~repro.testkit.differential` -- the equivalence oracle sweeping
   seeds x execution paths x cache modes and asserting bit-identical
   :class:`~repro.attacks.base.AttackResult` everywhere;
+- :mod:`~repro.testkit.batching` -- the batch-equivalence oracle
+  proving batch-native stepping (DESIGN §14) bit-identical to the
+  scalar protocol across seeds x execution modes;
 - :mod:`~repro.testkit.matrix` -- the fault matrix proving every fault
   kind degrades gracefully on every execution path;
 - :mod:`~repro.testkit.kill` -- the kill-and-resume harness: SIGKILL a
@@ -21,6 +24,15 @@ serving layers cheap to validate (see DESIGN §9):
   budgets, and DSL programs (present only when hypothesis is installed).
 """
 
+from repro.testkit.batching import (
+    DEFAULT_MODES,
+    BatchCell,
+    BatchDivergence,
+    BatchEquivalenceReport,
+    BatchEquivalenceRunner,
+    ReorderingBroker,
+    toy_batch_runner,
+)
 from repro.testkit.differential import (
     DEFAULT_PATHS,
     Cell,
@@ -60,6 +72,7 @@ from repro.testkit.trace import (
     TraceEvent,
     TraceMismatch,
     TraceRecorder,
+    TraceVerifier,
     diff_events,
     load_trace,
     pixel_diff,
@@ -69,7 +82,12 @@ from repro.testkit.trace import (
 __all__ = [
     "DEFAULT_KINDS",
     "DEFAULT_MATRIX_PATHS",
+    "DEFAULT_MODES",
     "DEFAULT_PATHS",
+    "BatchCell",
+    "BatchDivergence",
+    "BatchEquivalenceReport",
+    "BatchEquivalenceRunner",
     "Cell",
     "CorruptScoresClassifier",
     "DifferentialReport",
@@ -80,11 +98,13 @@ __all__ = [
     "FlakyClassifier",
     "InjectedFault",
     "InjectedTimeout",
+    "ReorderingBroker",
     "ReplayClassifier",
     "SlowClassifier",
     "TraceEvent",
     "TraceMismatch",
     "TraceRecorder",
+    "TraceVerifier",
     "diff_events",
     "kill_and_resume_campaign",
     "kill_and_resume_matrix",
@@ -99,6 +119,7 @@ __all__ = [
     "run_fault_matrix",
     "summary_fingerprint",
     "tiny_network_classifier",
+    "toy_batch_runner",
     "toy_campaign",
     "toy_runner",
 ]

@@ -1,0 +1,384 @@
+"""Differential batch-equivalence oracle: batched stepping == scalar.
+
+Batch-native stepping (DESIGN §14) lets attacks speculate several
+queries per vectorized forward pass while keeping the paper-faithful
+query accounting: answers are *consumed* in scalar order and each
+consumption is charged against the budget exactly as a scalar
+``submit`` would be.  That equivalence is a bit-for-bit claim --
+identical :class:`~repro.attacks.base.AttackResult`, identical query
+counts, identical consumption-order trace -- and this module checks it
+the same way :mod:`repro.testkit.differential` checks path equivalence:
+exhaustively, over a seed grid, with first-diverging-query localization
+when a cell disagrees.
+
+The grid is ``seeds x modes x {scalar, batched}`` where a *mode* is an
+execution environment the batched protocol must round-trip through:
+
+- ``direct``  -- :func:`~repro.core.stepping.drive_steps` on the bare
+  classifier (``batch_scores`` fallback for scalar-only classifiers);
+- ``broker``  -- an :class:`~repro.serve.sessions.AttackSession` over a
+  :class:`~repro.serve.broker.MicroBatchBroker` (``submit_many`` path,
+  consumption-time session accounting);
+- ``frozen``  -- the inference fast path: a frozen
+  :class:`~repro.classifier.blackbox.NetworkClassifier` whose native
+  batch method answers the whole speculative batch in one forward;
+- ``cached``  -- :class:`~repro.runtime.cache.CachedClassifier`
+  (batched misses assembled through ``CachedClassifier.batch``; cache
+  hits inside a batch still charged).
+
+Within each ``(seed, mode)`` pair the scalar run is the baseline and
+the batched run must match it exactly -- including the per-query
+``counted`` flags, because charging a probe that the scalar path treats
+as free (or vice versa) corrupts the headline metric even when the
+final result happens to agree.
+
+:class:`ReorderingBroker` is the suite's negative control: a broker
+that silently reverses every multi-query batch it evaluates.  A sweep
+over it MUST report divergences -- if it does not, the oracle itself is
+broken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.base import AttackResult
+from repro.core.stepping import drive_steps
+from repro.runtime.cache import CachedClassifier, QueryCache
+from repro.serve.broker import MicroBatchBroker
+from repro.serve.sessions import SessionManager
+from repro.testkit.differential import (
+    DEFAULT_CACHE_SIZE,
+    result_fingerprint,
+    tiny_network_classifier,
+)
+from repro.testkit.trace import TraceEvent, TraceRecorder, diff_events
+
+#: All execution modes the oracle sweeps the batched protocol through.
+MODE_DIRECT = "direct"
+MODE_BROKER = "broker"
+MODE_FROZEN = "frozen"
+MODE_CACHED = "cached"
+DEFAULT_MODES = (MODE_DIRECT, MODE_BROKER, MODE_FROZEN, MODE_CACHED)
+
+#: Default speculative window; intentionally not a divisor of common
+#: budgets so truncated tail batches are exercised by default.
+DEFAULT_WINDOW = 5
+
+
+@dataclass(frozen=True)
+class BatchCell:
+    """One point of the sweep grid."""
+
+    seed: int
+    mode: str
+    batched: bool
+
+    def label(self) -> str:
+        stepping = "batched" if self.batched else "scalar"
+        return f"seed={self.seed} mode={self.mode} {stepping}"
+
+
+@dataclass
+class BatchDivergence:
+    """One batched cell that disagreed with its scalar baseline."""
+
+    cell: BatchCell
+    baseline: Tuple
+    observed: Tuple
+    first_query: Optional[Dict] = None  # from trace.diff_events, if traceable
+    detail: Optional[str] = None  # counted-flag / session-accounting breakage
+
+    def describe(self) -> str:
+        lines = [
+            f"batch divergence at {self.cell.label()}:",
+            f"  scalar result:  {self.baseline}",
+            f"  batched result: {self.observed}",
+        ]
+        if self.first_query is not None:
+            lines.append(f"  first diverging query: {self.first_query}")
+        if self.detail is not None:
+            lines.append(f"  detail: {self.detail}")
+        return "\n".join(lines)
+
+
+@dataclass
+class BatchEquivalenceReport:
+    """Everything a sweep learned."""
+
+    cells_run: int = 0
+    seeds: int = 0
+    divergences: List[BatchDivergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"batch-equivalence sweep OK: {self.cells_run} cells over "
+                f"{self.seeds} seeds, zero divergences"
+            )
+        body = "\n".join(d.describe() for d in self.divergences)
+        return (
+            f"batch-equivalence sweep FAILED: {len(self.divergences)} of "
+            f"{self.cells_run} cells diverged\n{body}"
+        )
+
+
+class ReorderingBroker(MicroBatchBroker):
+    """Negative control: silently reverses every multi-query batch.
+
+    A single-query batch passes through untouched, so scalar stepping
+    over this broker stays correct -- exactly the bug class the batched
+    oracle exists to catch (answers attributed to the wrong speculative
+    member).
+    """
+
+    def evaluate(self, images):
+        rows = super().evaluate(images)
+        if len(rows) > 1:
+            return list(reversed(rows))
+        return rows
+
+
+def _counted_flags(events: Sequence[TraceEvent]) -> Tuple[bool, ...]:
+    return tuple(event.counted for event in events)
+
+
+class BatchEquivalenceRunner:
+    """Sweep seeds x modes x {scalar, batched} and compare bit-for-bit.
+
+    Parameters
+    ----------
+    attack_factory:
+        ``seed -> OnePixelAttack``; called once per cell so no attack
+        state leaks between cells.
+    classifier_factory:
+        ``(seed, mode) -> classifier``.  Must be deterministic per
+        ``(seed, mode)``; the mode argument lets the ``frozen`` cell
+        substitute a fast-path network while the toy modes share a
+        cheap linear classifier.
+    case_factory:
+        ``seed -> image``.  The true class is derived per cell as the
+        argmax of that cell's own classifier on the clean image, so a
+        mode-specific classifier still attacks its own decision.
+    seeds / budget / modes:
+        The grid axes.  ``budget`` applies to every cell.
+    window:
+        Speculative batch size for batched cells (scalar cells pin
+        ``batch_size=0``).
+    broker_factory:
+        ``(classifier, cache) -> MicroBatchBroker`` override for the
+        ``broker`` mode -- how negative tests substitute
+        :class:`ReorderingBroker` and prove the oracle catches it.
+    """
+
+    def __init__(
+        self,
+        attack_factory: Callable[[int], object],
+        classifier_factory: Callable[[int, str], Callable],
+        case_factory: Callable[[int], np.ndarray],
+        seeds: Iterable[int],
+        budget: Optional[int] = None,
+        modes: Sequence[str] = DEFAULT_MODES,
+        window: int = DEFAULT_WINDOW,
+        broker_factory: Optional[Callable] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ):
+        unknown = set(modes) - set(DEFAULT_MODES)
+        if unknown:
+            raise ValueError(f"unknown execution modes: {sorted(unknown)}")
+        if window <= 0:
+            raise ValueError("window must be a positive batch size")
+        self.attack_factory = attack_factory
+        self.classifier_factory = classifier_factory
+        self.case_factory = case_factory
+        self.seeds = list(seeds)
+        self.budget = budget
+        self.modes = tuple(modes)
+        self.window = window
+        self.broker_factory = broker_factory
+        self.cache_size = cache_size
+
+    # -- cell execution ------------------------------------------------------
+
+    def run_cell(
+        self, cell: BatchCell
+    ) -> Tuple[Optional[AttackResult], List[TraceEvent], Optional[str]]:
+        """Execute one grid cell: ``(result, trace_events, detail)``.
+
+        ``detail`` is ``None`` unless the cell violated an invariant
+        that the result fingerprint cannot express (currently: session
+        query accounting in ``broker`` mode).
+        """
+        attack = self.attack_factory(cell.seed)
+        classifier = self.classifier_factory(cell.seed, cell.mode)
+        image = np.asarray(self.case_factory(cell.seed))
+        true_class = int(np.argmax(classifier(image)))
+        recorder = TraceRecorder(clean_image=image)
+        window = self.window if cell.batched else 0
+
+        if cell.mode == MODE_BROKER:
+            return self._run_broker(
+                cell, attack, classifier, image, true_class, recorder, window
+            )
+
+        if cell.mode == MODE_CACHED:
+            classifier = CachedClassifier(classifier, maxsize=self.cache_size)
+        result = drive_steps(
+            attack.steps(
+                image, true_class, budget=self.budget, batch_size=window
+            ),
+            classifier,
+            observer=recorder,
+        )
+        return result, recorder.events, None
+
+    def _run_broker(
+        self, cell, attack, classifier, image, true_class, recorder, window
+    ):
+        cache = QueryCache(self.cache_size)
+        if self.broker_factory is not None:
+            broker = self.broker_factory(classifier, cache)
+        else:
+            broker = MicroBatchBroker(classifier, cache=cache)
+        manager = SessionManager(broker, max_workers=1)
+        try:
+            session = manager.create(
+                attack,
+                image,
+                true_class,
+                budget=self.budget,
+                observer=recorder,
+                batch_size=window,
+            )
+            manager.run_cooperative([session])
+        finally:
+            manager.shutdown()
+        detail = None
+        result = session.result
+        if result is not None and session.queries != result.queries:
+            detail = (
+                f"session accounting drifted: session counted "
+                f"{session.queries} queries, result reports {result.queries}"
+            )
+        return result, recorder.events, detail
+
+    # -- the sweep -------------------------------------------------------------
+
+    def run(self) -> BatchEquivalenceReport:
+        """Execute the grid; each ``(seed, mode)``'s batched run is
+        compared bit-for-bit -- result, trace, counted flags -- to its
+        scalar baseline."""
+        report = BatchEquivalenceReport(seeds=len(self.seeds))
+        for seed in self.seeds:
+            for mode in self.modes:
+                scalar_cell = BatchCell(seed=seed, mode=mode, batched=False)
+                batched_cell = BatchCell(seed=seed, mode=mode, batched=True)
+                baseline, baseline_trace, base_detail = self.run_cell(scalar_cell)
+                observed, trace, detail = self.run_cell(batched_cell)
+                report.cells_run += 2
+                baseline_print = result_fingerprint(baseline)
+                observed_print = result_fingerprint(observed)
+                problems = []
+                if base_detail:
+                    problems.append(f"scalar baseline: {base_detail}")
+                if detail:
+                    problems.append(detail)
+                if _counted_flags(baseline_trace) != _counted_flags(trace):
+                    problems.append(
+                        "counted flags differ between scalar and batched traces"
+                    )
+                if observed_print == baseline_print and not problems:
+                    continue
+                first = None
+                if trace:
+                    first = diff_events(baseline_trace, trace)
+                report.divergences.append(
+                    BatchDivergence(
+                        cell=batched_cell,
+                        baseline=baseline_print,
+                        observed=observed_print,
+                        first_query=first,
+                        detail="; ".join(problems) if problems else None,
+                    )
+                )
+        return report
+
+
+def _three_way_attack_factory():
+    """``seed -> attack`` rotating all three batch-native generators:
+    the sketch attack (with a reordering program, so speculation gets
+    invalidated mid-run), the seeded uniform-random baseline, and a
+    small differential-evolution SU-OPA."""
+    from repro.attacks.random_search import UniformRandomAttack, UniformRandomConfig
+    from repro.attacks.sketch_attack import SketchAttack
+    from repro.attacks.su_opa import SuOPA, SuOPAConfig
+    from repro.core.dsl.parser import parse_program
+
+    program = parse_program(
+        """
+        [B1] score_diff(N(x), N(x[l<-p]), c_x) < 0.05
+        [B2] max(x[l]) > 0.5
+        [B3] score_diff(N(x), N(x[l<-p]), c_x) > 0.1
+        [B4] center(l) < 2
+        """
+    )
+
+    def attack_factory(seed: int):
+        if seed % 3 == 0:
+            return SketchAttack(program)
+        if seed % 3 == 1:
+            return UniformRandomAttack(UniformRandomConfig(seed=seed))
+        return SuOPA(
+            SuOPAConfig(population_size=6, max_generations=3, seed=seed)
+        )
+
+    return attack_factory
+
+
+def toy_batch_runner(
+    seeds: Iterable[int] = range(20),
+    budget: int = 40,
+    shape: Tuple[int, int, int] = (5, 5, 3),
+    num_classes: int = 3,
+    **kwargs,
+) -> BatchEquivalenceRunner:
+    """The standard batch-equivalence sweep used by CI and the nightly.
+
+    Rotates sketch / uniform-random / SU-OPA by seed so the sweep covers
+    all three batch-native query generators, over smooth toy images.
+    The ``frozen`` mode swaps in a frozen tiny conv network (the
+    fast-path substrate); the other modes share a fragile linear
+    classifier.  Any :class:`BatchEquivalenceRunner` keyword can be
+    overridden.
+    """
+    from repro.classifier.toy import LinearPixelClassifier, make_toy_images
+
+    attack_factory = _three_way_attack_factory()
+
+    def classifier_factory(seed: int, mode: str):
+        if mode == MODE_FROZEN:
+            return tiny_network_classifier(
+                image_size=shape[0], num_classes=num_classes, frozen=True
+            )
+        return LinearPixelClassifier(
+            shape, num_classes=num_classes, seed=7, temperature=0.05
+        )
+
+    def case_factory(seed: int):
+        return make_toy_images(1, shape, seed=seed)[0]
+
+    return BatchEquivalenceRunner(
+        attack_factory,
+        classifier_factory,
+        case_factory,
+        seeds=seeds,
+        budget=budget,
+        **kwargs,
+    )

@@ -176,8 +176,15 @@ class TraceRecorder:
         true_class: int,
         budget: Optional[int] = None,
         target_class: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ):
-        """Run ``attack`` once, capturing its golden trace; returns the result."""
+        """Run ``attack`` once, capturing its golden trace; returns the result.
+
+        ``batch_size`` records through batch-native stepping.  Batched
+        observers fire per *consumed* member in scalar order, so the
+        captured trace is identical to a scalar recording of the same
+        attack -- scalar-recorded goldens replay batched and vice versa.
+        """
         self.clean_image = image
         self.events = []
         self.header.update(
@@ -185,9 +192,13 @@ class TraceRecorder:
             true_class=int(true_class),
             budget=budget,
         )
+        kwargs = {}
+        if batch_size is not None:
+            kwargs["batch_size"] = batch_size
         return drive_steps(
             attack.steps(
-                image, true_class, budget=budget, target_class=target_class
+                image, true_class, budget=budget, target_class=target_class,
+                **kwargs,
             ),
             classifier,
             observer=self,
@@ -223,11 +234,22 @@ class ReplayClassifier:
     :class:`TraceMismatch` pinpoints the divergence.  Calling past the
     end of the trace is likewise a mismatch (the replayed logic posed
     *more* queries than the golden run).  No model is ever touched.
+
+    Batched submissions (:meth:`batch`) are served by digest lookup
+    instead: a speculative batch legitimately poses members in a
+    different order than the golden run consumed them, and may pose
+    members the golden run never consumed at all (those are answered
+    with NaN fillers).  Verification of a batched replay therefore
+    lives in the consumption-order :class:`TraceVerifier` observer, not
+    here; the classifier remembers each batch's digests so a mismatch
+    can be localized to the posing batch member.
     """
 
     def __init__(self, events: Sequence[TraceEvent]):
         self.events = list(events)
-        self.position = 0  # events served so far
+        self.position = 0  # events served so far (scalar path)
+        self.last_batch: List[str] = []  # digests of the last posed batch
+        self._by_digest: Optional[Dict[str, np.ndarray]] = None
 
     @property
     def remaining(self) -> int:
@@ -249,6 +271,89 @@ class ReplayClassifier:
         self.position += 1
         return np.array(event.scores, dtype=np.float64)
 
+    def batch(self, images) -> np.ndarray:
+        """Serve one speculative batch by digest (see class docstring).
+
+        Duplicate digests across events are safe: a deterministic
+        classifier gives the same scores for the same image, so first
+        occurrence wins.
+        """
+        if self._by_digest is None:
+            self._by_digest = {}
+            for event in self.events:
+                self._by_digest.setdefault(
+                    event.digest, np.array(event.scores, dtype=np.float64)
+                )
+        width = len(self.events[0].scores) if self.events else 1
+        rows: List[np.ndarray] = []
+        self.last_batch = []
+        for image in list(images):
+            digest = image_digest(np.asarray(image)).hex()
+            self.last_batch.append(digest)
+            scores = self._by_digest.get(digest)
+            if scores is None:
+                # a speculative member the golden run never consumed --
+                # harmless unless the replay tries to consume it, which
+                # the TraceVerifier then reports as a NaN-scores event
+                rows.append(np.full(width, np.nan))
+            else:
+                rows.append(scores.copy())
+        return np.stack(rows) if rows else np.zeros((0, width))
+
+
+class TraceVerifier:
+    """Consumption-order observer checking a replay against its golden.
+
+    Plugged into :func:`~repro.core.stepping.drive_steps` (or a
+    session), it receives every *consumed* query in scalar order --
+    batched or not -- and asserts the digest and scores of the ``k``-th
+    consumption match the ``k``-th recorded event.  When the replay
+    runs batched, a mismatch is additionally localized to the member of
+    the last posed batch that produced the offending image.
+    """
+
+    def __init__(
+        self,
+        events: Sequence[TraceEvent],
+        classifier: Optional[ReplayClassifier] = None,
+    ):
+        self.events = list(events)
+        self.classifier = classifier
+        self.cursor = 0  # events verified so far
+
+    def _locate(self, digest: str) -> str:
+        if self.classifier is not None and digest in self.classifier.last_batch:
+            member = self.classifier.last_batch.index(digest)
+            return f" (batch member {member} of the last posed batch)"
+        return ""
+
+    def __call__(self, query, scores) -> None:
+        index = self.cursor + 1
+        image = query.image if isinstance(query, Query) else np.asarray(query)
+        digest = image_digest(image).hex()
+        if self.cursor >= len(self.events):
+            raise TraceMismatch(
+                index,
+                f"trace exhausted after {len(self.events)} events; replay "
+                f"consumed extra query {digest[:12]}" + self._locate(digest),
+            )
+        event = self.events[self.cursor]
+        if digest != event.digest:
+            raise TraceMismatch(
+                index,
+                f"consumed image {digest[:12]} != recorded "
+                f"{event.digest[:12]}" + self._locate(digest),
+            )
+        got = tuple(float(s) for s in np.asarray(scores).ravel())
+        if got != event.scores:
+            detail = (
+                "speculative member missing from the golden trace"
+                if any(np.isnan(got))
+                else f"scores {got} != recorded {event.scores}"
+            )
+            raise TraceMismatch(index, detail + self._locate(digest))
+        self.cursor += 1
+
 
 def replay(
     attack,
@@ -257,14 +362,39 @@ def replay(
     true_class: int,
     budget: Optional[int] = None,
     target_class: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ):
     """Re-run ``attack`` against a recorded trace; returns its result.
 
     Raises :class:`TraceMismatch` at the first query that differs from
     the golden run.  A clean replay whose result equals the recorded
     run's proves the attack logic unchanged, at zero forward passes.
+
+    ``batch_size`` replays through batch-native stepping: the recorded
+    consumption-order trace answers the speculative batches by digest,
+    and a :class:`TraceVerifier` re-checks every consumption in order.
+    Because batched observers fire in scalar consumption order, a
+    scalar-recorded golden replays batched and a batch-recorded golden
+    replays scalar, interchangeably.
     """
     classifier = ReplayClassifier(events)
+    if batch_size:
+        verifier = TraceVerifier(events, classifier)
+        result = drive_steps(
+            attack.steps(
+                image, true_class, budget=budget, target_class=target_class,
+                batch_size=batch_size,
+            ),
+            classifier,
+            observer=verifier,
+        )
+        if verifier.cursor != len(events):
+            raise TraceMismatch(
+                verifier.cursor + 1,
+                f"replay ended with {len(events) - verifier.cursor} recorded "
+                "events never consumed",
+            )
+        return result
     result = drive_steps(
         attack.steps(image, true_class, budget=budget, target_class=target_class),
         classifier,

@@ -168,6 +168,48 @@ class TestBatchScores:
     def test_empty_input(self, toy):
         assert batch_scores(toy, []).shape == (0, 0)
 
+    def test_single_image_batch_is_two_dimensional(self, toy):
+        """The (1, C) contract: one image in still means a score matrix
+        out, even from a native batch method that squeezes."""
+
+        class Squeezing:
+            def __call__(self, image):
+                return toy(image)
+
+            def batch(self, images):
+                rows = np.stack([toy(image) for image in images])
+                return rows[0] if len(rows) == 1 else rows
+
+        image = np.random.default_rng(12).uniform(size=(4, 4, 3))
+        scores = batch_scores(Squeezing(), [image])
+        assert scores.shape == (1, 3)
+        assert scores.dtype == np.float64
+        assert np.array_equal(scores[0], toy(image))
+
+    def test_fallback_single_image_and_list_scores(self, toy):
+        """The per-image fallback normalizes list-returning classifiers
+        to a float64 matrix, including for a batch of one."""
+        image = np.random.default_rng(13).uniform(size=(4, 4, 3))
+        scores = batch_scores(lambda x: [float(v) for v in toy(x)], [image])
+        assert scores.shape == (1, 3)
+        assert scores.dtype == np.float64
+        assert np.array_equal(scores[0], toy(image))
+
+    def test_row_count_mismatch_is_rejected(self, toy):
+        """A native batch method returning the wrong number of rows is a
+        contract violation, not silently mis-assembled scores."""
+
+        class DroppingBatch:
+            def __call__(self, image):
+                return toy(image)
+
+            def batch(self, images):
+                return np.stack([toy(image) for image in list(images)[:-1]])
+
+        images = np.random.default_rng(14).uniform(size=(3, 4, 4, 3))
+        with pytest.raises(ValueError, match="score rows"):
+            batch_scores(DroppingBatch(), images)
+
 
 class TestCountingClassifierBatch:
     def test_counts_per_image(self, toy):

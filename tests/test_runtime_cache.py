@@ -187,6 +187,52 @@ class TestCachedClassifierBatch:
         out = cached.batch(np.empty((0, 4, 4, 3)))
         assert out.shape[0] == 0
 
+    def test_single_image_miss_with_squeezing_batch_classifier(self, toy):
+        """Regression: a classifier whose ``batch`` returns a flat
+        ``(C,)`` vector for a single-image batch must not corrupt the
+        miss-path assembly (one miss among hits reaches the model as a
+        batch of one)."""
+
+        class SqueezingBatch:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def __call__(self, image):
+                return self.inner(image)
+
+            def batch(self, images):
+                rows = np.stack([self.inner(image) for image in images])
+                return rows[0] if len(rows) == 1 else rows
+
+        cached = CachedClassifier(SqueezingBatch(toy))
+        warm = np.full((4, 4, 3), 0.3)
+        cold = np.full((4, 4, 3), 0.7)
+        cached(warm)  # seed the cache so the batch below has one miss
+        scores = cached.batch([warm, cold])
+        assert scores.shape == (2, 3)
+        assert scores.dtype == np.float64
+        assert np.array_equal(scores[0], toy(warm))
+        assert np.array_equal(scores[1], toy(cold))
+        assert cached.cache.hits == 1
+
+    def test_miss_path_accepts_list_returning_classifier(self, toy):
+        """Regression: a fallback per-image classifier returning plain
+        Python lists still assembles a float64 score matrix."""
+
+        class ListScores:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def __call__(self, image):
+                return [float(v) for v in self.inner(image)]
+
+        cached = CachedClassifier(ListScores(toy))
+        images = np.random.default_rng(12).uniform(size=(3, 4, 4, 3))
+        scores = cached.batch(images)
+        assert scores.shape == (3, 3)
+        assert scores.dtype == np.float64
+        assert np.array_equal(scores, np.stack([toy(image) for image in images]))
+
     def test_misses_routed_through_batch_scores(self, toy):
         """The batch path must reach a native ``batch`` method when the
         underlying classifier has one, not fall back to per-image calls."""

@@ -288,11 +288,16 @@ def _wait_healthy(base, deadline=20.0):
 
 
 def _serve_argv(port, checkpoint, max_wait, resume=False):
+    # --latency charges real per-image model time: with batch-native
+    # stepping a session no longer pays the broker's max_wait per query,
+    # so queue throttling alone would let the hard session finish before
+    # the signal lands.
     argv = [
         sys.executable, "-m", "repro.serve",
         "--port", str(port),
         "--height", "6", "--width", "6", "--classes", "3", "--seed", "1",
         "--max-wait", str(max_wait),
+        "--latency", "0.01",
         "--checkpoint", checkpoint,
     ]
     if resume:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.attacks.random_search import UniformRandomAttack, UniformRandomConfig
 from repro.attacks.sketch_attack import SketchAttack
+from repro.core.stepping import drive_steps
 from repro.core.dsl.parser import parse_program
 from repro.testkit.differential import results_equal
 from repro.testkit.trace import (
@@ -11,6 +12,7 @@ from repro.testkit.trace import (
     TraceEvent,
     TraceMismatch,
     TraceRecorder,
+    TraceVerifier,
     diff_events,
     load_trace,
     pixel_diff,
@@ -201,6 +203,104 @@ class TestDiffEvents:
         a = TraceEvent(index=1, digest="aa", counted=False, scores=(1.0,))
         b = TraceEvent(index=1, digest="aa", counted=True, scores=(1.0,))
         assert diff_events([a], [b]) is None
+
+
+class TestBatchedReplay:
+    """Batched stepping and golden traces are interchangeable: a scalar
+    recording replays batched (and vice versa) at zero forward passes,
+    and a batched mismatch is localized to the offending batch member."""
+
+    def test_scalar_recording_replays_batched(
+        self, linear_classifier, sketch_case
+    ):
+        attack, image, true_class = sketch_case
+        counter = _CallCounter(linear_classifier)
+        recorder = TraceRecorder()
+        recorded = recorder.record(attack, counter, image, true_class, budget=60)
+        passes = counter.calls
+        replayed = replay(
+            attack, recorder.events, image, true_class, budget=60, batch_size=4
+        )
+        assert counter.calls == passes  # zero new forward passes
+        assert results_equal(recorded, replayed)
+
+    def test_batched_recording_replays_scalar(
+        self, linear_classifier, sketch_case
+    ):
+        attack, image, true_class = sketch_case
+        recorder = TraceRecorder()
+        recorded = recorder.record(
+            attack, linear_classifier, image, true_class, budget=60, batch_size=4
+        )
+        replayed = replay(attack, recorder.events, image, true_class, budget=60)
+        assert results_equal(recorded, replayed)
+
+    def test_batched_recording_equals_scalar_recording(
+        self, linear_classifier, sketch_case
+    ):
+        """The golden file itself is stepping-mode independent."""
+        attack, image, true_class = sketch_case
+        scalar = TraceRecorder()
+        scalar.record(attack, linear_classifier, image, true_class, budget=60)
+        batched = TraceRecorder()
+        batched.record(
+            attack, linear_classifier, image, true_class, budget=60, batch_size=4
+        )
+        assert batched.events == scalar.events
+
+    def test_digest_drift_is_localized_to_batch_member(
+        self, linear_classifier, sketch_case
+    ):
+        attack, image, true_class = sketch_case
+        recorder = TraceRecorder()
+        recorder.record(attack, linear_classifier, image, true_class, budget=60)
+        events = list(recorder.events)
+        victim = events[2]
+        events[2] = TraceEvent(
+            index=victim.index,
+            digest="0" * 40,
+            counted=victim.counted,
+            scores=victim.scores,
+            location=victim.location,
+            perturbation=victim.perturbation,
+        )
+        with pytest.raises(TraceMismatch) as info:
+            replay(attack, events, image, true_class, budget=60, batch_size=4)
+        assert info.value.index == 3
+        assert "batch member" in str(info.value)
+
+    def test_reordered_batch_answers_are_caught(
+        self, linear_classifier, sketch_case
+    ):
+        """A driver that scrambles batch answers cannot replay clean."""
+        attack, image, true_class = sketch_case
+        recorder = TraceRecorder()
+        recorder.record(attack, linear_classifier, image, true_class, budget=60)
+
+        class ReorderingReplay(ReplayClassifier):
+            def batch(self, images):
+                rows = super().batch(images)
+                return rows[::-1] if len(rows) > 1 else rows
+
+        classifier = ReorderingReplay(recorder.events)
+        verifier = TraceVerifier(recorder.events, classifier)
+        with pytest.raises(TraceMismatch) as info:
+            drive_steps(
+                attack.steps(image, true_class, budget=60, batch_size=4),
+                classifier,
+                observer=verifier,
+            )
+        assert "batch member" in str(info.value)
+
+    def test_truncated_trace_is_a_mismatch_batched(
+        self, linear_classifier, sketch_case
+    ):
+        attack, image, true_class = sketch_case
+        recorder = TraceRecorder()
+        recorder.record(attack, linear_classifier, image, true_class, budget=60)
+        truncated = recorder.events[:2]
+        with pytest.raises(TraceMismatch):
+            replay(attack, truncated, image, true_class, budget=60, batch_size=4)
 
 
 class TestReplayClassifier:
