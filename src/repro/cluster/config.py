@@ -56,6 +56,14 @@ class ClusterConfig:
     backoff: float = 0.5  # restart delay base; doubles per restart
     boot_timeout: float = 30.0  # seconds for a worker to become healthy
 
+    # -- shared L2 cache tier ------------------------------------------
+    #: Run a supervised shared-cache process (repro.cluster.cacheservice)
+    #: and point every worker's TieredQueryCache at it.  Off by default:
+    #: results are bit-identical either way, the shared tier only saves
+    #: cross-replica forward passes.
+    shared_cache: bool = False
+    shared_cache_size: int = 65536  # entries in the L2 bounded LRU
+
     # -- durability and telemetry --------------------------------------
     checkpoint: Optional[str] = None  # router session ledger directory
     resume: bool = False
@@ -86,8 +94,15 @@ class ClusterConfig:
         }
 
 
-def worker_argv(config: ClusterConfig, port: int) -> List[str]:
-    """The ``repro-serve`` command line for one worker replica."""
+def worker_argv(
+    config: ClusterConfig, port: int, shared_cache: Optional[str] = None
+) -> List[str]:
+    """The ``repro-serve`` command line for one worker replica.
+
+    ``shared_cache`` is the ``HOST:PORT`` of the tier's L2 cache
+    service; when given, the worker wraps its private cache in a
+    :class:`~repro.runtime.cache.TieredQueryCache` pointed at it.
+    """
     argv = [
         sys.executable,
         "-m",
@@ -129,4 +144,6 @@ def worker_argv(config: ClusterConfig, port: int) -> List[str]:
         argv.extend(["--latency", str(config.latency)])
     if config.scalar_steps:
         argv.append("--scalar-steps")
+    if shared_cache:
+        argv.extend(["--shared-cache", shared_cache])
     return argv

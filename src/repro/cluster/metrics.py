@@ -39,30 +39,56 @@ def merge_histograms(snapshots: List[Dict]) -> Dict:
 def merge_cache_stats(per_worker: Dict[str, Optional[Dict]]) -> Dict:
     """Cluster-level cache rollup over per-replica caches.
 
-    Caches are replicated, not shared: each worker warms its own.  The
-    rollup answers the capacity question anyway -- what fraction of the
-    tier's logical queries were absorbed before a model forward pass --
-    while the per-worker map keeps each replica's hit rate visible.
+    With private caches only (each worker warms its own), the rollup
+    answers the capacity question -- what fraction of the tier's logical
+    queries were absorbed before a model forward pass -- while the
+    per-worker map keeps each replica's hit rate visible.  When any
+    worker runs a :class:`~repro.runtime.cache.TieredQueryCache` (its
+    stats carry an ``l2`` sub-document), the rollup additionally sums
+    the shared-tier view: ``l2_hits``/``l2_misses`` (L1 misses answered
+    remotely vs. paid as forward passes), the derived
+    ``shared_hit_rate``, and the per-worker L2 round-trip histograms
+    merged bucket-wise.  The l2 keys only appear when some worker
+    reports them, so a private-cache tier's rollup is unchanged.
     """
     hits = misses = 0
+    l2_hits = l2_misses = l2_stores = l2_errors = 0
+    rtt_histograms: List[Dict] = []
     sized = False
+    tiered = False
     for stats in per_worker.values():
         if not stats:
             continue
         sized = True
         hits += stats.get("hits", 0)
         misses += stats.get("misses", 0)
+        l2 = stats.get("l2")
+        if l2:
+            tiered = True
+            l2_hits += l2.get("hits", 0)
+            l2_misses += l2.get("misses", 0)
+            l2_stores += l2.get("stores", 0)
+            l2_errors += l2.get("errors", 0)
+            rtt_histograms.append(l2.get("rtt_ms", {}))
     total = hits + misses
-    return {
-        "per_worker": per_worker,
-        "cluster": None
-        if not sized
-        else {
+    cluster: Optional[Dict] = None
+    if sized:
+        cluster = {
             "hits": hits,
             "misses": misses,
             "hit_rate": (hits / total) if total else 0.0,
-        },
-    }
+        }
+        if tiered:
+            l2_total = l2_hits + l2_misses
+            cluster["l2_hits"] = l2_hits
+            cluster["l2_misses"] = l2_misses
+            cluster["l2_stores"] = l2_stores
+            cluster["l2_errors"] = l2_errors
+            cluster["shared_hit_rate"] = (
+                (l2_hits / l2_total) if l2_total else 0.0
+            )
+            cluster["l2_rtt_ms"] = merge_histograms(rtt_histograms)
+    return {"per_worker": per_worker, "cluster": cluster}
 
 
 def aggregate_worker_metrics(per_worker: Dict[str, Optional[Dict]]) -> Dict:

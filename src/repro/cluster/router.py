@@ -44,7 +44,8 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Tuple
 
-from repro.cluster.config import ClusterConfig
+from repro.cluster.cacheservice import cacheservice_argv
+from repro.cluster.config import ClusterConfig, worker_argv
 from repro.cluster.hashing import HashRing
 from repro.cluster.metrics import aggregate_worker_metrics
 from repro.cluster.workers import (
@@ -120,18 +121,45 @@ class ClusterRouter:
         self.ledger = (
             CheckpointStore(config.checkpoint) if config.checkpoint else None
         )
+        #: The shared L2 cache service, reusing the worker-slot plumbing
+        #: (spawn/health/terminate + supervised restart) with its own
+        #: argv.  Workers are pointed at its fixed loopback port, which
+        #: survives restarts of the service, so a respawned cache is
+        #: picked up by every worker's L2 cooldown probe automatically.
+        self.cache_service: Optional[WorkerProcess] = None
+        builder = None
+        if config.shared_cache:
+            self.cache_service = WorkerProcess(
+                "l2cache",
+                free_port(),
+                config,
+                argv_builder=lambda cfg, port: cacheservice_argv(
+                    port, cfg.shared_cache_size
+                ),
+            )
+            shared_address = f"127.0.0.1:{self.cache_service.port}"
+
+            def builder(cfg, port, _address=shared_address):
+                return worker_argv(cfg, port, shared_cache=_address)
+
         self.workers: List[WorkerProcess] = [
-            WorkerProcess(f"w{index}", free_port(), config)
+            WorkerProcess(f"w{index}", free_port(), config, argv_builder=builder)
             for index in range(config.workers)
         ]
         self.ring = HashRing()
         self.draining = False
         self._lock = threading.RLock()
+        # Serializes rebalance ticks: tick_rebalance is reachable from
+        # the supervisor sweep, _declare_dead, and resume_sessions, and
+        # its forward-submit runs outside _lock -- unserialized, two
+        # concurrent ticks could claim the same pending session.
+        self._rebalance_lock = threading.Lock()
         self._sessions: Dict[str, SessionEntry] = {}
         self._order: List[str] = []  # submission order, for listing
         self._pending: List[str] = []  # session ids awaiting (re)placement
         self._next_id = 1
         self._boot_deadlines: Dict[str, float] = {}
+        self._sweeps = 0  # supervise_once invocations (terminal-sweep cadence)
         # counters for the cluster metrics plane
         self.routed = 0
         self.rebalanced_sessions = 0
@@ -145,6 +173,22 @@ class ClusterRouter:
         """Spawn every worker, wait for health, arm the ring and ledger."""
         if self.ledger is not None:
             self.ledger.reconcile_manifest(self.config.manifest())
+        if self.cache_service is not None:
+            # The cache boots first so workers find a live L2 on their
+            # very first miss (a late L2 would only cost misses, not
+            # correctness, but there is no reason to waste them).
+            self.cache_service.spawn()
+            self.run_log.emit(
+                "cache_service_spawn",
+                port=self.cache_service.port,
+                pid=self.cache_service.pid,
+            )
+            if not self.cache_service.wait_healthy(self.config.boot_timeout):
+                self.shutdown_workers()
+                raise RuntimeError(
+                    "shared cache service failed to become healthy within "
+                    f"{self.config.boot_timeout}s"
+                )
         for worker in self.workers:
             worker.spawn()
             self.run_log.emit(
@@ -172,7 +216,13 @@ class ClusterRouter:
         for worker in self.workers:
             if worker.process_alive():
                 worker.proc.send_signal(signal.SIGTERM)
-        return {worker.name: worker.terminate() for worker in self.workers}
+        codes = {worker.name: worker.terminate() for worker in self.workers}
+        if self.cache_service is not None:
+            # Stopped last: workers may flush final write-throughs while
+            # draining, and a vanished L2 would burn their cooldown
+            # windows for nothing.
+            codes[self.cache_service.name] = self.cache_service.terminate()
+        return codes
 
     def drain(self) -> Dict:
         """SIGTERM path for the whole tier.
@@ -184,6 +234,11 @@ class ClusterRouter:
         query counts.  Returns an operator summary.
         """
         self.draining = True
+        # Before the workers go away, reap sessions that reached a
+        # terminal state without a client ever polling them: unswept,
+        # their ledger records stay open forever and --resume re-runs
+        # the full attack (a budget-sized amount of wasted work).
+        swept = self.sweep_terminal_sessions()
         exit_codes = self.shutdown_workers()
         with self._lock:
             open_ids = [
@@ -195,6 +250,7 @@ class ClusterRouter:
             "workers": len(self.workers),
             "open": len(open_ids),
             "durable": len(open_ids) if self.ledger is not None else 0,
+            "swept": swept,
             "exit_codes": exit_codes,
         }
         self.run_log.emit("cluster_drain", **summary)
@@ -325,6 +381,48 @@ class ClusterRouter:
         if first and self.ledger is not None:
             self.ledger.append({"kind": "session_done", "id": entry.session_id})
 
+    def sweep_terminal_sessions(self) -> int:
+        """Reap terminal-but-never-polled sessions from live workers.
+
+        Client polls are the normal path to :meth:`_mark_done`; a client
+        that submits and walks away leaves its finished session's ledger
+        record open, so a later ``--resume`` would re-run the whole
+        attack.  This sweep asks each live worker about every not-done
+        session it owns and marks the terminal ones done (caching the
+        final payload, closing the ledger record).  Read-only on the
+        workers; returns how many sessions were reaped.
+        """
+        with self._lock:
+            candidates = [
+                (entry.session_id, entry.worker)
+                for entry in self._sessions.values()
+                if not entry.done and entry.worker is not None
+            ]
+        swept = 0
+        for session_id, owner in candidates:
+            worker = self.worker_named(owner)
+            if worker is None or worker.state != LIVE:
+                continue
+            try:
+                status, payload = http_json(
+                    worker.address, "GET", f"/attacks/{session_id}", timeout=5.0
+                )
+            except OSError:
+                continue  # the supervisor sweep will handle this worker
+            if status != 200 or payload.get("state") not in _TERMINAL:
+                continue
+            with self._lock:
+                entry = self._sessions.get(session_id)
+                if entry is None or entry.done:
+                    continue
+            payload = dict(payload)
+            payload["worker"] = owner
+            self._mark_done(entry, payload)
+            swept += 1
+        if swept:
+            self.run_log.emit("terminal_sweep", sessions=swept)
+        return swept
+
     def list_sessions(self, limit: int = 200) -> Tuple[int, Dict]:
         with self._lock:
             recent = self._order[-limit:][::-1]
@@ -373,6 +471,21 @@ class ClusterRouter:
                 "restarts": sum(worker.restarts for worker in self.workers),
                 "pending_rebalance": len(self._pending),
                 "sessions_tracked": len(self._sessions),
+            }
+        if self.cache_service is not None:
+            service_stats = None
+            if self.cache_service.state == LIVE:
+                try:
+                    status, payload = http_json(
+                        self.cache_service.address, "GET", "/metrics", timeout=5.0
+                    )
+                    if status == 200:
+                        service_stats = payload.get("shared_cache")
+                except OSError:
+                    pass
+            rollup["shared_cache"] = {
+                "slot": self.cache_service.describe(),
+                "service": service_stats,
             }
         return 200, rollup
 
@@ -425,7 +538,63 @@ class ClusterRouter:
             elif worker.state == DEAD and worker.next_spawn_at is not None:
                 if now >= worker.next_spawn_at:
                     self._restart(worker)
+        self._supervise_cache_service(now)
+        self._sweeps += 1
+        if self._sweeps % 4 == 0:
+            # Periodic terminal-session reaping (satellite of drain's
+            # sweep): closes ledger records of abandoned sessions while
+            # the tier is still running, not only at shutdown.
+            self.sweep_terminal_sessions()
         self.tick_rebalance()
+
+    def _supervise_cache_service(self, now: float) -> None:
+        """Heartbeat the shared-cache slot, mirroring the worker sweep.
+
+        A dead cache is never an emergency -- every worker silently
+        degrades to private-L1 behaviour and re-probes after its
+        cooldown -- so death here only costs shared hits, and a restart
+        (same port) is picked up by the workers with no coordination.
+        """
+        slot = self.cache_service
+        if slot is None:
+            return
+        if slot.state in (LIVE, BOOTING):
+            if not slot.process_alive():
+                self._cache_service_dead("process exited")
+            elif slot.healthy(timeout=min(2.0, self.config.heartbeat * 4)):
+                slot.missed_heartbeats = 0
+                if slot.state == BOOTING:
+                    slot.state = LIVE
+                    self.run_log.emit("cache_service_live", pid=slot.pid)
+            elif slot.state == LIVE:
+                slot.missed_heartbeats += 1
+                if slot.missed_heartbeats >= self.config.heartbeat_misses:
+                    self._cache_service_dead("heartbeat misses")
+        elif slot.state == DEAD and slot.next_spawn_at is not None:
+            if now >= slot.next_spawn_at:
+                slot.restarts += 1
+                slot.spawn()
+                self.run_log.emit(
+                    "cache_service_restart", restarts=slot.restarts, pid=slot.pid
+                )
+
+    def _cache_service_dead(self, reason: str) -> None:
+        slot = self.cache_service
+        if slot.state == DEAD:
+            return
+        slot.state = DEAD
+        if slot.proc is not None and slot.proc.poll() is None:
+            slot.kill()
+        self.run_log.emit("cache_service_death", reason=reason)
+        if slot.restarts < self.config.max_restarts:
+            slot.next_spawn_at = time.monotonic() + self.config.backoff * (
+                2 ** slot.restarts
+            )
+        else:
+            slot.next_spawn_at = None
+            self.run_log.emit(
+                "cache_service_restart_exhausted", restarts=slot.restarts
+            )
 
     def _declare_dead(self, worker: WorkerProcess, reason: str) -> None:
         """Remove a dead replica from the ring and queue its sessions."""
@@ -488,42 +657,71 @@ class ClusterRouter:
         uninterrupted run exactly.  Sessions that cannot be placed yet
         (no live workers, capacity 429s, transport errors) stay pending
         for the next sweep.  Returns how many sessions were placed.
+
+        Ticks are serialized: this method is reachable concurrently
+        from the supervisor sweep, :meth:`_declare_dead`, and
+        :meth:`resume_sessions`, and the forward-submit deliberately
+        runs outside ``_lock`` (it is a worker round trip).  A second
+        tick arriving while one is running returns immediately -- its
+        pending sessions are picked up by the running tick's snapshot
+        or by the next sweep.  Within a tick, each session id is
+        *claimed* (removed from the pending list) under ``_lock``
+        before the unlocked forward, and requeued only if placement
+        failed, so a session can never be double-submitted, its ledger
+        ``session`` record never double-appended, and
+        ``rebalanced_sessions`` never double-incremented.
         """
-        with self._lock:
-            pending = list(self._pending)
-        placed = 0
-        for session_id in pending:
+        if not self._rebalance_lock.acquire(blocking=False):
+            return 0
+        try:
             with self._lock:
-                entry = self._sessions.get(session_id)
-                if entry is None or entry.done or entry.worker is not None:
-                    self._pending.remove(session_id)
-                    continue
-                owner = self.ring.assign(session_id)
-            if owner is None:
-                continue
-            status, _payload = self._forward_submit(
-                owner, session_id, entry.spec, entry.client
-            )
-            if status in (202, 409):  # 409: the replica already has it
+                pending = list(self._pending)
+            placed = 0
+            for session_id in pending:
                 with self._lock:
-                    entry.worker = owner
-                    if session_id in self._pending:
-                        self._pending.remove(session_id)
-                    self.rebalanced_sessions += 1
-                placed += 1
-                if self.ledger is not None:
-                    self.ledger.append(
-                        {
-                            "kind": "session",
-                            "id": session_id,
-                            "client": entry.client,
-                            "spec": entry.spec,
-                        }
-                    )
-                self.run_log.emit(
-                    "session_rebalanced", session=session_id, worker=owner
+                    entry = self._sessions.get(session_id)
+                    if entry is None or entry.done or entry.worker is not None:
+                        if session_id in self._pending:
+                            self._pending.remove(session_id)
+                        continue
+                    owner = self.ring.assign(session_id)
+                    if owner is None:
+                        continue
+                    # claim before the unlocked forward-submit
+                    self._pending.remove(session_id)
+                status, _payload = self._forward_submit(
+                    owner, session_id, entry.spec, entry.client
                 )
-        return placed
+                if status in (202, 409):  # 409: the replica already has it
+                    with self._lock:
+                        entry.worker = owner
+                        self.rebalanced_sessions += 1
+                    placed += 1
+                    if self.ledger is not None:
+                        self.ledger.append(
+                            {
+                                "kind": "session",
+                                "id": session_id,
+                                "client": entry.client,
+                                "spec": entry.spec,
+                            }
+                        )
+                    self.run_log.emit(
+                        "session_rebalanced", session=session_id, worker=owner
+                    )
+                else:
+                    with self._lock:
+                        # release the claim for the next sweep (unless a
+                        # concurrent path already re-placed or finished it)
+                        if (
+                            entry.worker is None
+                            and not entry.done
+                            and session_id not in self._pending
+                        ):
+                            self._pending.append(session_id)
+            return placed
+        finally:
+            self._rebalance_lock.release()
 
     # ------------------------------------------------------------------
     # resume
@@ -770,6 +968,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--latency", type=float, default=0.0,
         help="simulated per-image model seconds (benchmark knob)",
+    )
+    parser.add_argument(
+        "--shared-cache", action="store_true", dest="shared_cache",
+        help="run a shared L2 query-cache process; workers consult it "
+        "on L1 miss and write scored entries through (results are "
+        "bit-identical either way; saves cross-replica forward passes)",
+    )
+    parser.add_argument(
+        "--shared-cache-size", type=int, default=65536,
+        dest="shared_cache_size",
+        help="entries in the shared L2 bounded LRU",
     )
     parser.add_argument("--max-sessions", type=int, default=64)
     parser.add_argument("--rate", type=float, default=50.0)

@@ -82,10 +82,22 @@ class WorkerProcess:
     bookkeeping stable across restarts.
     """
 
-    def __init__(self, name: str, port: int, config: ClusterConfig):
+    def __init__(
+        self,
+        name: str,
+        port: int,
+        config: ClusterConfig,
+        argv_builder=None,
+    ):
         self.name = name
         self.port = port
         self.config = config
+        #: Optional ``(config, port) -> argv`` override.  The default is
+        #: :func:`worker_argv` (a ``repro-serve`` replica); the shared
+        #: cache service passes its own builder so it can reuse this
+        #: slot's spawn/health/terminate plumbing and the supervisor's
+        #: restart policy unchanged.
+        self.argv_builder = argv_builder if argv_builder is not None else worker_argv
         self.proc: Optional[subprocess.Popen] = None
         self.state = STOPPED
         self.restarts = 0  # respawns after a death (first spawn excluded)
@@ -108,7 +120,7 @@ class WorkerProcess:
         src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         self.proc = subprocess.Popen(
-            worker_argv(self.config, self.port),
+            self.argv_builder(self.config, self.port),
             env=env,
             stdout=subprocess.DEVNULL,
             stderr=subprocess.DEVNULL,

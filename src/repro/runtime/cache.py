@@ -28,16 +28,24 @@ parallel, cached runs reproduce the paper's sequential numbers exactly.
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import threading
+import time
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
 
 import numpy as np
 
 Classifier = Callable[[np.ndarray], np.ndarray]
 
 DEFAULT_CACHE_SIZE = 4096
+
+#: Seconds a :class:`TieredQueryCache` skips its remote tier after a
+#: transport error before probing it again.  Keeps a dead L2 cheap (one
+#: failed round trip per cooldown window, not per query) while letting a
+#: restarted cache service be picked up again without any coordination.
+DEFAULT_L2_COOLDOWN = 1.0
 
 
 def normalized_cache_size(cache_size: Optional[int]) -> Optional[int]:
@@ -141,6 +149,185 @@ class QueryCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+
+
+def encode_scores(scores: np.ndarray) -> Dict[str, object]:
+    """A JSON-safe wire encoding of a score vector, bit-exact.
+
+    Dtype, shape and raw bytes travel separately so the decoded array is
+    byte-for-byte the encoded one -- the property the shared-cache
+    differential oracle pins (a lossy float repr would make an L2 hit
+    diverge from the forward pass it replaced in the last ulps).
+    """
+    array = np.ascontiguousarray(scores)
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_scores(payload: Mapping[str, object]) -> np.ndarray:
+    """Invert :func:`encode_scores`; returns a fresh writable array."""
+    raw = base64.b64decode(payload["data"])
+    array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return array.reshape(tuple(payload["shape"])).copy()
+
+
+class TieredQueryCache:
+    """A two-tier query cache: in-process L1 LRU plus a shared remote L2.
+
+    The L1 is an ordinary :class:`QueryCache`; the L2 is any client with
+
+    - ``lookup(keys) -> {key: scores}`` -- one batched round trip that
+      returns the subset of ``keys`` the remote tier holds, and
+    - ``store(entries)`` -- one batched write-through round trip,
+
+    both raising :class:`OSError` when the remote tier is unreachable.
+    Cluster workers use the HTTP client from
+    :mod:`repro.cluster.cacheservice`; tests substitute an in-process
+    fake (:class:`repro.testkit.sharedcache.InMemorySharedCache`).
+
+    The tier split is deliberate: :meth:`get`/:meth:`put` touch **L1
+    only** (they are called under the broker's compound-lookup lock and
+    must never pay a network round trip), while :meth:`fetch_remote` and
+    :meth:`store_remote` are the explicit, batched L2 operations the
+    broker runs outside its locks -- one lookup round trip per
+    evaluation batch, one store round trip per model batch.  Remote hits
+    are promoted into L1 so a session's re-queries never leave the
+    process again.
+
+    Fidelity: the cache sits *inside* the counting boundary exactly like
+    a plain ``QueryCache`` -- an L1 hit, an L2 hit and a forward pass are
+    all still counted queries, so per-session query counts are untouched
+    no matter which tier answers (and the classifier is deterministic,
+    so every tier answers with bit-identical scores).
+
+    Degraded mode: any L2 transport error silently suspends the remote
+    tier for ``cooldown`` seconds -- lookups return no hits and stores
+    are dropped, so the cache degrades to exactly the private-L1
+    behaviour.  Errors are counted, never raised.
+    """
+
+    def __init__(self, l1: QueryCache, l2, cooldown: float = DEFAULT_L2_COOLDOWN):
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        # serve.metrics is a dependency-free leaf module; importing its
+        # Histogram here keeps the L2 round-trip distribution in the
+        # same snapshot shape the cluster metrics plane already merges.
+        from repro.serve.metrics import Histogram
+
+        self.l1 = l1
+        self.l2 = l2
+        self.cooldown = cooldown
+        self._lock = threading.Lock()
+        self._suspended_until = 0.0
+        self.l2_hits = 0
+        self.l2_misses = 0
+        self.l2_stores = 0
+        self.l2_errors = 0
+        self.rtt_ms = Histogram()
+
+    # -- L1 surface (lock-cheap; safe under the broker's compound lock) --
+
+    @property
+    def maxsize(self) -> int:
+        return self.l1.maxsize
+
+    def __len__(self) -> int:
+        return len(self.l1)
+
+    def get(self, key: bytes) -> Optional[np.ndarray]:
+        """L1 lookup only; the remote tier is batched via fetch_remote."""
+        return self.l1.get(key)
+
+    def put(self, key: bytes, scores: np.ndarray) -> None:
+        """L1 insert only; write-through is batched via store_remote."""
+        self.l1.put(key, scores)
+
+    def clear(self) -> None:
+        self.l1.clear()
+
+    # -- L2 surface (batched; one round trip per call) -------------------
+
+    def _available(self) -> bool:
+        with self._lock:
+            return time.monotonic() >= self._suspended_until
+
+    def _suspend(self) -> None:
+        with self._lock:
+            self.l2_errors += 1
+            self._suspended_until = time.monotonic() + self.cooldown
+
+    def fetch_remote(self, keys: Iterable[bytes]) -> Dict[bytes, np.ndarray]:
+        """One batched L2 lookup; hits are promoted into L1.
+
+        Returns ``{key: scores}`` for the remote hits.  Unreachable or
+        suspended L2 returns ``{}`` -- the caller proceeds exactly as if
+        every key missed, which is the degraded-mode contract.
+        """
+        keys = list(keys)
+        if not keys or not self._available():
+            return {}
+        started = time.monotonic()
+        try:
+            hits = self.l2.lookup(keys)
+        except OSError:
+            self._suspend()
+            return {}
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        with self._lock:
+            self.l2_hits += len(hits)
+            self.l2_misses += len(keys) - len(hits)
+            self.rtt_ms.observe(elapsed_ms)
+        for key, scores in hits.items():
+            self.l1.put(key, scores)
+        return hits
+
+    def store_remote(self, entries: Mapping[bytes, np.ndarray]) -> None:
+        """One batched write-through of freshly scored entries."""
+        if not entries or not self._available():
+            return
+        started = time.monotonic()
+        try:
+            self.l2.store(dict(entries))
+        except OSError:
+            self._suspend()
+            return
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        with self._lock:
+            self.l2_stores += len(entries)
+            self.rtt_ms.observe(elapsed_ms)
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True while the remote tier is suspended after an error."""
+        return not self._available()
+
+    @property
+    def hit_rate(self) -> float:
+        return self.l1.hit_rate
+
+    def stats(self) -> Dict[str, object]:
+        """L1 counters at the top level (shape-compatible with
+        :meth:`QueryCache.stats`, so existing rollups keep working) plus
+        an ``l2`` sub-document with the shared-tier accounting."""
+        snapshot = self.l1.stats()
+        with self._lock:
+            l2_total = self.l2_hits + self.l2_misses
+            snapshot["tiered"] = True
+            snapshot["l2"] = {
+                "hits": self.l2_hits,
+                "misses": self.l2_misses,
+                "stores": self.l2_stores,
+                "errors": self.l2_errors,
+                "hit_rate": self.l2_hits / l2_total if l2_total else 0.0,
+                "rtt_ms": self.rtt_ms.snapshot(),
+                "degraded": time.monotonic() < self._suspended_until,
+            }
+        return snapshot
 
 
 class CachedClassifier:

@@ -27,7 +27,18 @@ Both modes run every miss through a shared
 (inside each session's counting boundary -- sessions count their own
 submissions, so a cache hit still costs the attacker a query and
 reported counts stay paper-faithful), and deduplicate identical images
-within a batch so the model scores each distinct image once.
+within a batch so the model scores each distinct image once.  Across
+concurrent calls, a single-flight table extends that guarantee: a miss
+another call is already scoring is *joined* (the second caller waits for
+the first's result) instead of re-scored, so each distinct image costs
+at most one forward pass no matter how calls interleave.
+
+When the cache is a :class:`~repro.runtime.cache.TieredQueryCache`, the
+broker also consults the shared L2 tier -- one batched round trip per
+evaluation covering every owned miss -- and writes freshly scored
+entries through after the forward pass.  L2 hits are promoted into L1
+and resolved exactly like local hits (still counted queries); an
+unreachable L2 silently degrades to the private-cache behaviour.
 
 The model itself is treated as one exclusive resource (a single lock
 serializes forward passes): classifiers built on :mod:`repro.nn` are not
@@ -93,6 +104,23 @@ class _PendingQuery:
         self.error: Optional[BaseException] = None
 
 
+class _InFlight:
+    """A miss one :meth:`MicroBatchBroker.evaluate` call is resolving.
+
+    Other concurrent calls that miss on the same key *join* this flight
+    and wait on ``ready`` instead of scoring the image again.  The owner
+    always resolves the flight -- with scores on success, with the
+    evaluation's exception on failure -- so joiners can never hang.
+    """
+
+    __slots__ = ("ready", "scores", "error")
+
+    def __init__(self):
+        self.ready = threading.Event()
+        self.scores: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+
+
 class MicroBatchBroker:
     """Coalesce concurrent classifier queries into batched evaluations.
 
@@ -110,7 +138,10 @@ class MicroBatchBroker:
     cache:
         A shared :class:`~repro.runtime.cache.QueryCache`; pass ``None``
         to disable caching, or an integer-sized cache built by the
-        caller to share across brokers.
+        caller to share across brokers.  A
+        :class:`~repro.runtime.cache.TieredQueryCache` additionally
+        enables the shared L2 tier (batched consult on miss,
+        write-through after scoring).
     run_log:
         Optional telemetry sink; every flush emits a ``broker_flush``
         event and :meth:`stop` emits a ``broker_summary``.
@@ -135,11 +166,21 @@ class MicroBatchBroker:
         #: a served run; called under no broker lock, so observers must
         #: be fast and must not re-enter the broker.
         self.observer = None
-        # The QueryCache locks each get/put internally; this lock is
-        # still required around the broker's *compound* lookup-and-dedup
-        # phase, so two concurrent evaluate() calls cannot interleave
-        # their miss decisions and double-score the same image.
+        # The QueryCache locks each get/put internally; this lock covers
+        # the broker's *compound* lookup-and-dedup phase and the
+        # single-flight table.  The lock alone is not enough to prevent
+        # double-scoring: the miss decision and the cache.put are
+        # separate critical sections with the (unlocked) model call in
+        # between, so two concurrent evaluate() calls could both miss on
+        # the same key.  The _in_flight table closes that window -- the
+        # first call to miss on a key claims it under this lock; later
+        # callers find the claim and wait for its result instead of
+        # scoring the image again.
         self._cache_lock = threading.Lock()
+        self._in_flight: Dict[bytes, _InFlight] = {}
+        # A TieredQueryCache exposes batched remote-tier operations; a
+        # plain QueryCache (or None) keeps the broker purely local.
+        self._l2_capable = cache is not None and hasattr(cache, "fetch_remote")
         # Forward passes are serialized: repro.nn models are not
         # thread-safe, and the frozen fast path reuses per-layer im2col
         # workspaces that assume one forward pass in flight at a time.
@@ -160,15 +201,33 @@ class MicroBatchBroker:
         once, and the remaining unique misses go to the model as a
         single batch.  Returns one float64 score vector per input, in
         input order.
+
+        The evaluation runs in phases so no network or model work ever
+        happens under ``_cache_lock``:
+
+        1. **Claim** (under the lock): probe L1 per position, dedup
+           misses within the call, and for each distinct miss either
+           *claim* it in the single-flight table or *join* a flight
+           another call already owns.
+        2. **L2 consult** (lock-free): one batched remote lookup
+           covering every owned miss; hits are promoted into L1.
+        3. **Model** (model lock only): one forward batch for the
+           still-unresolved owned misses, then L1 insert and one
+           batched L2 write-through.
+        4. **Settle and wait**: resolve every owned flight (scores or
+           error -- always, so joiners never hang), then block on the
+           joined flights.  Owned work completes before any waiting, so
+           two calls joining each other's keys cannot deadlock.
         """
         images = list(images)
         if not images:
             return []
         keys = [image_digest(image) for image in images]
         scores: List[Optional[np.ndarray]] = [None] * len(images)
-        unique_keys: List[bytes] = []
-        unique_images: List[np.ndarray] = []
-        seen: Dict[bytes, int] = {}
+        owned: Dict[bytes, _InFlight] = {}
+        owned_images: Dict[bytes, np.ndarray] = {}
+        joined: Dict[bytes, _InFlight] = {}
+        miss_occurrences = 0
         with self._cache_lock:
             for position, key in enumerate(keys):
                 if self.cache is not None:
@@ -176,38 +235,95 @@ class MicroBatchBroker:
                     if hit is not None:
                         scores[position] = np.asarray(hit, dtype=np.float64)
                         continue
-                if key not in seen:
-                    seen[key] = len(unique_images)
-                    unique_keys.append(key)
-                    unique_images.append(images[position])
-        duplicates = sum(
-            1 for position, key in enumerate(keys)
-            if scores[position] is None and key in seen
-        ) - len(unique_images)
-        if unique_images:
-            with self._model_lock:
-                fresh = np.asarray(
-                    batch_scores(self.classifier, unique_images), dtype=np.float64
+                miss_occurrences += 1
+                if key in owned or key in joined:
+                    continue
+                flight = self._in_flight.get(key)
+                if flight is not None:
+                    joined[key] = flight
+                    continue
+                flight = _InFlight()
+                self._in_flight[key] = flight
+                owned[key] = flight
+                owned_images[key] = images[position]
+        duplicates = miss_occurrences - len(owned) - len(joined)
+
+        l2_found: Dict[bytes, np.ndarray] = {}
+        if owned and self._l2_capable:
+            l2_found = self.cache.fetch_remote(list(owned))
+
+        to_score = [key for key in owned if key not in l2_found]
+        fresh_by_key: Dict[bytes, np.ndarray] = {}
+        error: Optional[BaseException] = None
+        if to_score:
+            try:
+                with self._model_lock:
+                    fresh = np.asarray(
+                        batch_scores(
+                            self.classifier,
+                            [owned_images[key] for key in to_score],
+                        ),
+                        dtype=np.float64,
+                    )
+            except BaseException as exc:
+                error = exc
+            else:
+                with self._cache_lock:
+                    if self.cache is not None:
+                        for key, row in zip(to_score, fresh):
+                            self.cache.put(key, row)
+                fresh_by_key = dict(zip(to_score, fresh))
+                if self._l2_capable:
+                    self.cache.store_remote(fresh_by_key)
+
+        settled: Dict[bytes, np.ndarray] = {}
+        with self._cache_lock:
+            for key in owned:
+                self._in_flight.pop(key, None)
+        for key, flight in owned.items():
+            if key in l2_found:
+                flight.scores = np.asarray(l2_found[key], dtype=np.float64)
+            elif key in fresh_by_key:
+                flight.scores = np.asarray(fresh_by_key[key], dtype=np.float64)
+            else:
+                flight.error = (
+                    error
+                    if error is not None
+                    else RuntimeError("single-flight miss left unresolved")
                 )
-            with self._cache_lock:
-                if self.cache is not None:
-                    for key, row in zip(unique_keys, fresh):
-                        self.cache.put(key, row)
+            if flight.scores is not None:
+                settled[key] = flight.scores
+            flight.ready.set()
+        if error is not None:
+            raise error
+
+        for key, flight in joined.items():
+            flight.ready.wait()
+            if flight.error is not None:
+                raise flight.error
+            settled[key] = flight.scores
+
         for position, key in enumerate(keys):
             if scores[position] is None:
-                scores[position] = np.array(fresh[seen[key]], copy=True)
+                scores[position] = np.array(settled[key], copy=True)
         if self.observer is not None:
             for image, row in zip(images, scores):
                 self.observer(image, row)
         self.metrics.record_flush(
-            batch=len(images), model_batch=len(unique_images), duplicates=duplicates
+            batch=len(images),
+            model_batch=len(to_score),
+            duplicates=duplicates,
+            l2_hits=len(l2_found),
+            single_flight_waits=len(joined),
         )
         self.run_log.emit(
             "broker_flush",
             batch=len(images),
-            model_batch=len(unique_images),
+            model_batch=len(to_score),
             duplicates=duplicates,
-            cached=len(images) - len(unique_images) - duplicates,
+            cached=len(images) - miss_occurrences,
+            l2_hits=len(l2_found),
+            waited=len(joined),
         )
         return scores
 

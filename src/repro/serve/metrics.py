@@ -85,17 +85,28 @@ class BrokerMetrics:
         self.flushes = 0  # batched evaluations performed
         self.coalesced_duplicates = 0  # intra-batch repeats served once
         self.rejected = 0  # submits refused (broker stopped)
+        self.l2_hits = 0  # misses answered by the shared cache tier
+        self.single_flight_waits = 0  # misses joined to another call's flight
 
     def record_submit(self) -> None:
         with self._lock:
             self.submitted += 1
 
-    def record_flush(self, batch: int, model_batch: int, duplicates: int) -> None:
+    def record_flush(
+        self,
+        batch: int,
+        model_batch: int,
+        duplicates: int,
+        l2_hits: int = 0,
+        single_flight_waits: int = 0,
+    ) -> None:
         with self._lock:
             self.flushes += 1
             self.batch_sizes.observe(batch)
             self.model_batch_sizes.observe(model_batch)
             self.coalesced_duplicates += duplicates
+            self.l2_hits += l2_hits
+            self.single_flight_waits += single_flight_waits
 
     def record_rejected(self) -> None:
         with self._lock:
@@ -108,6 +119,8 @@ class BrokerMetrics:
                 "flushes": self.flushes,
                 "coalesced_duplicates": self.coalesced_duplicates,
                 "rejected": self.rejected,
+                "l2_hits": self.l2_hits,
+                "single_flight_waits": self.single_flight_waits,
                 "batch_sizes": self.batch_sizes.snapshot(),
                 "model_batch_sizes": self.model_batch_sizes.snapshot(),
             }

@@ -100,6 +100,17 @@ class ServeConfig:
     #: protocol instead of batch-native stepping (bit-identical results
     #: either way; this is the differential escape hatch).
     scalar_steps: bool = False
+    #: ``--shared-cache HOST:PORT``: wrap the private query cache in a
+    #: :class:`~repro.runtime.cache.TieredQueryCache` pointed at a
+    #: shared L2 cache service (:mod:`repro.cluster.cacheservice`).
+    #: Results are bit-identical with or without it; the shared tier
+    #: only saves forward passes other replicas already paid.  ``None``
+    #: keeps the cache private; requires ``cache_size > 0`` (a disabled
+    #: cache has no L1 tier to promote shared hits into).
+    shared_cache: Optional[str] = None
+    #: Entries in the shared L2 LRU; only consulted by the cluster
+    #: branch, which owns the cache service process.
+    shared_cache_size: int = 65536
 
 
 class PerImageLatencyClassifier:
@@ -167,6 +178,19 @@ class AttackServer:
         self.classifier = build_classifier(config)
         cache_size = normalized_cache_size(config.cache_size)
         self.cache = QueryCache(cache_size) if cache_size is not None else None
+        if self.cache is not None and config.shared_cache:
+            # Lazy import: the serve layer stays cluster-free unless a
+            # shared tier is actually configured.
+            from repro.cluster.cacheservice import (
+                HttpSharedCacheClient,
+                parse_cache_address,
+            )
+            from repro.runtime.cache import TieredQueryCache
+
+            address = parse_cache_address(config.shared_cache)
+            self.cache = TieredQueryCache(
+                self.cache, HttpSharedCacheClient(address)
+            )
         self.broker = MicroBatchBroker(
             self.classifier,
             policy=BatchPolicy(
@@ -707,6 +731,25 @@ def build_parser() -> argparse.ArgumentParser:
         "protocol instead of batch-native QueryBatch stepping "
         "(bit-identical results; differential escape hatch)",
     )
+    parser.add_argument(
+        "--shared-cache",
+        nargs="?",
+        const="auto",
+        default=None,
+        metavar="HOST:PORT",
+        help="consult a shared L2 query cache on L1 miss and write "
+        "scored entries through (bit-identical results either way). "
+        "Single-process serving needs the explicit HOST:PORT of a "
+        "running repro.cluster.cacheservice; with --cluster the bare "
+        "flag spawns and supervises the service automatically",
+    )
+    parser.add_argument(
+        "--shared-cache-size",
+        type=int,
+        default=65536,
+        dest="shared_cache_size",
+        help="entries in the shared L2 bounded LRU (cluster mode)",
+    )
     return parser
 
 
@@ -742,7 +785,14 @@ def main(argv=None) -> int:
                 resume=options["resume"],
                 log_path=options["log_path"],
                 scalar_steps=options["scalar_steps"],
+                shared_cache=options["shared_cache"] is not None,
+                shared_cache_size=options["shared_cache_size"],
             )
+        )
+    if options["shared_cache"] == "auto":
+        build_parser().error(
+            "--shared-cache needs an explicit HOST:PORT outside --cluster "
+            "(single-process serving does not spawn the cache service)"
         )
     config = ServeConfig(**options)
     server = AttackServer(config)

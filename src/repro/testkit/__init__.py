@@ -61,6 +61,13 @@ from repro.testkit.kill import (
     toy_campaign,
     toy_matrix_spec,
 )
+from repro.testkit.sharedcache import (
+    L2_MODES,
+    InMemorySharedCache,
+    live_shared_cache_smoke,
+    shared_cache_sweep,
+    tiered_broker_factory,
+)
 from repro.testkit.matrix import (
     DEFAULT_KINDS,
     DEFAULT_MATRIX_PATHS,
@@ -96,8 +103,10 @@ __all__ = [
     "FaultCell",
     "FaultSchedule",
     "FlakyClassifier",
+    "InMemorySharedCache",
     "InjectedFault",
     "InjectedTimeout",
+    "L2_MODES",
     "ReorderingBroker",
     "ReplayClassifier",
     "SlowClassifier",
@@ -108,6 +117,7 @@ __all__ = [
     "diff_events",
     "kill_and_resume_campaign",
     "kill_and_resume_matrix",
+    "live_shared_cache_smoke",
     "matrix_fingerprint",
     "toy_matrix_spec",
     "load_trace",
@@ -117,7 +127,9 @@ __all__ = [
     "result_fingerprint",
     "results_equal",
     "run_fault_matrix",
+    "shared_cache_sweep",
     "summary_fingerprint",
+    "tiered_broker_factory",
     "tiny_network_classifier",
     "toy_batch_runner",
     "toy_campaign",

@@ -441,3 +441,219 @@ class TestTierEndToEnd:
             assert final["result"]["queries"] == 288
             events = resumed.router.run_log.of_type("cluster_resume")
             assert events and events[0]["sessions"] == 1
+
+
+# ----------------------------------------------------------------------
+# fast: rebalance concurrency, terminal sweep, shared-cache config
+# ----------------------------------------------------------------------
+
+
+class TestRebalanceConcurrency:
+    """Pin the tick_rebalance single-claim guarantee (PR 9 bugfix)."""
+
+    def _router_with_pending(self, sessions=6):
+        from repro.cluster.router import SessionEntry
+
+        router = ClusterRouter(ClusterConfig(workers=1))
+        router.ring.add("w0")
+        for index in range(sessions):
+            session_id = f"c{index + 1}"
+            entry = SessionEntry(session_id, {"spec": index}, "client", None)
+            router._sessions[session_id] = entry
+            router._order.append(session_id)
+            router._pending.append(session_id)
+        return router
+
+    def test_concurrent_ticks_never_double_place(self, monkeypatch):
+        import threading
+
+        router = self._router_with_pending(sessions=8)
+        forwards = {}
+        lock = threading.Lock()
+
+        def slow_forward(owner, session_id, spec, client):
+            with lock:
+                forwards[session_id] = forwards.get(session_id, 0) + 1
+            time.sleep(0.01)  # hold the claim across the unlocked window
+            return 202, {"id": session_id}
+
+        monkeypatch.setattr(router, "_forward_submit", slow_forward)
+        threads = [
+            threading.Thread(target=router.tick_rebalance) for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+
+        # every session placed exactly once, counted exactly once
+        assert sorted(forwards) == [f"c{i + 1}" for i in range(8)]
+        assert all(count == 1 for count in forwards.values())
+        assert router.rebalanced_sessions == 8
+        assert router._pending == []
+        assert all(
+            entry.worker == "w0" for entry in router._sessions.values()
+        )
+
+    def test_failed_placement_requeues_once(self, monkeypatch):
+        router = self._router_with_pending(sessions=2)
+        monkeypatch.setattr(
+            router, "_forward_submit", lambda *a: (503, {"error": "down"})
+        )
+        placed = router.tick_rebalance()
+        assert placed == 0
+        assert sorted(router._pending) == ["c1", "c2"]
+        assert router.rebalanced_sessions == 0
+
+    def test_ledger_session_record_appended_once(self, monkeypatch, tmp_path):
+        import threading
+
+        from repro.cluster.router import SessionEntry
+
+        router = ClusterRouter(
+            ClusterConfig(workers=1, checkpoint=str(tmp_path))
+        )
+        router.ledger.reconcile_manifest(router.config.manifest())
+        router.ring.add("w0")
+        entry = SessionEntry("c1", {"attack": "fixed"}, None, None)
+        router._sessions["c1"] = entry
+        router._pending.append("c1")
+
+        def slow_forward(owner, session_id, spec, client):
+            time.sleep(0.01)
+            return 202, {"id": session_id}
+
+        monkeypatch.setattr(router, "_forward_submit", slow_forward)
+        threads = [
+            threading.Thread(target=router.tick_rebalance) for _ in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        records, _ = router.ledger.records()
+        session_records = [r for r in records if r.get("kind") == "session"]
+        assert len(session_records) == 1
+        router.ledger.close()
+
+
+class TestTerminalSweep:
+    """Terminal-but-never-polled sessions are reaped (PR 9 bugfix)."""
+
+    def _router_with_live_worker(self, checkpoint=None):
+        from repro.cluster.router import SessionEntry
+        from repro.cluster.workers import LIVE
+
+        config = ClusterConfig(workers=1)
+        if checkpoint:
+            config = ClusterConfig(workers=1, checkpoint=checkpoint)
+        router = ClusterRouter(config)
+        router.workers[0].state = LIVE
+        router.ring.add("w0")
+        entry = SessionEntry("c1", {"attack": "fixed"}, None, "w0")
+        router._sessions["c1"] = entry
+        router._order.append("c1")
+        return router, entry
+
+    def test_sweep_marks_terminal_sessions_done(self, monkeypatch):
+        router, entry = self._router_with_live_worker()
+        monkeypatch.setattr(
+            "repro.cluster.router.http_json",
+            lambda *a, **k: (
+                200,
+                {"state": "done", "result": {"queries": 288}},
+            ),
+        )
+        swept = router.sweep_terminal_sessions()
+        assert swept == 1
+        assert entry.done
+        assert entry.final["result"]["queries"] == 288
+        assert entry.final["worker"] == "w0"
+        # idempotent: already-done sessions are not re-swept
+        assert router.sweep_terminal_sessions() == 0
+
+    def test_sweep_leaves_running_sessions_open(self, monkeypatch):
+        router, entry = self._router_with_live_worker()
+        monkeypatch.setattr(
+            "repro.cluster.router.http_json",
+            lambda *a, **k: (200, {"state": "running", "queries": 12}),
+        )
+        assert router.sweep_terminal_sessions() == 0
+        assert not entry.done
+
+    def test_sweep_closes_ledger_record(self, monkeypatch, tmp_path):
+        router, entry = self._router_with_live_worker(
+            checkpoint=str(tmp_path)
+        )
+        router.ledger.reconcile_manifest(router.config.manifest())
+        router.ledger.append(
+            {"kind": "session", "id": "c1", "client": None, "spec": {}}
+        )
+        monkeypatch.setattr(
+            "repro.cluster.router.http_json",
+            lambda *a, **k: (200, {"state": "done", "result": {}}),
+        )
+        router.sweep_terminal_sessions()
+        records, _ = router.ledger.records()
+        assert open_sessions_from_records(records) == {}
+        router.ledger.close()
+
+    def test_supervise_once_sweeps_on_cadence(self, monkeypatch):
+        router, entry = self._router_with_live_worker()
+        calls = []
+        monkeypatch.setattr(
+            router, "sweep_terminal_sessions", lambda: calls.append(1)
+        )
+        # no live processes: neuter the per-worker probes
+        monkeypatch.setattr(
+            router.workers[0], "process_alive", lambda: True
+        )
+        monkeypatch.setattr(
+            router.workers[0], "healthy", lambda timeout=None: True
+        )
+        for _ in range(8):
+            router.supervise_once()
+        assert len(calls) == 2  # every 4th sweep
+
+
+class TestSharedCacheConfig:
+    def test_defaults_off(self):
+        config = ClusterConfig()
+        assert config.shared_cache is False
+        assert config.shared_cache_size == 65536
+
+    def test_worker_argv_carries_shared_cache_address(self):
+        config = ClusterConfig(shared_cache=True)
+        argv = worker_argv(config, 9000, shared_cache="127.0.0.1:9100")
+        flag = argv.index("--shared-cache")
+        assert argv[flag + 1] == "127.0.0.1:9100"
+        assert "--shared-cache" not in worker_argv(config, 9000)
+
+    def test_cacheservice_argv_shape(self):
+        from repro.cluster.cacheservice import cacheservice_argv
+
+        argv = cacheservice_argv(9100, size=1234)
+        assert "repro.cluster.cacheservice" in argv
+        assert argv[argv.index("--port") + 1] == "9100"
+        assert argv[argv.index("--size") + 1] == "1234"
+
+    def test_router_builds_cache_slot_only_when_enabled(self):
+        assert ClusterRouter(ClusterConfig(workers=1)).cache_service is None
+        router = ClusterRouter(ClusterConfig(workers=1, shared_cache=True))
+        assert router.cache_service is not None
+        assert router.cache_service.name == "l2cache"
+        address = f"127.0.0.1:{router.cache_service.port}"
+        argv = router.workers[0].argv_builder(router.config, 9000)
+        assert argv[argv.index("--shared-cache") + 1] == address
+
+
+@pytest.mark.slow
+class TestSharedCacheTier:
+    def test_two_replicas_share_hits_with_golden_counts(self):
+        from repro.testkit.sharedcache import live_shared_cache_smoke
+
+        verdict = live_shared_cache_smoke(workers=2)
+        assert verdict["identical"], verdict
+        assert len(verdict["distinct_workers"]) >= 2, verdict
+        assert verdict["l2_hits"] > 0, verdict
+        assert verdict["ok"], verdict

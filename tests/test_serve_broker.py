@@ -1,6 +1,7 @@
 """Tests for the micro-batching query broker."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -219,3 +220,125 @@ class TestBrokerDeterminism:
             assert session.result.success == want.success
             assert session.result.queries == want.queries
             assert session.result.location == want.location
+
+
+class TestSingleFlight:
+    """The in-flight-miss table: concurrent calls never double-score."""
+
+    def _counting_classifier(self, classifier, delay=0.005):
+        forwards = {}
+        lock = threading.Lock()
+
+        def spy(image):
+            key = image.tobytes()
+            with lock:
+                forwards[key] = forwards.get(key, 0) + 1
+            time.sleep(delay)  # widen the old miss-decide/put race window
+            return classifier(image)
+
+        return spy, forwards
+
+    def test_one_forward_per_distinct_image_under_concurrency(
+        self, classifier, toy_shape
+    ):
+        """Stress evaluate/submit/submit_many concurrently over an
+        overlapping image set: every distinct image must cost exactly
+        one model forward (the single-flight guarantee the broker
+        docstring promises)."""
+        spy, forwards = self._counting_classifier(classifier)
+        images = make_toy_images(6, toy_shape, seed=21)
+        broker = MicroBatchBroker(
+            spy,
+            policy=BatchPolicy(max_batch_size=4, max_wait=0.001),
+            cache=QueryCache(256),
+        )
+        broker.start()
+        errors = []
+        barrier = threading.Barrier(13)
+
+        def run(call):
+            try:
+                barrier.wait(timeout=10)
+                call()
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        workers = []
+        for start in range(4):  # overlapping evaluate() windows
+            subset = [images[(start + i) % len(images)] for i in range(4)]
+            workers.append(
+                threading.Thread(target=run, args=(lambda s=subset: broker.evaluate(s),))
+            )
+        for i in range(6):  # scalar submits through the flusher
+            workers.append(
+                threading.Thread(
+                    target=run, args=(lambda i=i: broker.submit(images[i]),)
+                )
+            )
+        for start in (0, 3, 1):  # batch-native submit_many
+            subset = [images[(start + i) % len(images)] for i in range(3)]
+            workers.append(
+                threading.Thread(
+                    target=run, args=(lambda s=subset: broker.submit_many(s),)
+                )
+            )
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=30)
+        broker.stop()
+
+        assert not errors
+        assert len(forwards) == len(images)
+        assert all(count == 1 for count in forwards.values())
+        assert broker._in_flight == {}
+
+    def test_joined_callers_get_correct_scores(self, classifier, toy_shape):
+        spy, _forwards = self._counting_classifier(classifier, delay=0.02)
+        image = make_toy_images(1, toy_shape, seed=22)[0]
+        broker = MicroBatchBroker(spy, cache=QueryCache(16))
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(broker.evaluate([image])[0])
+            )
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        expected = classifier(image)
+        assert len(results) == 4
+        for row in results:
+            assert np.array_equal(row, expected)
+
+    def test_leader_failure_releases_joiners(self, classifier, toy_shape):
+        """A model error must resolve the flight with that error --
+        joiners re-raise instead of hanging, and the table drains."""
+
+        class Boom(RuntimeError):
+            pass
+
+        def failing(image):
+            time.sleep(0.02)
+            raise Boom("model exploded")
+
+        image = make_toy_images(1, toy_shape, seed=23)[0]
+        broker = MicroBatchBroker(failing, cache=QueryCache(16))
+        outcomes = []
+
+        def call():
+            try:
+                broker.evaluate([image])
+                outcomes.append("ok")
+            except Boom:
+                outcomes.append("boom")
+
+        threads = [threading.Thread(target=call) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert outcomes == ["boom", "boom", "boom"]
+        assert broker._in_flight == {}
