@@ -43,11 +43,15 @@ MAX_RETRIES = 30
 def _request_with_backoff(request, retry_counter, timeout=30):
     """urlopen that retries 429/503 with jittered exponential backoff.
 
-    Any other status (or exhausting the retry budget) propagates: those
-    are real errors, not transient server states.  Increments
-    ``retry_counter`` (a one-element list, shared per client) on every
-    retried response so the report can show how often clients backed
-    off.
+    When the server names its own pace -- the ``Retry-After`` header an
+    overload-shedding server (503) or admission control (429) attaches
+    -- that wait is honored instead of the computed backoff: the server
+    knows when capacity frees up, the client's exponential schedule is
+    just a guess.  Any other status (or exhausting the retry budget)
+    propagates: those are real errors, not transient server states.
+    Increments ``retry_counter`` (a one-element list, shared per client)
+    on every retried response so the report can show how often clients
+    backed off.
     """
     for attempt in range(MAX_RETRIES):
         try:
@@ -55,9 +59,15 @@ def _request_with_backoff(request, retry_counter, timeout=30):
         except urllib.error.HTTPError as error:
             if error.code not in (429, 503) or attempt == MAX_RETRIES - 1:
                 raise
+            retry_after = error.headers.get("Retry-After")
             error.close()
             retry_counter[0] += 1
             wait = min(BACKOFF_CAP, BACKOFF_BASE * (2 ** attempt))
+            if retry_after is not None:
+                try:
+                    wait = min(BACKOFF_CAP, float(retry_after))
+                except ValueError:
+                    pass
             time.sleep(wait * random.uniform(0.5, 1.0))
     raise RuntimeError("unreachable: retry loop exits via return or raise")
 
@@ -88,9 +98,25 @@ def submit_and_poll(base, image, true_class, seed, outcomes, retries, position):
         session_id = json.load(response)["id"]
     while True:
         poll = urllib.request.Request(f"{base}/attacks/{session_id}")
-        with _request_with_backoff(poll, retry_counter) as response:
-            status = json.load(response)
-        if status["state"] in ("done", "failed"):
+        try:
+            with _request_with_backoff(poll, retry_counter) as response:
+                status = json.load(response)
+        except urllib.error.HTTPError as error:
+            # A slow poller can lose its session to the TTL reaper: 410
+            # (tombstoned) or 404 (tombstone itself aged out).  That is
+            # an answer, not an error -- record it and stop polling.
+            if error.code in (404, 410):
+                error.close()
+                outcomes[position] = {
+                    "attack": "?",
+                    "state": "reaped",
+                    "queries": 0,
+                    "result": None,
+                }
+                retries[position] = retry_counter[0]
+                return
+            raise
+        if status["state"] in ("done", "failed", "cancelled", "expired"):
             outcomes[position] = status
             retries[position] = retry_counter[0]
             return

@@ -49,6 +49,25 @@ class ClusterConfig:
     burst: float = 20.0
     scalar_steps: bool = False  # pin workers to legacy scalar stepping
 
+    # -- session lifecycle ---------------------------------------------
+    #: Deadline applied to submissions that omit ``deadline_seconds``.
+    default_deadline: Optional[float] = None
+    #: Hard cap on requested deadlines (worker rejects larger with 400).
+    max_deadline: Optional[float] = None
+    #: Worker TTL reaper: age out terminal-but-unpolled sessions (the
+    #: router closes their ledger records when a poll comes back 410) /
+    #: cancel live-but-abandoned ones.
+    session_ttl: Optional[float] = None
+    idle_ttl: Optional[float] = None
+    reap_interval: float = 1.0
+    #: Worker-level overload shedding watermarks (503 + Retry-After).
+    shed_queue_depth: Optional[int] = None
+    shed_sessions: Optional[int] = None
+    shed_retry_after: float = 1.0
+    #: Router-level shedding: refuse new submits while this many
+    #: sessions are open tier-wide (``None`` disables).
+    shed_open_sessions: Optional[int] = None
+
     # -- supervision ---------------------------------------------------
     heartbeat: float = 0.5  # seconds between worker health sweeps
     heartbeat_misses: int = 3  # consecutive failures before death
@@ -146,4 +165,20 @@ def worker_argv(
         argv.append("--scalar-steps")
     if shared_cache:
         argv.extend(["--shared-cache", shared_cache])
+    if config.default_deadline is not None:
+        argv.extend(["--default-deadline", str(config.default_deadline)])
+    if config.max_deadline is not None:
+        argv.extend(["--max-deadline", str(config.max_deadline)])
+    if config.session_ttl is not None:
+        argv.extend(["--session-ttl", str(config.session_ttl)])
+    if config.idle_ttl is not None:
+        argv.extend(["--idle-ttl", str(config.idle_ttl)])
+    if config.reap_interval != 1.0:
+        argv.extend(["--reap-interval", str(config.reap_interval)])
+    if config.shed_queue_depth is not None:
+        argv.extend(["--shed-queue-depth", str(config.shed_queue_depth)])
+    if config.shed_sessions is not None:
+        argv.extend(["--shed-sessions", str(config.shed_sessions)])
+    if config.shed_retry_after != 1.0:
+        argv.extend(["--shed-retry-after", str(config.shed_retry_after)])
     return argv

@@ -110,6 +110,7 @@ def aggregate_worker_metrics(per_worker: Dict[str, Optional[Dict]]) -> Dict:
     sessions_in_flight = 0
     queue_depth = 0
     session_states: Dict[str, int] = {}
+    lifecycle = {"cancelled": 0, "expired": 0, "reaped": 0, "shed": 0}
     unscraped: List[str] = []
 
     for name, payload in per_worker.items():
@@ -126,6 +127,8 @@ def aggregate_worker_metrics(per_worker: Dict[str, Optional[Dict]]) -> Dict:
         queue_depth += payload.get("broker_queue_depth", 0)
         for state, count in payload.get("sessions", {}).get("states", {}).items():
             session_states[state] = session_states.get(state, 0) + count
+        for key in lifecycle:
+            lifecycle[key] += payload.get("lifecycle", {}).get(key, 0) or 0
 
     return {
         "broker": {
@@ -137,5 +140,8 @@ def aggregate_worker_metrics(per_worker: Dict[str, Optional[Dict]]) -> Dict:
         "sessions_in_flight": sessions_in_flight,
         "broker_queue_depth": queue_depth,
         "session_states": session_states,
+        # worker-level lifecycle counter sums; the router adds its own
+        # router-settled counters under the ``cluster`` sub-document
+        "lifecycle": lifecycle,
         "unscraped": sorted(unscraped),
     }

@@ -64,13 +64,22 @@ from repro.runtime.events import RunLog
 MAX_BODY_BYTES = 8 * 1024 * 1024
 
 #: Terminal session states, as reported by workers.
-_TERMINAL = ("done", "failed")
+_TERMINAL = ("done", "failed", "cancelled", "expired")
 
 
 class SessionEntry:
     """The router's record of one session: enough to route and rebuild."""
 
-    __slots__ = ("session_id", "spec", "client", "worker", "done", "final")
+    __slots__ = (
+        "session_id",
+        "spec",
+        "client",
+        "worker",
+        "done",
+        "final",
+        "accepted_at",
+        "deadline_seconds",
+    )
 
     def __init__(
         self,
@@ -88,6 +97,16 @@ class SessionEntry:
         #: Cached terminal payload, so a finished session stays pollable
         #: even after its worker dies.
         self.final: Optional[Dict] = None
+        #: When the router accepted (or restored) this session; with
+        #: :attr:`deadline_seconds` it lets a rebalance hand the new
+        #: owner only the *remaining* wall-clock budget.
+        self.accepted_at = time.monotonic()
+        deadline = spec.get("deadline_seconds") if isinstance(spec, dict) else None
+        self.deadline_seconds = (
+            float(deadline)
+            if isinstance(deadline, (int, float)) and not isinstance(deadline, bool)
+            else None
+        )
 
 
 def open_sessions_from_records(records: List[Dict]) -> Dict[str, Dict]:
@@ -164,6 +183,12 @@ class ClusterRouter:
         self.routed = 0
         self.rebalanced_sessions = 0
         self.deaths = 0
+        # router-level lifecycle counters (worker-level ones are summed
+        # from /metrics scrapes; these count router-settled outcomes)
+        self.cancelled_sessions = 0
+        self.expired_sessions = 0
+        self.reaped_sessions = 0
+        self.shed_submits = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -294,6 +319,22 @@ class ClusterRouter:
             return 400, {"error": f"invalid JSON body: {exc}"}
         if not isinstance(spec, dict):
             return 400, {"error": "request body must be a JSON object"}
+        if self.config.shed_open_sessions is not None:
+            with self._lock:
+                open_count = sum(
+                    1 for entry in self._sessions.values() if not entry.done
+                )
+                overloaded = open_count >= self.config.shed_open_sessions
+                if overloaded:
+                    self.shed_submits += 1
+            if overloaded:
+                return 503, {
+                    "error": (
+                        f"overloaded: {open_count} open sessions >= "
+                        f"{self.config.shed_open_sessions}"
+                    ),
+                    "retry_after": self.config.shed_retry_after,
+                }
         session_id = self._generate_id()
         with self._lock:
             owner = self.ring.assign(session_id)
@@ -366,6 +407,11 @@ class ClusterRouter:
                 "error": f"worker {owner} unreachable; session will rebalance",
                 "retry_after": 1,
             }
+        if status == 410:
+            # The worker's TTL reaper swept the session before any client
+            # collected its terminal state: settle it at the router so the
+            # ledger closes and --resume does not re-run finished work.
+            return 200, self._reaped_final(entry, owner)
         if status == 200:
             payload = dict(payload)
             payload["worker"] = owner
@@ -373,11 +419,81 @@ class ClusterRouter:
                 self._mark_done(entry, payload)
         return status, payload
 
+    def cancel_session(self, session_id: str) -> Tuple[int, Dict]:
+        """``DELETE /attacks/<id>``: forward to the sticky owner.
+
+        Mirrors the worker's semantics (202 cancellation requested, 200
+        already terminal) and covers the router-only cases: a session
+        awaiting (re)placement has no live generator anywhere, so the
+        router settles the cancellation locally and closes its ledger
+        record; a session the worker already reaped becomes a synthetic
+        ``reaped`` final.
+        """
+        with self._lock:
+            entry = self._sessions.get(session_id)
+            if entry is None:
+                return 404, {"error": f"no such session: {session_id}"}
+            if entry.final is not None:
+                return 200, entry.final
+            owner = entry.worker
+            if owner is None and session_id in self._pending:
+                self._pending.remove(session_id)
+        if owner is None:
+            final = {
+                "id": session_id,
+                "state": "cancelled",
+                "queries": None,
+                "worker": None,
+            }
+            self._mark_done(entry, final)
+            self.run_log.emit(
+                "session_cancelled", session=session_id, pending=True
+            )
+            return 200, final
+        worker = self.worker_named(owner)
+        try:
+            status, payload = http_json(
+                worker.address, "DELETE", f"/attacks/{session_id}"
+            )
+        except OSError:
+            return 503, {
+                "error": f"worker {owner} unreachable; retry cancellation",
+                "retry_after": 1,
+            }
+        if status == 410:
+            return 200, self._reaped_final(entry, owner)
+        if status in (200, 202):
+            payload = dict(payload)
+            payload["worker"] = owner
+            if payload.get("state") in _TERMINAL:
+                self._mark_done(entry, payload)
+        return status, payload
+
+    def _reaped_final(self, entry: SessionEntry, owner: Optional[str]) -> Dict:
+        final = {
+            "id": entry.session_id,
+            "state": "reaped",
+            "queries": None,
+            "worker": owner,
+            "error": "session reaped by worker TTL before a terminal poll",
+        }
+        self._mark_done(entry, final)
+        self.run_log.emit("session_reaped", session=entry.session_id, worker=owner)
+        return final
+
     def _mark_done(self, entry: SessionEntry, payload: Dict) -> None:
         with self._lock:
             first = not entry.done
             entry.done = True
             entry.final = payload
+            if first:
+                state = payload.get("state")
+                if state == "cancelled":
+                    self.cancelled_sessions += 1
+                elif state == "expired":
+                    self.expired_sessions += 1
+                elif state == "reaped":
+                    self.reaped_sessions += 1
         if first and self.ledger is not None:
             self.ledger.append({"kind": "session_done", "id": entry.session_id})
 
@@ -409,6 +525,14 @@ class ClusterRouter:
                 )
             except OSError:
                 continue  # the supervisor sweep will handle this worker
+            if status == 410:
+                with self._lock:
+                    entry = self._sessions.get(session_id)
+                    if entry is None or entry.done:
+                        continue
+                self._reaped_final(entry, owner)
+                swept += 1
+                continue
             if status != 200 or payload.get("state") not in _TERMINAL:
                 continue
             with self._lock:
@@ -471,6 +595,10 @@ class ClusterRouter:
                 "restarts": sum(worker.restarts for worker in self.workers),
                 "pending_rebalance": len(self._pending),
                 "sessions_tracked": len(self._sessions),
+                "cancelled_sessions": self.cancelled_sessions,
+                "expired_sessions": self.expired_sessions,
+                "reaped_sessions": self.reaped_sessions,
+                "shed_submits": self.shed_submits,
             }
         if self.cache_service is not None:
             service_stats = None
@@ -503,6 +631,8 @@ class ClusterRouter:
             return self.list_sessions()
         if path.startswith("/attacks/") and method == "GET":
             return self.get_session(path[len("/attacks/"):])
+        if path.startswith("/attacks/") and method == "DELETE":
+            return self.cancel_session(path[len("/attacks/"):])
         if path in ("/healthz", "/metrics", "/attacks") or path.startswith(
             "/attacks/"
         ):
@@ -678,19 +808,54 @@ class ClusterRouter:
                 pending = list(self._pending)
             placed = 0
             for session_id in pending:
+                expired = False
                 with self._lock:
                     entry = self._sessions.get(session_id)
                     if entry is None or entry.done or entry.worker is not None:
                         if session_id in self._pending:
                             self._pending.remove(session_id)
                         continue
-                    owner = self.ring.assign(session_id)
-                    if owner is None:
-                        continue
-                    # claim before the unlocked forward-submit
-                    self._pending.remove(session_id)
+                    # Deadlines ride the spec: the new owner inherits only
+                    # the *remaining* wall-clock budget, so a rebalanced
+                    # session expires when the original would have.  A
+                    # session whose budget ran out while it waited for
+                    # placement is settled here (checked before the owner
+                    # assignment, so it resolves even with no live workers).
+                    spec = entry.spec
+                    if entry.deadline_seconds is not None:
+                        remaining = entry.deadline_seconds - (
+                            time.monotonic() - entry.accepted_at
+                        )
+                        if remaining <= 0:
+                            if session_id in self._pending:
+                                self._pending.remove(session_id)
+                            expired = True
+                        else:
+                            spec = dict(entry.spec)
+                            spec["deadline_seconds"] = remaining
+                    if not expired:
+                        owner = self.ring.assign(session_id)
+                        if owner is None:
+                            continue
+                        # claim before the unlocked forward-submit
+                        self._pending.remove(session_id)
+                if expired:
+                    self._mark_done(
+                        entry,
+                        {
+                            "id": session_id,
+                            "state": "expired",
+                            "queries": None,
+                            "worker": None,
+                            "error": "deadline elapsed while awaiting placement",
+                        },
+                    )
+                    self.run_log.emit(
+                        "session_expired", session=session_id, pending=True
+                    )
+                    continue
                 status, _payload = self._forward_submit(
-                    owner, session_id, entry.spec, entry.client
+                    owner, session_id, spec, entry.client
                 )
                 if status in (202, 409):  # 409: the replica already has it
                     with self._lock:
@@ -698,12 +863,14 @@ class ClusterRouter:
                         self.rebalanced_sessions += 1
                     placed += 1
                     if self.ledger is not None:
+                        # the rewritten spec, so a tier restart also
+                        # inherits only the remaining deadline budget
                         self.ledger.append(
                             {
                                 "kind": "session",
                                 "id": session_id,
                                 "client": entry.client,
-                                "spec": entry.spec,
+                                "spec": spec,
                             }
                         )
                     self.run_log.emit(
@@ -830,6 +997,9 @@ class _RouterRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:
         self._handle("POST")
+
+    def do_DELETE(self) -> None:
+        self._handle("DELETE")
 
 
 class ClusterHandle:
@@ -1001,6 +1171,53 @@ def build_parser() -> argparse.ArgumentParser:
         "--scalar-steps", action="store_true",
         help="pin every worker to the legacy one-query-at-a-time "
         "stepping protocol (bit-identical; differential escape hatch)",
+    )
+    parser.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline applied by workers to submissions "
+        "that omit deadline_seconds",
+    )
+    parser.add_argument(
+        "--max-deadline", type=float, default=None, metavar="SECONDS",
+        help="hard cap on requested deadline_seconds (workers 400 larger)",
+    )
+    parser.add_argument(
+        "--session-ttl", type=float, default=None, dest="session_ttl",
+        metavar="SECONDS",
+        help="worker TTL: reap finished sessions unpolled this long "
+        "(the router settles them and closes their ledger records)",
+    )
+    parser.add_argument(
+        "--idle-ttl", type=float, default=None, dest="idle_ttl",
+        metavar="SECONDS",
+        help="worker TTL: cancel live sessions no client has polled "
+        "for this long",
+    )
+    parser.add_argument(
+        "--reap-interval", type=float, default=1.0, dest="reap_interval",
+        metavar="SECONDS", help="worker TTL reaper cadence",
+    )
+    parser.add_argument(
+        "--shed-queue-depth", type=int, default=None, dest="shed_queue_depth",
+        metavar="N",
+        help="per-worker overload shedding: 503 + Retry-After while the "
+        "broker queue holds >= N pending queries",
+    )
+    parser.add_argument(
+        "--shed-sessions", type=int, default=None, dest="shed_sessions",
+        metavar="N",
+        help="per-worker overload shedding: 503 while >= N sessions live",
+    )
+    parser.add_argument(
+        "--shed-retry-after", type=float, default=1.0,
+        dest="shed_retry_after", metavar="SECONDS",
+        help="Retry-After value sent with shed (503) responses",
+    )
+    parser.add_argument(
+        "--shed-open-sessions", type=int, default=None,
+        dest="shed_open_sessions", metavar="N",
+        help="router-level overload shedding: refuse new submits with "
+        "503 while >= N sessions are open tier-wide",
     )
     return parser
 

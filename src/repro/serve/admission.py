@@ -8,9 +8,14 @@ timeouts for everyone.  The server therefore gates submissions twice --
   queued or running at once (global backpressure; excess submissions
   get HTTP 429 with ``Retry-After``);
 - :class:`RateLimiter` applies a per-client token bucket so one noisy
-  client cannot starve the rest even below the global cap.
+  client cannot starve the rest even below the global cap;
+- :class:`OverloadPolicy` sheds *early*: when broker queue depth or the
+  active-session count crosses a high-water mark the server answers 503
+  with ``Retry-After`` instead of letting admitted work queue into
+  latency collapse (the classic load-shedding pattern: refuse at the
+  door while the house is still standing).
 
-Both are deliberately tiny, stdlib-only, and injectable with a fake
+All are deliberately tiny, stdlib-only, and injectable with a fake
 clock for tests.
 """
 
@@ -18,7 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 
 class AdmissionControl:
@@ -60,6 +65,64 @@ class AdmissionControl:
                 "active": self._active,
                 "admitted": self.admitted,
                 "refused": self.refused,
+            }
+
+
+class OverloadPolicy:
+    """High-water-mark shedding over broker queue depth and live sessions.
+
+    Distinct from :class:`AdmissionControl`: admission is a hard cap on
+    sessions (429 -- the client did something over quota), while
+    shedding is a *load* signal (503 -- the service is temporarily
+    saturated, retry after a bounded pause).  Either watermark may be
+    ``None`` to disable that axis.
+    """
+
+    def __init__(
+        self,
+        max_queue_depth: Optional[int] = None,
+        max_active: Optional[int] = None,
+        retry_after: float = 1.0,
+    ):
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1 (or None)")
+        if max_active is not None and max_active < 1:
+            raise ValueError("max_active must be at least 1 (or None)")
+        if retry_after <= 0:
+            raise ValueError("retry_after must be positive")
+        self.max_queue_depth = max_queue_depth
+        self.max_active = max_active
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self.shed = 0
+
+    def should_shed(self, queue_depth: int, active: int) -> Optional[str]:
+        """The shed reason when a watermark is crossed, else ``None``.
+
+        Counts every shed so ``/metrics`` can expose the totals.
+        """
+        reason = None
+        if (
+            self.max_queue_depth is not None
+            and queue_depth >= self.max_queue_depth
+        ):
+            reason = (
+                f"broker queue depth {queue_depth} >= {self.max_queue_depth}"
+            )
+        elif self.max_active is not None and active >= self.max_active:
+            reason = f"active sessions {active} >= {self.max_active}"
+        if reason is not None:
+            with self._lock:
+                self.shed += 1
+        return reason
+
+    def stats(self) -> Dict:
+        with self._lock:
+            return {
+                "max_queue_depth": self.max_queue_depth,
+                "max_active": self.max_active,
+                "retry_after": self.retry_after,
+                "shed": self.shed,
             }
 
 

@@ -187,6 +187,9 @@ class MicroBatchBroker:
         self._model_lock = threading.Lock()
         self._cond = threading.Condition(threading.Lock())
         self._pending: List[_PendingQuery] = []
+        #: Deepest the pending queue has ever been; the load signal
+        #: overload shedding watches (serve --shed-queue-depth).
+        self._queue_high_water = 0
         self._flusher: Optional[threading.Thread] = None
         self._running = False
 
@@ -380,6 +383,8 @@ class MicroBatchBroker:
                 raise BrokerStopped("submit on a broker that is not running")
             query = _PendingQuery(image)
             self._pending.append(query)
+            if len(self._pending) > self._queue_high_water:
+                self._queue_high_water = len(self._pending)
             # wake the flusher when the batch fills, and on the first
             # query of a batch so its max_wait timer starts immediately
             # (instead of whenever the idle tick next expires)
@@ -470,6 +475,8 @@ class MicroBatchBroker:
         """JSON-safe snapshot for ``/metrics`` and run summaries."""
         snapshot = self.metrics.snapshot()
         snapshot["queue_depth"] = self.queue_depth
+        with self._cond:
+            snapshot["queue_high_water"] = self._queue_high_water
         snapshot["policy"] = {
             "max_batch_size": self.policy.max_batch_size,
             "max_wait": self.policy.max_wait,

@@ -15,6 +15,7 @@ An attack submission looks like::
       "true_class": 3,
       "budget": 512,                // optional
       "target_class": null,         // optional
+      "deadline_seconds": 30.0,     // optional wall-clock budget
       "params": {"seed": 7}         // optional, attack-specific
     }
 
@@ -142,6 +143,7 @@ class AttackRequest:
         true_class: int,
         budget: Optional[int],
         target_class: Optional[int],
+        deadline_seconds: Optional[float] = None,
     ):
         self.attack_name = attack_name
         self.attack = attack
@@ -149,6 +151,7 @@ class AttackRequest:
         self.true_class = true_class
         self.budget = budget
         self.target_class = target_class
+        self.deadline_seconds = deadline_seconds
 
 
 def _optional_int(payload: Dict, key: str, minimum: int) -> Optional[int]:
@@ -159,6 +162,19 @@ def _optional_int(payload: Dict, key: str, minimum: int) -> Optional[int]:
         raise ProtocolError(f"{key} must be an integer")
     if value < minimum:
         raise ProtocolError(f"{key} must be >= {minimum}")
+    return value
+
+
+def _optional_seconds(payload: Dict, key: str) -> Optional[float]:
+    """A positive, finite number of seconds, or ``None`` when absent."""
+    value = payload.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{key} must be a number of seconds")
+    value = float(value)
+    if not np.isfinite(value) or value <= 0.0:
+        raise ProtocolError(f"{key} must be a positive, finite number of seconds")
     return value
 
 
@@ -183,6 +199,7 @@ def decode_attack_request(payload) -> AttackRequest:
     target_class = _optional_int(payload, "target_class", minimum=0)
     if target_class is not None and target_class == true_class:
         raise ProtocolError("target_class must differ from true_class")
+    deadline_seconds = _optional_seconds(payload, "deadline_seconds")
     attack = build_attack(name, payload.get("params"))
     return AttackRequest(
         attack_name=name,
@@ -191,4 +208,5 @@ def decode_attack_request(payload) -> AttackRequest:
         true_class=true_class,
         budget=budget,
         target_class=target_class,
+        deadline_seconds=deadline_seconds,
     )

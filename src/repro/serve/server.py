@@ -10,7 +10,11 @@ endpoints:
                           admission control or the per-client rate limiter
                           sheds the request
 ``GET /attacks``          recent sessions, newest first
-``GET /attacks/{id}``     one session's status and (when done) its result
+``GET /attacks/{id}``     one session's status and (when done) its result;
+                          ``410`` once the TTL reaper has swept it
+``DELETE /attacks/{id}``  request cancellation; the driver parks the
+                          session at its next query boundary (``202``,
+                          idempotent; ``200`` when already terminal)
 ``GET /models``           architectures from :mod:`repro.models.registry`
                           plus the toy model, flagging which one is serving
 ``GET /healthz``          liveness
@@ -50,7 +54,7 @@ from repro.models.registry import ARCHITECTURES, build_model
 from repro.runtime.cache import QueryCache, normalized_cache_size
 from repro.runtime.checkpoint import CheckpointStore
 from repro.runtime.events import RunLog, ensure_log
-from repro.serve.admission import AdmissionControl, RateLimiter
+from repro.serve.admission import AdmissionControl, OverloadPolicy, RateLimiter
 from repro.serve.broker import BatchPolicy, MicroBatchBroker
 from repro.serve.protocol import ProtocolError, decode_attack_request
 from repro.serve.sessions import SessionManager
@@ -65,6 +69,7 @@ _STATUS_TEXT = {
     404: "Not Found",
     405: "Method Not Allowed",
     409: "Conflict",
+    410: "Gone",
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
@@ -111,6 +116,24 @@ class ServeConfig:
     #: Entries in the shared L2 LRU; only consulted by the cluster
     #: branch, which owns the cache service process.
     shared_cache_size: int = 65536
+    #: Wall-clock deadline applied to submissions that omit
+    #: ``deadline_seconds`` (``None`` leaves them unbounded).
+    default_deadline: Optional[float] = None
+    #: Hard cap on any requested ``deadline_seconds``; a request asking
+    #: for more is rejected with 400.
+    max_deadline: Optional[float] = None
+    #: TTL reaper policy (see :class:`~repro.serve.sessions.
+    #: SessionManager`): terminal sessions unpolled this long are
+    #: dropped from the poll table (-> 410 Gone) ...
+    session_ttl: Optional[float] = None
+    #: ... and live sessions unpolled this long are cancelled.
+    idle_ttl: Optional[float] = None
+    reap_interval: float = 1.0
+    #: Overload shedding watermarks: submissions get 503 + Retry-After
+    #: when broker queue depth / active sessions reach these.
+    shed_queue_depth: Optional[int] = None
+    shed_sessions: Optional[int] = None
+    shed_retry_after: float = 1.0
 
 
 class PerImageLatencyClassifier:
@@ -206,9 +229,16 @@ class AttackServer:
             # Batch-native stepping by default: sessions speculate up to
             # one broker batch per step.  0 pins the legacy scalar path.
             step_batch=0 if config.scalar_steps else config.max_batch_size,
+            session_ttl=config.session_ttl,
+            idle_ttl=config.idle_ttl,
         )
         self.admission = AdmissionControl(config.max_sessions)
         self.rate_limiter = RateLimiter(rate=config.rate, burst=config.burst)
+        self.overload = OverloadPolicy(
+            max_queue_depth=config.shed_queue_depth,
+            max_active=config.shed_sessions,
+            retry_after=config.shed_retry_after,
+        )
         self.checkpoint = (
             CheckpointStore(config.checkpoint) if config.checkpoint else None
         )
@@ -217,6 +247,8 @@ class AttackServer:
 
     def start(self) -> None:
         self.broker.start()
+        if self.config.session_ttl is not None or self.config.idle_ttl is not None:
+            self.sessions.start_reaper(self.config.reap_interval)
         if self.config.resume:
             self.restore_sessions()
 
@@ -319,6 +351,9 @@ class AttackServer:
                     "session_restore_failed", session=session_id, error=str(exc)
                 )
                 continue
+            deadline = request.deadline_seconds
+            if deadline is None:
+                deadline = self.config.default_deadline
             session = self.sessions.create(
                 request.attack,
                 request.image,
@@ -328,6 +363,7 @@ class AttackServer:
                 client=record.get("client"),
                 spec=record["spec"],
                 session_id=session_id,
+                deadline_seconds=deadline,
             )
             self.sessions.start(session)
             self.run_log.emit(
@@ -356,6 +392,14 @@ class AttackServer:
         """
         if self.draining:
             return 503, {"error": "server is draining for shutdown"}
+        shed_reason = self.overload.should_shed(
+            self.broker.queue_depth, self.sessions.active_count()
+        )
+        if shed_reason is not None:
+            return 503, {
+                "error": f"overloaded: {shed_reason}",
+                "retry_after": self.overload.retry_after,
+            }
         if not self.rate_limiter.allow(client):
             return 429, {"error": "rate limit exceeded", "retry_after": 1}
         try:
@@ -366,12 +410,27 @@ class AttackServer:
             request = decode_attack_request(payload)
         except ProtocolError as exc:
             return exc.status, {"error": str(exc)}
+        deadline = request.deadline_seconds
+        if deadline is None:
+            deadline = self.config.default_deadline
+        elif (
+            self.config.max_deadline is not None
+            and deadline > self.config.max_deadline
+        ):
+            return 400, {
+                "error": (
+                    f"deadline_seconds {deadline} exceeds the server maximum "
+                    f"{self.config.max_deadline}"
+                )
+            }
         if not self.admission.try_acquire():
             return 429, {
                 "error": "server at capacity",
                 "active_sessions": self.admission.active,
                 "retry_after": 1,
             }
+        # From here the slot is held; every exit path must either hand
+        # its release to the driver future or release it inline.
         try:
             session = self.sessions.create(
                 request.attack,
@@ -382,18 +441,58 @@ class AttackServer:
                 client=client,
                 spec=payload,
                 session_id=session_id,
+                deadline_seconds=deadline,
             )
         except ValueError as exc:
             self.admission.release()
             return 409, {"error": str(exc)}
-        future = self.sessions.start(session)
+        except BaseException:
+            self.admission.release()
+            raise
+        try:
+            future = self.sessions.start(session)
+        except Exception as exc:  # executor rejected the drive
+            session.fail(exc)
+            self.admission.release()
+            return 503, {
+                "error": f"could not start session: {exc}",
+                "retry_after": self.overload.retry_after,
+            }
         future.add_done_callback(lambda _: self.admission.release())
         return 202, {"id": session.session_id, "state": session.state}
+
+    def handle_cancel(self, session_id: str) -> Tuple[int, Dict]:
+        """``DELETE /attacks/<id>``: park the session at its next boundary.
+
+        Cancellation is asynchronous and idempotent: the driver honors
+        the flag at the next query boundary (after the in-flight broker
+        batch settles, so co-batched sessions are unaffected), a second
+        DELETE is a no-op, and DELETE on an already-terminal session
+        returns its final status unchanged (200 rather than an error, so
+        retrying clients converge).
+        """
+        session = self.sessions.get(session_id)
+        if session is None:
+            if self.sessions.was_reaped(session_id):
+                return 410, {"error": f"session {session_id} was reaped"}
+            return 404, {"error": f"no such session: {session_id}"}
+        session.touch()
+        if session.request_cancel():
+            self.run_log.emit(
+                "session_cancel_requested",
+                session=session_id,
+                queries=session.queries,
+            )
+            return 202, session.to_dict()
+        return 200, session.to_dict()
 
     def handle_get_session(self, session_id: str) -> Tuple[int, Dict]:
         session = self.sessions.get(session_id)
         if session is None:
+            if self.sessions.was_reaped(session_id):
+                return 410, {"error": f"session {session_id} was reaped"}
             return 404, {"error": f"no such session: {session_id}"}
+        session.touch()
         return 200, session.to_dict()
 
     def handle_list_sessions(self) -> Tuple[int, Dict]:
@@ -433,6 +532,11 @@ class AttackServer:
             "broker_queue_depth": self.broker.queue_depth,
             "admission": self.admission.stats(),
             "rate_limiter": self.rate_limiter.stats(),
+            "overload": self.overload.stats(),
+            "lifecycle": {
+                **self.sessions.lifecycle_stats(),
+                "shed": self.overload.shed,
+            },
         }
 
     def route(
@@ -457,6 +561,8 @@ class AttackServer:
             return self.handle_list_sessions()
         if path.startswith("/attacks/") and method == "GET":
             return self.handle_get_session(path[len("/attacks/"):])
+        if path.startswith("/attacks/") and method == "DELETE":
+            return self.handle_cancel(path[len("/attacks/"):])
         if path in ("/healthz", "/metrics", "/models", "/attacks") or path.startswith(
             "/attacks/"
         ):
@@ -526,7 +632,11 @@ async def _handle_connection(
             )
         except Exception as exc:  # route bugs must not kill the server
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        extra = {"Retry-After": payload["retry_after"]} if status == 429 else None
+        extra = (
+            {"Retry-After": payload["retry_after"]}
+            if status in (429, 503) and "retry_after" in payload
+            else None
+        )
         writer.write(_response_bytes(status, payload, extra))
         await writer.drain()
     finally:
@@ -649,6 +759,20 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be > 0")
+    return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
@@ -750,6 +874,74 @@ def build_parser() -> argparse.ArgumentParser:
         dest="shared_cache_size",
         help="entries in the shared L2 bounded LRU (cluster mode)",
     )
+    parser.add_argument(
+        "--default-deadline",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock deadline applied to submissions that omit "
+        "deadline_seconds; sessions past it park as 'expired' at their "
+        "next query boundary with exact query counts",
+    )
+    parser.add_argument(
+        "--max-deadline",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="hard cap on requested deadline_seconds (larger asks get 400)",
+    )
+    parser.add_argument(
+        "--session-ttl",
+        type=_positive_float,
+        default=None,
+        dest="session_ttl",
+        metavar="SECONDS",
+        help="reap finished sessions unpolled this long (polls then get "
+        "410 Gone); default keeps them until history eviction",
+    )
+    parser.add_argument(
+        "--idle-ttl",
+        type=_positive_float,
+        default=None,
+        dest="idle_ttl",
+        metavar="SECONDS",
+        help="cancel live sessions no client has polled for this long "
+        "(abandoned submissions stop burning model time)",
+    )
+    parser.add_argument(
+        "--reap-interval",
+        type=_positive_float,
+        default=1.0,
+        dest="reap_interval",
+        metavar="SECONDS",
+        help="cadence of the TTL reaper sweep (default 1s)",
+    )
+    parser.add_argument(
+        "--shed-queue-depth",
+        type=_positive_int,
+        default=None,
+        dest="shed_queue_depth",
+        metavar="N",
+        help="shed new submissions with 503 + Retry-After while the "
+        "broker queue holds >= N pending queries",
+    )
+    parser.add_argument(
+        "--shed-sessions",
+        type=_positive_int,
+        default=None,
+        dest="shed_sessions",
+        metavar="N",
+        help="shed new submissions with 503 + Retry-After while >= N "
+        "sessions are live (soft watermark below --max-sessions)",
+    )
+    parser.add_argument(
+        "--shed-retry-after",
+        type=_positive_float,
+        default=1.0,
+        dest="shed_retry_after",
+        metavar="SECONDS",
+        help="Retry-After value sent with shed (503) responses",
+    )
     return parser
 
 
@@ -787,6 +979,14 @@ def main(argv=None) -> int:
                 scalar_steps=options["scalar_steps"],
                 shared_cache=options["shared_cache"] is not None,
                 shared_cache_size=options["shared_cache_size"],
+                default_deadline=options["default_deadline"],
+                max_deadline=options["max_deadline"],
+                session_ttl=options["session_ttl"],
+                idle_ttl=options["idle_ttl"],
+                reap_interval=options["reap_interval"],
+                shed_queue_depth=options["shed_queue_depth"],
+                shed_sessions=options["shed_sessions"],
+                shed_retry_after=options["shed_retry_after"],
             )
         )
     if options["shared_cache"] == "auto":

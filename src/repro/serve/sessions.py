@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.attacks.base import AttackResult, OnePixelAttack
+from repro.classifier.blackbox import QueryBudgetExceeded
 from repro.core.stepping import Query, QueryBatch, StepRequest
 from repro.runtime.events import RunLog, ensure_log
 from repro.serve.broker import MicroBatchBroker
@@ -52,9 +53,20 @@ FAILED = "failed"
 #: Parked at a query boundary by a graceful drain; persistable and
 #: restartable (see :meth:`SessionManager.drain`).
 SUSPENDED = "suspended"
+#: Terminated at a query boundary by ``DELETE /attacks/<id>``.
+CANCELLED = "cancelled"
+#: Terminated at a query boundary by its ``deadline_seconds`` budget.
+EXPIRED = "expired"
+
+#: States a session can never leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED, EXPIRED)
 
 #: Finished sessions kept for polling before the manager forgets them.
 DEFAULT_HISTORY = 1024
+
+#: Reaped session ids remembered for 410 Gone responses (bounded so a
+#: hostile client cycling ids cannot grow the tombstone set forever).
+DEFAULT_TOMBSTONES = 4096
 
 
 class AttackSession:
@@ -79,6 +91,7 @@ class AttackSession:
         observer=None,
         spec: Optional[Dict] = None,
         batch_size: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
     ):
         self.session_id = session_id
         self.attack = attack
@@ -109,12 +122,55 @@ class AttackSession:
         self.finished_at: Optional[float] = None
         self.pending: Optional[StepRequest] = None
         self._steps = None
+        #: Wall-clock budget for the whole attack; enforced by the
+        #: driver at query boundaries.  Armed into :attr:`deadline_at`
+        #: (monotonic) when driving starts, so queue wait is free.
+        self.deadline_seconds = deadline_seconds
+        self.deadline_at: Optional[float] = None
+        #: Set by ``DELETE /attacks/<id>`` (any thread); honored by the
+        #: driver at the next query boundary.
+        self.cancel_requested = False
+        #: Last client poll (wall clock); what the TTL reaper ages.
+        self.last_polled_at = self.created_at
+
+    def touch(self) -> None:
+        """Record a client poll, deferring the TTL reaper."""
+        self.last_polled_at = time.time()
+
+    def request_cancel(self) -> bool:
+        """Flag the session for cancellation at its next query boundary.
+
+        Safe from any thread (plain attribute write).  Returns ``True``
+        when the session was still live -- the driver will park it --
+        and ``False`` when it had already reached a terminal state.
+        """
+        if self.state in TERMINAL_STATES:
+            return False
+        self.cancel_requested = True
+        return True
+
+    def lifecycle_verdict(self, now: Optional[float] = None) -> Optional[str]:
+        """The terminal state a boundary check should park into, if any.
+
+        Cancellation wins over expiry when both apply (the client asked
+        first).  ``now`` is monotonic time, injectable for tests.
+        """
+        if self.state not in (QUEUED, RUNNING):
+            return None
+        if self.cancel_requested:
+            return CANCELLED
+        if self.deadline_at is not None:
+            if (time.monotonic() if now is None else now) >= self.deadline_at:
+                return EXPIRED
+        return None
 
     def start(self) -> Optional[StepRequest]:
         """Prime the attack generator; returns the first request (if any)."""
         if self.state != QUEUED:
             raise RuntimeError(f"session {self.session_id} already {self.state}")
         self.state = RUNNING
+        if self.deadline_seconds is not None:
+            self.deadline_at = time.monotonic() + self.deadline_seconds
         kwargs = {}
         if self.batch_size is not None:
             kwargs["batch_size"] = self.batch_size
@@ -205,6 +261,42 @@ class AttackSession:
             self._steps.close()
             self._steps = None
 
+    def park(self, state: str) -> None:
+        """Terminate at the current query boundary into ``state``.
+
+        The generator is unwound by throwing
+        :class:`~repro.classifier.blackbox.QueryBudgetExceeded` into its
+        suspended yield -- the *same* exception, at the same program
+        point, that a :class:`~repro.core.stepping.StepCounter` raises
+        when a budget runs dry.  Every native attack generator converts
+        that unwind into its degraded result with ``queries`` taken from
+        its own internal counter, so a session cancelled or expired
+        after ``k`` charged queries reports exactly ``k`` and carries a
+        result bit-identical to a budget-``k`` scalar run that never
+        succeeded (the fidelity invariant; differentially verified by
+        :mod:`repro.testkit.lifecycle`).  A generator that does not
+        catch the unwind (the threaded fallback) simply terminates with
+        no result; :attr:`queries` still holds the boundary count.
+        """
+        if self.state not in (QUEUED, RUNNING):
+            return
+        self.pending = None
+        result = None
+        if self._steps is not None:
+            try:
+                self._steps.throw(QueryBudgetExceeded(self.queries))
+            except StopIteration as stop:
+                result = stop.value
+            except BaseException:
+                result = None  # generator did not convert the unwind
+            finally:
+                self._steps.close()
+                self._steps = None
+        if isinstance(result, AttackResult):
+            self.result = result
+        self.state = state
+        self.finished_at = time.time()
+
     def close(self) -> None:
         """Abandon the session, releasing generator resources."""
         if self.state == RUNNING:
@@ -220,6 +312,10 @@ class AttackSession:
             "budget": self.budget,
             "created_at": self.created_at,
         }
+        if self.deadline_seconds is not None:
+            payload["deadline_seconds"] = self.deadline_seconds
+        if self.cancel_requested and self.state not in TERMINAL_STATES:
+            payload["cancel_requested"] = True
         if self.finished_at is not None:
             payload["finished_at"] = self.finished_at
         if self.error is not None:
@@ -251,11 +347,17 @@ class SessionManager:
         run_log: Optional[RunLog] = None,
         history: int = DEFAULT_HISTORY,
         step_batch: Optional[int] = None,
+        session_ttl: Optional[float] = None,
+        idle_ttl: Optional[float] = None,
     ):
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         if history < 0:
             raise ValueError("history must be non-negative")
+        if session_ttl is not None and session_ttl <= 0:
+            raise ValueError("session_ttl must be positive (or None)")
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise ValueError("idle_ttl must be positive (or None)")
         self.broker = broker
         #: Default speculation window handed to new sessions: ``None``
         #: keeps the attacks' own (scalar) default, ``0`` pins the
@@ -272,6 +374,18 @@ class SessionManager:
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="session"
         )
+        #: TTL reaper policy: ``session_ttl`` ages terminal sessions out
+        #: of the poll table (-> 410 Gone), ``idle_ttl`` cancels live
+        #: sessions no client has polled.  ``None`` disables each sweep.
+        self.session_ttl = session_ttl
+        self.idle_ttl = idle_ttl
+        self._reaped_ids: List[str] = []  # bounded 410 tombstones
+        self._reaper: Optional[threading.Thread] = None
+        self._reaper_halt = threading.Event()
+        # lifecycle counters for /metrics
+        self.cancelled = 0
+        self.expired = 0
+        self.reaped = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -289,6 +403,7 @@ class SessionManager:
         spec: Optional[Dict] = None,
         session_id: Optional[str] = None,
         batch_size: Optional[int] = None,
+        deadline_seconds: Optional[float] = None,
     ) -> AttackSession:
         """Register a new session.
 
@@ -322,6 +437,7 @@ class SessionManager:
                 observer=observer,
                 spec=spec,
                 batch_size=batch_size,
+                deadline_seconds=deadline_seconds,
             )
             self._sessions[session_id] = session
         self.run_log.emit(
@@ -348,12 +464,27 @@ class SessionManager:
         in-flight broker batch still completes and answers the pending
         query, but no further query is submitted -- leaving the session
         :data:`SUSPENDED` for persistence instead of failed.
+
+        Cancellation and deadline expiry are enforced at the same
+        boundary: the in-flight broker batch always settles (so
+        co-batched sessions are never poisoned by one session's exit),
+        then the verdict parks the session terminally with the exact
+        query count charged at that boundary.
         """
         try:
-            request = session.start()
+            verdict = session.lifecycle_verdict()
+            if verdict is not None:
+                session.park(verdict)  # cancelled before it ever started
+                request = None
+            else:
+                request = session.start()
             while request is not None:
                 if self._draining:
                     session.suspend()
+                    break
+                verdict = session.lifecycle_verdict()
+                if verdict is not None:
+                    session.park(verdict)
                     break
                 if isinstance(request, QueryBatch):
                     scores = self.broker.submit_many(request.images())
@@ -391,11 +522,27 @@ class SessionManager:
         """
         active: List[AttackSession] = []
         for session in sessions:
-            if session.start() is not None:
+            verdict = session.lifecycle_verdict()
+            if verdict is not None:
+                session.park(verdict)
+                self._retire(session)
+            elif session.start() is not None:
                 active.append(session)
             else:
                 self._retire(session)
         while active:
+            # the same per-round boundary check the threaded driver runs
+            live: List[AttackSession] = []
+            for session in active:
+                verdict = session.lifecycle_verdict()
+                if verdict is not None:
+                    session.park(verdict)
+                    self._retire(session)
+                else:
+                    live.append(session)
+            active = live
+            if not active:
+                break
             spans: List[int] = []
             images: List[np.ndarray] = []
             for session in active:
@@ -430,6 +577,7 @@ class SessionManager:
 
     def shutdown(self) -> None:
         """Stop accepting work and release executor threads."""
+        self.stop_reaper()
         self._executor.shutdown(wait=False)
 
     def drain(self) -> List[AttackSession]:
@@ -442,6 +590,7 @@ class SessionManager:
         :data:`SUSPENDED` -- the set a graceful shutdown persists.
         Idempotent; the manager accepts no new drives afterwards.
         """
+        self.stop_reaper()
         self._draining = True
         self._executor.shutdown(wait=True, cancel_futures=True)
         with self._lock:
@@ -452,10 +601,119 @@ class SessionManager:
             ]
 
     # ------------------------------------------------------------------
+    # TTL reaping
+    # ------------------------------------------------------------------
+
+    def reap(self, now: Optional[float] = None) -> Dict[str, int]:
+        """One TTL sweep; returns ``{"reaped": n, "abandoned": m}``.
+
+        Two ages are enforced (each ``None`` -> skipped):
+
+        - terminal sessions unpolled for :attr:`session_ttl` seconds are
+          dropped from the poll table entirely (subsequent polls get 410
+          Gone via :meth:`was_reaped`), freeing their history slot;
+        - live sessions unpolled for :attr:`idle_ttl` seconds --
+          submitted and abandoned -- get a cancellation request, so
+          their driver parks them at the next query boundary, their
+          admission slot is released by the driver future's completion,
+          and the next sweep reaps the terminal remains.
+
+        ``now`` is wall-clock time, injectable for tests.
+        """
+        now = time.time() if now is None else now
+        reaped: List[AttackSession] = []
+        abandoned = 0
+        with self._lock:
+            for session in list(self._sessions.values()):
+                idle_for = now - max(
+                    session.last_polled_at, session.finished_at or 0.0
+                )
+                if session.state in TERMINAL_STATES:
+                    if self.session_ttl is not None and idle_for >= self.session_ttl:
+                        self._sessions.pop(session.session_id, None)
+                        if session.session_id in self._finished_order:
+                            self._finished_order.remove(session.session_id)
+                        self._reaped_ids.append(session.session_id)
+                        reaped.append(session)
+                elif session.state in (QUEUED, RUNNING):
+                    if (
+                        self.idle_ttl is not None
+                        and idle_for >= self.idle_ttl
+                        and not session.cancel_requested
+                    ):
+                        session.cancel_requested = True
+                        abandoned += 1
+            del self._reaped_ids[:-DEFAULT_TOMBSTONES]
+            self.reaped += len(reaped)
+        for session in reaped:
+            self.run_log.emit(
+                "session_reaped",
+                session=session.session_id,
+                attack=session.attack.name,
+                state=session.state,
+                queries=session.queries,
+                success=None if session.result is None else session.result.success,
+                idle_seconds=now - session.last_polled_at,
+            )
+        return {"reaped": len(reaped), "abandoned": abandoned}
+
+    def was_reaped(self, session_id: str) -> bool:
+        """Whether an unknown id names a reaped session (-> 410 Gone)."""
+        with self._lock:
+            return session_id in self._reaped_ids
+
+    def start_reaper(self, interval: float = 1.0) -> None:
+        """Run :meth:`reap` on a daemon thread every ``interval`` seconds."""
+        if interval <= 0:
+            raise ValueError("reap interval must be positive")
+        if self._reaper is not None:
+            return
+        self._reaper_halt.clear()
+
+        def loop() -> None:
+            while not self._reaper_halt.wait(interval):
+                try:
+                    self.reap()
+                except Exception:  # the reaper must outlive any one sweep
+                    pass
+
+        self._reaper = threading.Thread(
+            target=loop, name="session-reaper", daemon=True
+        )
+        self._reaper.start()
+
+    def stop_reaper(self) -> None:
+        if self._reaper is None:
+            return
+        self._reaper_halt.set()
+        self._reaper.join(timeout=10.0)
+        self._reaper = None
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
 
     def _retire(self, session: AttackSession) -> None:
+        if session.state in (CANCELLED, EXPIRED):
+            # mirrors the attack_summary shape: identity + final counts
+            event = (
+                "session_cancelled" if session.state == CANCELLED
+                else "session_expired"
+            )
+            with self._lock:
+                if session.state == CANCELLED:
+                    self.cancelled += 1
+                else:
+                    self.expired += 1
+            self.run_log.emit(
+                event,
+                session=session.session_id,
+                attack=session.attack.name,
+                queries=session.queries,
+                budget=session.budget,
+                deadline_seconds=session.deadline_seconds,
+                success=None if session.result is None else session.result.success,
+            )
         self.run_log.emit(
             "session_end",
             session=session.session_id,
@@ -470,6 +728,17 @@ class SessionManager:
             while len(self._finished_order) > self._history:
                 stale = self._finished_order.pop(0)
                 self._sessions.pop(stale, None)
+
+    def lifecycle_stats(self) -> Dict:
+        """Lifecycle counters and TTL policy for ``/metrics``."""
+        with self._lock:
+            return {
+                "cancelled": self.cancelled,
+                "expired": self.expired,
+                "reaped": self.reaped,
+                "session_ttl": self.session_ttl,
+                "idle_ttl": self.idle_ttl,
+            }
 
     def active_count(self) -> int:
         with self._lock:

@@ -20,6 +20,10 @@ serving layers cheap to validate (see DESIGN §9):
 - :mod:`~repro.testkit.kill` -- the kill-and-resume harness: SIGKILL a
   checkpointed campaign subprocess mid-run, resume it, and assert the
   summary is bit-identical to an uninterrupted run;
+- :mod:`~repro.testkit.lifecycle` -- the lifecycle oracle proving a
+  session cancelled or expired after ``k`` charged queries reports
+  exactly ``k`` (bit-identical to a budget-``k`` scalar run), swept
+  across stepping modes, drive paths, and park verdicts;
 - :mod:`~repro.testkit.generators` -- hypothesis strategies for images,
   budgets, and DSL programs (present only when hypothesis is installed).
 """
@@ -61,6 +65,17 @@ from repro.testkit.kill import (
     toy_campaign,
     toy_matrix_spec,
 )
+from repro.testkit.lifecycle import (
+    DEFAULT_LIFECYCLE_KINDS,
+    DEFAULT_LIFECYCLE_PATHS,
+    FlightDroppingBroker,
+    LifecycleCell,
+    LifecycleDivergence,
+    LifecycleEquivalenceRunner,
+    LifecycleReport,
+    cancel_during_flight,
+    toy_lifecycle_runner,
+)
 from repro.testkit.sharedcache import (
     L2_MODES,
     InMemorySharedCache,
@@ -88,6 +103,8 @@ from repro.testkit.trace import (
 
 __all__ = [
     "DEFAULT_KINDS",
+    "DEFAULT_LIFECYCLE_KINDS",
+    "DEFAULT_LIFECYCLE_PATHS",
     "DEFAULT_MATRIX_PATHS",
     "DEFAULT_MODES",
     "DEFAULT_PATHS",
@@ -105,8 +122,13 @@ __all__ = [
     "FlakyClassifier",
     "InMemorySharedCache",
     "InjectedFault",
+    "FlightDroppingBroker",
     "InjectedTimeout",
     "L2_MODES",
+    "LifecycleCell",
+    "LifecycleDivergence",
+    "LifecycleEquivalenceRunner",
+    "LifecycleReport",
     "ReorderingBroker",
     "ReplayClassifier",
     "SlowClassifier",
@@ -114,6 +136,7 @@ __all__ = [
     "TraceMismatch",
     "TraceRecorder",
     "TraceVerifier",
+    "cancel_during_flight",
     "diff_events",
     "kill_and_resume_campaign",
     "kill_and_resume_matrix",
@@ -133,5 +156,6 @@ __all__ = [
     "tiny_network_classifier",
     "toy_batch_runner",
     "toy_campaign",
+    "toy_lifecycle_runner",
     "toy_runner",
 ]

@@ -495,6 +495,123 @@ def kill_worker_and_rebalance(
     }
 
 
+def cancel_and_kill_cluster(
+    workers: int = 2,
+    latency: float = 0.02,
+    progress_queries: int = 5,
+    timeout: float = 120.0,
+    workdir: Optional[str] = None,
+) -> Dict:
+    """Cancel one session, SIGKILL another's owner; the ledger must close.
+
+    The cluster half of the lifecycle fidelity story
+    (:mod:`repro.testkit.lifecycle` proves the in-process half).  Two
+    deterministic HARD_SEED sessions (288 golden queries each) run on a
+    checkpointed ``workers``-replica tier:
+
+    - session A is cancelled mid-attack with ``DELETE /attacks/<id>``
+      once it has charged at least ``progress_queries`` queries; the
+      router must forward the DELETE to the sticky owner and A must
+      settle as ``cancelled`` reporting exactly the count a budget-``k``
+      local run reports (query-count fidelity across the wire);
+    - session B's owning worker is then SIGKILLed; the router must
+      rebalance B onto a survivor and finish it with the golden 288.
+
+    After the tier drains, the ledger must hold **no open records** --
+    cancellation closes A, completion closes B -- and a second tier
+    resuming from the same checkpoint must restore zero sessions
+    (``--resume`` re-runs neither).  Returns a verdict dict whose
+    ``ok`` key ands every invariant.
+    """
+    import tempfile
+
+    from repro.cluster.config import ClusterConfig
+    from repro.cluster.router import ClusterHandle, open_sessions_from_records
+    from repro.cluster.workers import http_json
+    from repro.runtime.checkpoint import CheckpointStore
+    from repro.testkit.lifecycle import toy_lifecycle_runner
+
+    workdir = workdir or tempfile.mkdtemp(prefix="repro-lifecycle-")
+    checkpoint = os.path.join(workdir, "ledger")
+    base = dict(
+        port=0, height=6, width=6, num_classes=3, seed=1,
+        heartbeat=0.2, backoff=0.2,
+    )
+    victim_seed, survivor_seed = HARD_IMAGE_SEEDS[0], HARD_IMAGE_SEEDS[1]
+
+    with ClusterHandle(
+        ClusterConfig(
+            workers=workers, latency=latency, checkpoint=checkpoint, **base
+        )
+    ) as tier:
+        victim = _cluster_submit(tier.address, hard_cluster_spec(victim_seed))
+        survivor = _cluster_submit(
+            tier.address, hard_cluster_spec(survivor_seed)
+        )
+        _wait_session(
+            tier.address, victim["id"],
+            lambda p: p.get("queries", 0) >= progress_queries, timeout,
+        )
+        cancel_status, _ = http_json(
+            tier.address, "DELETE", f"/attacks/{victim['id']}"
+        )
+        cancelled = _wait_session(
+            tier.address, victim["id"],
+            lambda p: p["state"] == "cancelled", timeout,
+        )
+        cancelled_k = (cancelled.get("result") or {}).get("queries")
+        owner = survivor["worker"]
+        tier.router.worker_named(owner).kill()
+        final = _wait_session(
+            tier.address, survivor["id"],
+            lambda p: p["state"] in ("done", "failed"), timeout,
+        )
+        survivor_queries = final["result"]["queries"]
+        finisher = final["worker"]
+        cancelled_counter = tier.router.cancelled_sessions
+
+    records, _ = CheckpointStore(checkpoint).records()
+    still_open = open_sessions_from_records(records)
+
+    with ClusterHandle(
+        ClusterConfig(workers=1, checkpoint=checkpoint, resume=True, **base)
+    ) as resumed_tier:
+        _, listing = resumed_tier.router.list_sessions()
+        resumed_sessions = len(listing.get("sessions", []))
+
+    # local budget-k differential: a scalar run of the same attack on the
+    # same image under budget=k must report exactly the cancelled count
+    exact = False
+    if isinstance(cancelled_k, int) and cancelled_k > 0:
+        golden = toy_lifecycle_runner().run_golden(victim_seed, cancelled_k)
+        exact = (
+            golden.result is not None
+            and golden.result.queries == cancelled_k
+            and not golden.result.success
+        )
+
+    return {
+        "cancel_status": cancel_status,
+        "cancelled_queries": cancelled_k,
+        "cancelled_exact": exact,
+        "cancelled_counter": cancelled_counter,
+        "survivor_queries": survivor_queries,
+        "survivor_golden": 288,
+        "submitted_on": owner,
+        "finished_on": finisher,
+        "open_after_drain": sorted(still_open),
+        "resumed_sessions": resumed_sessions,
+        "ok": (
+            cancel_status in (200, 202)
+            and exact
+            and cancelled_counter >= 1
+            and survivor_queries == 288
+            and not still_open
+            and resumed_sessions == 0
+        ),
+    }
+
+
 def main(argv=None) -> int:
     """Child entry point: run the toy campaign, print its fingerprint.
 
@@ -527,7 +644,19 @@ def main(argv=None) -> int:
         help="run the cluster worker-kill harness against an N-worker "
         "tier instead of the toy campaign",
     )
+    parser.add_argument(
+        "--lifecycle",
+        action="store_true",
+        help="with --cluster-workers: run the cancel+kill lifecycle "
+        "harness (DELETE one session mid-attack, SIGKILL the other's "
+        "owner, assert the ledger closes and --resume re-runs neither)",
+    )
     args = parser.parse_args(argv)
+    if args.cluster_workers and args.lifecycle:
+        verdict = cancel_and_kill_cluster(workers=args.cluster_workers)
+        json.dump(verdict, sys.stdout, indent=2)
+        print()
+        return 0 if verdict["ok"] else 1
     if args.cluster_workers:
         verdict = kill_worker_and_rebalance(workers=args.cluster_workers)
         json.dump(verdict, sys.stdout, indent=2)

@@ -657,3 +657,168 @@ class TestSharedCacheTier:
         assert len(verdict["distinct_workers"]) >= 2, verdict
         assert verdict["l2_hits"] > 0, verdict
         assert verdict["ok"], verdict
+
+
+class TestLifecycleRouting:
+    """Deadline, cancel, and reap plumbing; no worker processes."""
+
+    def test_session_entry_parses_deadline_from_spec(self):
+        from repro.cluster.router import SessionEntry
+
+        assert SessionEntry(
+            "c1", {"deadline_seconds": 4.5}, None, "w0"
+        ).deadline_seconds == 4.5
+        # booleans and garbage are not deadlines
+        assert SessionEntry(
+            "c2", {"deadline_seconds": True}, None, "w0"
+        ).deadline_seconds is None
+        assert SessionEntry("c3", {}, None, "w0").deadline_seconds is None
+        assert SessionEntry("c4", None, None, "w0").deadline_seconds is None
+
+    def test_pending_session_expires_even_with_no_live_workers(self, tmp_path):
+        from repro.cluster.router import SessionEntry
+
+        router = ClusterRouter(
+            ClusterConfig(workers=1, checkpoint=str(tmp_path))
+        )
+        entry = SessionEntry("c1", {"deadline_seconds": 0.5}, "t", None)
+        entry.accepted_at -= 10.0  # the budget elapsed while pending
+        router._sessions["c1"] = entry
+        router._order.append("c1")
+        router._pending.append("c1")
+        router.ledger.append(
+            {"kind": "session", "id": "c1", "client": "t", "spec": entry.spec}
+        )
+        assert router.tick_rebalance() == 0  # ring is empty: no placement
+        status, payload = router.get_session("c1")
+        assert status == 200 and payload["state"] == "expired"
+        assert router.expired_sessions == 1
+        assert router._pending == []
+        records, _ = router.ledger.records()
+        assert open_sessions_from_records(records) == {}
+        router.ledger.close()
+
+    def test_rebalance_hands_survivor_only_remaining_deadline(
+        self, monkeypatch
+    ):
+        from repro.cluster.router import SessionEntry
+
+        router = ClusterRouter(ClusterConfig(workers=1))
+        router.ring.add("w0")
+        entry = SessionEntry("c1", {"deadline_seconds": 60.0}, "t", None)
+        entry.accepted_at -= 10.0  # ten seconds already spent
+        router._sessions["c1"] = entry
+        router._pending.append("c1")
+        forwarded = {}
+
+        def fake_forward(owner, session_id, spec, client):
+            forwarded[session_id] = spec
+            return 202, {"id": session_id}
+
+        monkeypatch.setattr(router, "_forward_submit", fake_forward)
+        assert router.tick_rebalance() == 1
+        remaining = forwarded["c1"]["deadline_seconds"]
+        assert 0 < remaining < 60.0
+        assert remaining == pytest.approx(50.0, abs=5.0)
+        # the original spec is untouched (the rewrite is a copy)
+        assert entry.spec["deadline_seconds"] == 60.0
+
+    def test_cancel_pending_session_settles_locally_and_closes_ledger(
+        self, tmp_path
+    ):
+        from repro.cluster.router import SessionEntry
+
+        router = ClusterRouter(
+            ClusterConfig(workers=1, checkpoint=str(tmp_path))
+        )
+        entry = SessionEntry("c1", {"attack": "fixed"}, "t", None)
+        router._sessions["c1"] = entry
+        router._order.append("c1")
+        router._pending.append("c1")
+        router.ledger.append(
+            {"kind": "session", "id": "c1", "client": "t", "spec": entry.spec}
+        )
+        status, payload = router.cancel_session("c1")
+        assert status == 200 and payload["state"] == "cancelled"
+        assert payload["worker"] is None  # no generator ever ran anywhere
+        assert router.cancelled_sessions == 1
+        assert router._pending == []
+        # idempotent: a retried DELETE converges on the cached final
+        assert router.cancel_session("c1") == (200, payload)
+        assert router.cancelled_sessions == 1
+        records, _ = router.ledger.records()
+        assert open_sessions_from_records(records) == {}
+        router.ledger.close()
+        assert router.cancel_session("c404")[0] == 404
+
+    def test_router_level_shed_watermark(self):
+        from repro.cluster.router import SessionEntry
+
+        router = ClusterRouter(
+            ClusterConfig(
+                workers=1, shed_open_sessions=1, shed_retry_after=2.0
+            )
+        )
+        router.ring.add("w0")
+        router._sessions["c1"] = SessionEntry("c1", {}, "t", "w0")
+        status, payload = router.submit(b"{}", client="t")
+        assert status == 503
+        assert payload["retry_after"] == 2.0
+        assert "overloaded" in payload["error"]
+        assert router.shed_submits == 1
+
+    def test_metrics_rollup_sums_worker_lifecycle_counters(self):
+        def worker(cancelled, expired, reaped, shed):
+            return {
+                "broker": {},
+                "sessions": {"states": {}},
+                "lifecycle": {
+                    "cancelled": cancelled,
+                    "expired": expired,
+                    "reaped": reaped,
+                    "shed": shed,
+                },
+            }
+
+        rollup = aggregate_worker_metrics(
+            {"w0": worker(1, 2, 3, 4), "w1": worker(10, 20, 30, 40),
+             "w2": None}
+        )
+        assert rollup["lifecycle"] == {
+            "cancelled": 11, "expired": 22, "reaped": 33, "shed": 44,
+        }
+        assert rollup["unscraped"] == ["w2"]
+
+    def test_worker_argv_carries_lifecycle_flags(self):
+        config = ClusterConfig(
+            workers=1, default_deadline=5.0, max_deadline=10.0,
+            session_ttl=30.0, idle_ttl=60.0, reap_interval=0.5,
+            shed_queue_depth=128, shed_sessions=32, shed_retry_after=2.0,
+        )
+        argv = worker_argv(config, 9000)
+        assert argv[argv.index("--default-deadline") + 1] == "5.0"
+        assert argv[argv.index("--max-deadline") + 1] == "10.0"
+        assert argv[argv.index("--session-ttl") + 1] == "30.0"
+        assert argv[argv.index("--idle-ttl") + 1] == "60.0"
+        assert argv[argv.index("--reap-interval") + 1] == "0.5"
+        assert argv[argv.index("--shed-queue-depth") + 1] == "128"
+        assert argv[argv.index("--shed-sessions") + 1] == "32"
+        assert argv[argv.index("--shed-retry-after") + 1] == "2.0"
+        # defaults add none of them
+        bare = worker_argv(ClusterConfig(workers=1), 9000)
+        for flag in ("--default-deadline", "--session-ttl",
+                     "--shed-queue-depth", "--reap-interval"):
+            assert flag not in bare
+
+
+@pytest.mark.slow
+class TestLifecycleTier:
+    def test_cancel_and_kill_closes_ledger_and_resumes_nothing(self):
+        from repro.testkit.kill import cancel_and_kill_cluster
+
+        verdict = cancel_and_kill_cluster(workers=2)
+        assert verdict["ok"], verdict
+        assert verdict["cancelled_exact"], verdict
+        assert verdict["survivor_queries"] == 288, verdict
+        assert verdict["open_after_drain"] == [], verdict
+        assert verdict["resumed_sessions"] == 0, verdict
